@@ -1,0 +1,58 @@
+package rdfindexes_test
+
+import (
+	"fmt"
+
+	"rdfindexes"
+)
+
+// Example indexes the worked example of Fig. 1 of the paper and resolves
+// the pattern (1, 2, ?), which matches the two triples sharing the prefix
+// (1, 2).
+func Example() {
+	triples := []rdfindexes.Triple{
+		{S: 0, P: 0, O: 2}, {S: 0, P: 0, O: 3}, {S: 0, P: 1, O: 0},
+		{S: 1, P: 0, O: 4}, {S: 1, P: 2, O: 0}, {S: 1, P: 2, O: 1},
+		{S: 2, P: 0, O: 2}, {S: 2, P: 1, O: 0},
+		{S: 3, P: 2, O: 1}, {S: 3, P: 2, O: 2},
+		{S: 4, P: 2, O: 4},
+	}
+	d := rdfindexes.NewDataset(triples)
+	x, err := rdfindexes.Build(d, rdfindexes.Layout2Tp)
+	if err != nil {
+		panic(err)
+	}
+	it := x.Select(rdfindexes.NewPattern(1, 2, -1))
+	for t, ok := it.Next(); ok; t, ok = it.Next() {
+		fmt.Println(t)
+	}
+	// Output:
+	// (1, 2, 0)
+	// (1, 2, 1)
+}
+
+// Example_rangeQuery shows a range-constrained pattern: numeric objects
+// get IDs in increasing value order and the R structure translates value
+// bounds into ID bounds (Section 3.1 of the paper).
+func Example_rangeQuery() {
+	// Objects 100..104 are numeric literals with values 10, 20, 30, 40, 50.
+	values := []uint64{10, 20, 30, 40, 50}
+	var triples []rdfindexes.Triple
+	for k := range values {
+		triples = append(triples, rdfindexes.Triple{S: rdfindexes.ID(k), P: 0, O: rdfindexes.ID(100 + k)})
+	}
+	d := rdfindexes.NewDataset(triples)
+	built, err := rdfindexes.Build(d, rdfindexes.Layout2Tp)
+	if err != nil {
+		panic(err)
+	}
+	x := built.(rdfindexes.RangeSelecter)
+	r := rdfindexes.NewR(100, values)
+	it := rdfindexes.SelectValueRange(x, r, 0, 15, 35) // values in [15, 35]
+	for t, ok := it.Next(); ok; t, ok = it.Next() {
+		fmt.Printf("subject %d -> value %d\n", t.S, r.Value(t.O))
+	}
+	// Output:
+	// subject 1 -> value 20
+	// subject 2 -> value 30
+}

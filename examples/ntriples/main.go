@@ -1,0 +1,123 @@
+// Command ntriples is the end-to-end pipeline the paper's system sits in:
+// parse N-Triples, dictionary-encode URIs and literals to dense integer
+// IDs with a front-coded compressed dictionary (the paper treats the
+// dictionary as a separate problem, Section 1), index the integer
+// triples, and answer URI-level queries by translating through the
+// dictionary in both directions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rdfindexes"
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/rdf"
+)
+
+const graph = `# a tiny social/bibliographic graph
+<http://ex/alice>  <http://ex/knows>    <http://ex/bob> .
+<http://ex/alice>  <http://ex/knows>    <http://ex/carol> .
+<http://ex/bob>    <http://ex/knows>    <http://ex/carol> .
+<http://ex/alice>  <http://ex/name>     "Alice" .
+<http://ex/bob>    <http://ex/name>     "Bob" .
+<http://ex/carol>  <http://ex/name>     "Carol" .
+<http://ex/alice>  <http://ex/wrote>    <http://ex/paper1> .
+<http://ex/carol>  <http://ex/wrote>    <http://ex/paper1> .
+<http://ex/carol>  <http://ex/wrote>    <http://ex/paper2> .
+<http://ex/paper1> <http://ex/title>    "Compressed Indexes" .
+<http://ex/paper2> <http://ex/title>    "Fast Search" .
+<http://ex/paper1> <http://ex/year>     "2021"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+
+func main() {
+	statements, err := rdf.ParseAll(strings.NewReader(graph))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d statements; %d terms in the SO dictionary, %d predicates\n",
+		len(statements), dicts.SO.Len(), dicts.P.Len())
+	fmt.Printf("dictionary size: %d bits (%.1f bits/term)\n",
+		dicts.SO.SizeBits(), float64(dicts.SO.SizeBits())/float64(dicts.SO.Len()))
+
+	x, err := rdfindexes.Build(d, rdfindexes.Layout2Tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2Tp index over the integer triples: %.1f bits/triple\n\n",
+		rdfindexes.BitsPerTriple(x))
+
+	// Who wrote paper1? (?PO with URI terms)
+	ask(x, dicts, "", "<http://ex/wrote>", "<http://ex/paper1>")
+	// Everything about carol. (S??)
+	ask(x, dicts, "<http://ex/carol>", "", "")
+	// Did alice write paper2? (SPO)
+	ask(x, dicts, "<http://ex/alice>", "<http://ex/wrote>", "<http://ex/paper2>")
+}
+
+// ask resolves a pattern given as N-Triples terms; empty strings are
+// wildcards.
+func ask(x rdfindexes.Index, dicts *rdf.Dicts, s, p, o string) {
+	pat := rdfindexes.Pattern{S: rdfindexes.Wildcard, P: rdfindexes.Wildcard, O: rdfindexes.Wildcard}
+	lookup := func(term string, d interface{ Locate(string) (int, bool) }) (core.ID, bool) {
+		id, ok := d.Locate(term)
+		return core.ID(id), ok
+	}
+	okAll := true
+	if s != "" {
+		if id, ok := lookup(s, dicts.SO); ok {
+			pat.S = id
+		} else {
+			okAll = false
+		}
+	}
+	if p != "" {
+		if id, ok := lookup(p, dicts.P); ok {
+			pat.P = id
+		} else {
+			okAll = false
+		}
+	}
+	if o != "" {
+		if id, ok := lookup(o, dicts.SO); ok {
+			pat.O = id
+		} else {
+			okAll = false
+		}
+	}
+	fmt.Printf("pattern (%s %s %s):\n", orQ(s), orQ(p), orQ(o))
+	if !okAll {
+		fmt.Println("   (a term is not in the dictionary: no matches)")
+		return
+	}
+	it := x.Select(pat)
+	n := 0
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		line, err := dicts.DecodeTriple(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %s\n", line)
+		n++
+	}
+	if n == 0 {
+		fmt.Println("   (no matches)")
+	}
+	fmt.Println()
+}
+
+func orQ(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+// Package bench implements the experiment harness reproducing every table
+// and figure of the paper's evaluation (Section 4). Each experiment
+// builds the required indexes over calibrated synthetic datasets (see
+// internal/gen and DESIGN.md for the data substitution), measures with
+// the paper's methodology — query sets sampled from the indexed triples,
+// averaged over multiple runs, single goroutine — and renders the same
+// rows the paper reports. cmd/rdfbench drives it; bench_test.go wraps the
+// same workloads as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rdfindexes/internal/core"
+)
+
+// Store is the minimal index capability measured by the harness; the
+// paper's layouts and all baselines satisfy it.
+type Store interface {
+	Select(core.Pattern) *core.Iterator
+	NumTriples() int
+	SizeBits() uint64
+}
+
+// Config scales the experiments. The paper uses datasets of 88M-2B
+// triples and 5,000-query samples with 5 runs; defaults here are sized
+// for a laptop-scale run with the same shape.
+type Config struct {
+	Triples int // synthetic dataset size
+	Queries int // sampled queries per pattern
+	Runs    int // measurement repetitions (averaged)
+	Seed    int64
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{Triples: 300000, Queries: 2000, Runs: 3, Seed: 1}
+}
+
+// normalize fills zero fields with defaults.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.Triples <= 0 {
+		c.Triples = d.Triples
+	}
+	if c.Queries <= 0 {
+		c.Queries = d.Queries
+	}
+	if c.Runs <= 0 {
+		c.Runs = d.Runs
+	}
+	return c
+}
+
+// TimePatterns drains every pattern's iterator and returns the average
+// nanoseconds per returned triple and the total number of matches,
+// averaged over runs.
+func TimePatterns(x Store, pats []core.Pattern, runs int) (nsPerTriple float64, matches int) {
+	if runs <= 0 {
+		runs = 1
+	}
+	var best time.Duration
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		total := 0
+		for _, p := range pats {
+			it := x.Select(p)
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+				total++
+			}
+		}
+		el := time.Since(start)
+		matches = total
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	if matches == 0 {
+		return float64(best.Nanoseconds()), 0
+	}
+	return float64(best.Nanoseconds()) / float64(matches), matches
+}
+
+// TimeTotal drains every pattern's iterator and returns the best total
+// wall time across runs and the matches.
+func TimeTotal(x Store, pats []core.Pattern, runs int) (time.Duration, int) {
+	if runs <= 0 {
+		runs = 1
+	}
+	var best time.Duration
+	matches := 0
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		total := 0
+		for _, p := range pats {
+			it := x.Select(p)
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+				total++
+			}
+		}
+		el := time.Since(start)
+		matches = total
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best, matches
+}
+
+// BitsPerTriple is the paper's space metric.
+func BitsPerTriple(x Store) float64 {
+	if x.NumTriples() == 0 {
+		return 0
+	}
+	return float64(x.SizeBits()) / float64(x.NumTriples())
+}
+
+// Table is a formatted result table in the style of the paper.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// F formats a float compactly.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 10:
+		return fmt.Sprintf("%.2f", v)
+	case v < 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// N formats an int with thousands separators.
+func N(v int) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var sb strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		sb.WriteString(s[:pre])
+	}
+	for i := pre; i < len(s); i += 3 {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(s[i : i+3])
+	}
+	return sb.String()
+}

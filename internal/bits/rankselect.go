@@ -1,0 +1,260 @@
+package bits
+
+import (
+	"math/bits"
+)
+
+// selSampleLog is the sampling rate of the select hints: the block index of
+// every 2^selSampleLog-th set (resp. unset) bit is recorded.
+const selSampleLog = 12
+
+// blockBits is the rank directory granularity: one superblock counter and
+// one packed word-counter entry per 512 bits, i.e. 25% overhead.
+const blockBits = 512
+
+// RankSelect augments a Vector with constant-time rank and near
+// constant-time select over both ones and zeroes (rank9-style directory
+// plus sampled select hints). The underlying vector must not be modified
+// after construction.
+type RankSelect struct {
+	v *Vector
+	// super[b] is the number of ones before block b; super[numBlocks] is
+	// the total.
+	super []uint64
+	// sub[b] packs, in 9-bit fields, the number of ones in block b before
+	// each of words 1..7.
+	sub []uint64
+	// sel1[h] (sel0[h]) is the block containing the (h<<selSampleLog)-th
+	// one (zero).
+	sel1  []uint32
+	sel0  []uint32
+	ones  int
+	zeros int
+}
+
+// NewRankSelect builds the rank/select directory for v.
+func NewRankSelect(v *Vector) *RankSelect {
+	numBlocks := (v.n + blockBits - 1) / blockBits
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	r := &RankSelect{
+		v:     v,
+		super: make([]uint64, numBlocks+1),
+		sub:   make([]uint64, numBlocks),
+	}
+	words := v.words
+	var cum uint64
+	for b := 0; b < numBlocks; b++ {
+		r.super[b] = cum
+		var inBlock uint64
+		var packed uint64
+		for j := 0; j < 8; j++ {
+			if j > 0 {
+				packed |= inBlock << (9 * uint(j-1))
+			}
+			idx := b*8 + j
+			if idx < len(words) {
+				inBlock += uint64(bits.OnesCount64(words[idx]))
+			}
+		}
+		r.sub[b] = packed
+		cum += inBlock
+	}
+	r.super[numBlocks] = cum
+	r.ones = int(cum)
+	r.zeros = v.n - r.ones
+
+	r.sel1 = r.buildHints(numBlocks, r.ones, func(b int) uint64 { return r.super[b] })
+	r.sel0 = r.buildHints(numBlocks, r.zeros, func(b int) uint64 {
+		return uint64(b*blockBits) - r.super[b]
+	})
+	return r
+}
+
+// buildHints records, for every sampled k, the block containing the k-th
+// one (or zero) according to the cumulative function cumAt.
+func (r *RankSelect) buildHints(numBlocks, total int, cumAt func(int) uint64) []uint32 {
+	if total == 0 {
+		return nil
+	}
+	numHints := (total-1)>>selSampleLog + 1
+	hints := make([]uint32, numHints)
+	b := 0
+	for h := 0; h < numHints; h++ {
+		k := uint64(h) << selSampleLog
+		for b+1 < numBlocks && cumAt(b+1) <= k {
+			b++
+		}
+		hints[h] = uint32(b)
+	}
+	return hints
+}
+
+// Ones returns the total number of set bits.
+func (r *RankSelect) Ones() int { return r.ones }
+
+// Zeros returns the total number of unset bits.
+func (r *RankSelect) Zeros() int { return r.zeros }
+
+// Vector returns the underlying bit vector.
+func (r *RankSelect) Vector() *Vector { return r.v }
+
+func (r *RankSelect) subCount(b, word int) uint64 {
+	if word == 0 {
+		return 0
+	}
+	return r.sub[b] >> (9 * uint(word-1)) & 0x1ff
+}
+
+// Rank1 returns the number of ones in positions [0, i). i may equal Len().
+func (r *RankSelect) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= r.v.n {
+		return r.ones
+	}
+	b := i / blockBits
+	word := (i / 64) & 7
+	c := r.super[b] + r.subCount(b, word)
+	if rem := uint(i) & 63; rem != 0 {
+		c += uint64(bits.OnesCount64(r.v.words[i/64] & (1<<rem - 1)))
+	}
+	return int(c)
+}
+
+// Rank0 returns the number of zeros in positions [0, i).
+func (r *RankSelect) Rank0(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= r.v.n {
+		return r.zeros
+	}
+	return i - r.Rank1(i)
+}
+
+// Select1 returns the position of the k-th (0-based) set bit. k must be in
+// [0, Ones()).
+func (r *RankSelect) Select1(k int) int {
+	// Locate the block via the sampled hint, then binary search the
+	// superblock counters within the hinted window.
+	h := k >> selSampleLog
+	lo := int(r.sel1[h])
+	hi := len(r.super) - 2 // last block index
+	if h+1 < len(r.sel1) {
+		hi = int(r.sel1[h+1])
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.super[mid] <= uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	b := lo
+	rem := uint64(k) - r.super[b]
+	// Find the word within the block using the packed counters.
+	word := 0
+	for word < 7 && r.subCount(b, word+1) <= rem {
+		word++
+	}
+	rem -= r.subCount(b, word)
+	idx := b*8 + word
+	return idx*64 + selectInWord(r.v.words[idx], int(rem))
+}
+
+// Select0 returns the position of the k-th (0-based) unset bit. k must be
+// in [0, Zeros()).
+func (r *RankSelect) Select0(k int) int {
+	zerosBefore := func(b int) uint64 { return uint64(b*blockBits) - r.super[b] }
+	h := k >> selSampleLog
+	lo := int(r.sel0[h])
+	hi := len(r.super) - 2
+	if h+1 < len(r.sel0) {
+		hi = int(r.sel0[h+1])
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if zerosBefore(mid) <= uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	b := lo
+	rem := uint64(k) - zerosBefore(b)
+	// Zeros in block b before word j: 64*j - subCount(b, j), valid for the
+	// words that lie entirely within the vector; the tail word is masked.
+	word := 0
+	for word < 7 {
+		next := uint64(64*(word+1)) - r.subCount(b, word+1)
+		if b*blockBits+64*(word+1) > r.v.n || next > rem {
+			break
+		}
+		word++
+	}
+	rem -= uint64(64*word) - r.subCount(b, word)
+	idx := b*8 + word
+	w := ^r.v.words[idx]
+	if tail := r.v.n - idx*64; tail < 64 {
+		w &= 1<<uint(tail) - 1
+	}
+	return idx*64 + selectInWord(w, int(rem))
+}
+
+// SuccessorOne returns the position of the first set bit at or after pos,
+// or Len() if there is none.
+func (r *RankSelect) SuccessorOne(pos int) int {
+	if pos >= r.v.n {
+		return r.v.n
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	k := r.Rank1(pos)
+	if k >= r.ones {
+		return r.v.n
+	}
+	return r.Select1(k)
+}
+
+// selectByte[b][k] is the position of the k-th set bit in byte b.
+var selectByte [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		k := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				selectByte[b][k] = uint8(i)
+				k++
+			}
+		}
+	}
+}
+
+// SelectInWord returns the position of the k-th (0-based) set bit of w.
+// k must be smaller than the number of set bits.
+func SelectInWord(w uint64, k int) int { return selectInWord(w, k) }
+
+// selectInWord returns the position of the k-th (0-based) set bit of w.
+func selectInWord(w uint64, k int) int {
+	for i := 0; i < 8; i++ {
+		b := uint8(w >> (8 * uint(i)))
+		c := bits.OnesCount8(b)
+		if k < c {
+			return 8*i + int(selectByte[b][k])
+		}
+		k -= c
+	}
+	panic("bits: selectInWord out of range")
+}
+
+// SizeBits returns the directory storage footprint in bits, excluding the
+// underlying vector.
+func (r *RankSelect) SizeBits() uint64 {
+	return uint64(len(r.super)+len(r.sub))*64 + uint64(len(r.sel1)+len(r.sel0))*32
+}

@@ -1,0 +1,276 @@
+// Package codec implements the little-endian binary format shared by all
+// serializable structures in this repository.
+//
+// Writers and readers are error-sticky: after the first failure every
+// subsequent call is a no-op, so call sites can chain field writes and check
+// the error once at the end. All integers are little-endian; slices are
+// length-prefixed with an unsigned varint.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt reports a malformed or truncated stream.
+var ErrCorrupt = errors.New("codec: corrupt stream")
+
+// Writer serializes primitive values to an underlying io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Written returns the number of bytes written so far.
+func (w *Writer) Written() int64 { return w.n }
+
+// Flush flushes buffered output and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+// Uint64 writes v as 8 little-endian bytes.
+func (w *Writer) Uint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+// Uint32 writes v as 4 little-endian bytes.
+func (w *Writer) Uint32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+// Byte writes a single byte.
+func (w *Writer) Byte(v byte) {
+	w.write([]byte{v})
+}
+
+// Uvarint writes v using variable-length encoding.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Uint64s writes a length-prefixed slice of raw little-endian words.
+func (w *Writer) Uint64s(s []uint64) {
+	w.Uvarint(uint64(len(s)))
+	var b [8]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint64(b[:], v)
+		w.write(b[:])
+	}
+}
+
+// Uint32s writes a length-prefixed slice of raw little-endian 32-bit words.
+func (w *Writer) Uint32s(s []uint32) {
+	w.Uvarint(uint64(len(s)))
+	var b [4]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(b[:], v)
+		w.write(b[:])
+	}
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Reader deserializes values written by Writer.
+type Reader struct {
+	r   *bufio.Reader
+	n   int64
+	err error
+}
+
+// NewReader returns a Reader consuming from r. If r is already a
+// *bufio.Reader it is used directly, so several sequential decoders can
+// share one buffered stream without losing read-ahead bytes.
+func NewReader(r io.Reader) *Reader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &Reader{r: br}
+	}
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Read returns the number of bytes consumed so far.
+func (r *Reader) Read() int64 { return r.n }
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	n, err := io.ReadFull(r.r, p)
+	r.n += int64(n)
+	if err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+}
+
+// Uint64 reads 8 little-endian bytes.
+func (r *Reader) Uint64() uint64 {
+	var b [8]byte
+	r.read(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Uint32 reads 4 little-endian bytes.
+func (r *Reader) Uint32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	var b [1]byte
+	r.read(b[:])
+	return b[0]
+}
+
+// Uvarint reads a variable-length unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(countingByteReader{r})
+	if err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return 0
+	}
+	return v
+}
+
+type countingByteReader struct{ r *Reader }
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.r.ReadByte()
+	if err == nil {
+		c.r.n++
+	}
+	return b, err
+}
+
+// maxAlloc bounds a single slice allocation while decoding, protecting
+// against corrupt length prefixes.
+const maxAlloc = 1 << 33
+
+func (r *Reader) sliceLen(elemSize uint64) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n*elemSize > maxAlloc {
+		r.err = fmt.Errorf("%w: slice length %d too large", ErrCorrupt, n)
+		return 0
+	}
+	return int(n)
+}
+
+// Uint64s reads a length-prefixed slice of raw little-endian words.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]uint64, n)
+	var b [8]byte
+	for i := range s {
+		r.read(b[:])
+		if r.err != nil {
+			return nil
+		}
+		s[i] = binary.LittleEndian.Uint64(b[:])
+	}
+	return s
+}
+
+// Uint32s reads a length-prefixed slice of raw little-endian 32-bit words.
+func (r *Reader) Uint32s() []uint32 {
+	n := r.sliceLen(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]uint32, n)
+	var b [4]byte
+	for i := range s {
+		r.read(b[:])
+		if r.err != nil {
+			return nil
+		}
+		s[i] = binary.LittleEndian.Uint32(b[:])
+	}
+	return s
+}
+
+// BytesBuf reads a length-prefixed byte slice.
+func (r *Reader) BytesBuf() []byte {
+	n := r.sliceLen(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.BytesBuf())
+}
+
+// Fail records err (if the reader has not already failed) and returns it.
+func (r *Reader) Fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

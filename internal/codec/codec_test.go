@@ -1,0 +1,122 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint64(math.MaxUint64)
+	w.Uint32(12345)
+	w.Byte(7)
+	w.Uvarint(300)
+	w.Uint64s([]uint64{1, 2, 3})
+	w.Uint32s([]uint32{9, 8})
+	w.Bytes([]byte("hello"))
+	w.String("world")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	if got := r.Uint32(); got != 12345 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := r.Byte(); got != 7 {
+		t.Fatalf("Byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Uint64s(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Uint64s = %v", got)
+	}
+	if got := r.Uint32s(); len(got) != 2 || got[0] != 9 {
+		t.Fatalf("Uint32s = %v", got)
+	}
+	if got := r.BytesBuf(); string(got) != "hello" {
+		t.Fatalf("BytesBuf = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Fatalf("String = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, v := range vals {
+			w.Uvarint(v)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, v := range vals {
+			if r.Uvarint() != v {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint64(42)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:4] // cut mid-value
+	r := NewReader(bytes.NewReader(data))
+	r.Uint64()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("truncated read produced %v, want ErrCorrupt", r.Err())
+	}
+	// Error is sticky: further reads stay failed and return zero values.
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("read after error = %d, want 0", got)
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(1 << 60) // absurd element count
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := r.Uint64s(); got != nil || r.Err() == nil {
+		t.Fatal("oversized slice length was not rejected")
+	}
+}
+
+func TestWriterWritten(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint64(1)
+	w.Byte(2)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 9 {
+		t.Fatalf("Written = %d, want 9", w.Written())
+	}
+}

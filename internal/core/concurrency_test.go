@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders exercises the immutability claim: a built index
+// must serve arbitrary concurrent Select streams. Run with -race.
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	d := skewedDataset(rng, 3000)
+	for name, x := range allLayouts(t, d) {
+		x := x
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					local := rand.New(rand.NewSource(seed))
+					for i := 0; i < 200; i++ {
+						tr := d.Triples[local.Intn(len(d.Triples))]
+						shape := Shape(local.Intn(int(NumShapes)))
+						pat := WithWildcards(tr, shape)
+						found := false
+						it := x.Select(pat)
+						for {
+							m, ok := it.Next()
+							if !ok {
+								break
+							}
+							if m == tr {
+								found = true
+							}
+							if !pat.Matches(m) {
+								errs <- "non-matching triple from " + pat.Shape().String()
+								return
+							}
+						}
+						if !found {
+							errs <- "source triple missing from " + pat.Shape().String()
+							return
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}

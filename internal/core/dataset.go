@@ -1,0 +1,108 @@
+package core
+
+// Dataset is an integer triple collection in canonical sorted SPO order
+// with dense component ID spaces.
+type Dataset struct {
+	// Triples is sorted lexicographically and contains no duplicates.
+	Triples []Triple
+	// NS, NP, NO are the sizes of the subject, predicate and object ID
+	// spaces (at least max component + 1).
+	NS, NP, NO int
+}
+
+// NewDataset takes ownership of triples, sorts them in SPO order, removes
+// duplicates, and derives the ID space sizes.
+func NewDataset(triples []Triple) *Dataset {
+	d := &Dataset{Triples: triples}
+	for _, t := range triples {
+		if int(t.S) >= d.NS {
+			d.NS = int(t.S) + 1
+		}
+		if int(t.P) >= d.NP {
+			d.NP = int(t.P) + 1
+		}
+		if int(t.O) >= d.NO {
+			d.NO = int(t.O) + 1
+		}
+	}
+	SortPerm(d.Triples, PermSPO, d.NS, d.NP, d.NO)
+	d.Triples = dedupeSorted(d.Triples)
+	return d
+}
+
+// dedupeSorted removes adjacent duplicates in place.
+func dedupeSorted(ts []Triple) []Triple {
+	if len(ts) == 0 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[w-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+// Len returns the number of triples.
+func (d *Dataset) Len() int { return len(d.Triples) }
+
+// Stats summarizes a dataset as in Table 3 of the paper.
+type Stats struct {
+	Triples   int
+	DistinctS int
+	DistinctP int
+	DistinctO int
+	PairsSP   int // distinct (subject, predicate) pairs
+	PairsPO   int // distinct (predicate, object) pairs
+	PairsOS   int // distinct (object, subject) pairs
+}
+
+// ComputeStats counts distinct components and distinct pairs. It sorts
+// temporary copies of the triples, costing O(n) extra space.
+func (d *Dataset) ComputeStats() Stats {
+	st := Stats{Triples: len(d.Triples)}
+	if len(d.Triples) == 0 {
+		return st
+	}
+
+	// Distinct subjects and SP pairs straight off the canonical order.
+	var prev Triple
+	for i, t := range d.Triples {
+		if i == 0 || t.S != prev.S {
+			st.DistinctS++
+		}
+		if i == 0 || t.S != prev.S || t.P != prev.P {
+			st.PairsSP++
+		}
+		prev = t
+	}
+
+	tmp := make([]Triple, len(d.Triples))
+
+	copy(tmp, d.Triples)
+	SortPerm(tmp, PermPOS, d.NS, d.NP, d.NO)
+	for i, t := range tmp {
+		if i == 0 || t.P != prev.P {
+			st.DistinctP++
+		}
+		if i == 0 || t.P != prev.P || t.O != prev.O {
+			st.PairsPO++
+		}
+		prev = t
+	}
+
+	copy(tmp, d.Triples)
+	SortPerm(tmp, PermOSP, d.NS, d.NP, d.NO)
+	for i, t := range tmp {
+		if i == 0 || t.O != prev.O {
+			st.DistinctO++
+		}
+		if i == 0 || t.O != prev.O || t.S != prev.S {
+			st.PairsOS++
+		}
+		prev = t
+	}
+	return st
+}

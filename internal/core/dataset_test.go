@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDatasetSortsAndDedupes(t *testing.T) {
+	d := NewDataset([]Triple{
+		{2, 0, 1}, {0, 1, 2}, {0, 1, 2}, {1, 0, 0}, {0, 0, 5}, {2, 0, 1},
+	})
+	want := []Triple{{0, 0, 5}, {0, 1, 2}, {1, 0, 0}, {2, 0, 1}}
+	if len(d.Triples) != len(want) {
+		t.Fatalf("got %d triples, want %d", len(d.Triples), len(want))
+	}
+	for i := range want {
+		if d.Triples[i] != want[i] {
+			t.Fatalf("triple %d = %v, want %v", i, d.Triples[i], want[i])
+		}
+	}
+	if d.NS != 3 || d.NP != 2 || d.NO != 6 {
+		t.Fatalf("spaces = (%d, %d, %d), want (3, 2, 6)", d.NS, d.NP, d.NO)
+	}
+}
+
+func statsOracle(ts []Triple) Stats {
+	st := Stats{Triples: len(ts)}
+	s := map[ID]bool{}
+	p := map[ID]bool{}
+	o := map[ID]bool{}
+	sp := map[[2]ID]bool{}
+	po := map[[2]ID]bool{}
+	os := map[[2]ID]bool{}
+	for _, t := range ts {
+		s[t.S] = true
+		p[t.P] = true
+		o[t.O] = true
+		sp[[2]ID{t.S, t.P}] = true
+		po[[2]ID{t.P, t.O}] = true
+		os[[2]ID{t.O, t.S}] = true
+	}
+	st.DistinctS, st.DistinctP, st.DistinctO = len(s), len(p), len(o)
+	st.PairsSP, st.PairsPO, st.PairsOS = len(sp), len(po), len(os)
+	return st
+}
+
+func TestComputeStatsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	ts := make([]Triple, 5000)
+	for i := range ts {
+		ts[i] = Triple{ID(rng.Intn(200)), ID(rng.Intn(12)), ID(rng.Intn(300))}
+	}
+	d := NewDataset(ts)
+	got := d.ComputeStats()
+	want := statsOracle(d.Triples)
+	if got != want {
+		t.Fatalf("ComputeStats = %+v, want %+v", got, want)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	d := NewDataset(nil)
+	if got := d.ComputeStats(); got != (Stats{}) {
+		t.Fatalf("stats of empty dataset = %+v", got)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DynamicIndex implements the amortized update strategy sketched in
+// Section 3.1 of the paper: the static index is paired with a small
+// in-memory log of insertions and deletions; queries consult both and
+// merge, and when the log reaches a threshold it is merged into a freshly
+// rebuilt static index.
+type DynamicIndex struct {
+	layout    Layout
+	opts      []Option
+	threshold int
+
+	base    Index
+	added   []Triple // sorted, distinct, disjoint from base
+	deleted []Triple // sorted, distinct, all present in base
+}
+
+// DefaultMergeThreshold is the default log size triggering a merge.
+const DefaultMergeThreshold = 1 << 16
+
+// NewDynamic builds a dynamic index over an initial dataset. threshold
+// <= 0 selects DefaultMergeThreshold.
+func NewDynamic(d *Dataset, layout Layout, threshold int, opts ...Option) (*DynamicIndex, error) {
+	if threshold <= 0 {
+		threshold = DefaultMergeThreshold
+	}
+	base, err := Build(d, layout, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{layout: layout, opts: opts, threshold: threshold, base: base}, nil
+}
+
+// Layout returns the layout of the underlying static index.
+func (x *DynamicIndex) Layout() Layout { return x.layout }
+
+// NumTriples returns the logical triple count (base + inserted - deleted).
+func (x *DynamicIndex) NumTriples() int {
+	return x.base.NumTriples() + len(x.added) - len(x.deleted)
+}
+
+// LogSize returns the number of pending updates.
+func (x *DynamicIndex) LogSize() int { return len(x.added) + len(x.deleted) }
+
+// SizeBits returns the static index footprint plus the log.
+func (x *DynamicIndex) SizeBits() uint64 {
+	return x.base.SizeBits() + uint64(len(x.added)+len(x.deleted))*96
+}
+
+func searchTriple(ts []Triple, t Triple) (int, bool) {
+	i := sort.Search(len(ts), func(j int) bool { return !ts[j].Less(t) })
+	return i, i < len(ts) && ts[i] == t
+}
+
+func insertAt(ts []Triple, i int, t Triple) []Triple {
+	ts = append(ts, Triple{})
+	copy(ts[i+1:], ts[i:])
+	ts[i] = t
+	return ts
+}
+
+func removeAt(ts []Triple, i int) []Triple {
+	copy(ts[i:], ts[i+1:])
+	return ts[:len(ts)-1]
+}
+
+// Insert adds a triple. It returns true if the logical set changed, and
+// merges the log when it exceeds the threshold.
+func (x *DynamicIndex) Insert(t Triple) (bool, error) {
+	if i, ok := searchTriple(x.deleted, t); ok {
+		// Re-insertion of a base triple that was pending deletion.
+		x.deleted = removeAt(x.deleted, i)
+		return true, nil
+	}
+	if Lookup(x.base, t) {
+		return false, nil
+	}
+	i, ok := searchTriple(x.added, t)
+	if ok {
+		return false, nil
+	}
+	x.added = insertAt(x.added, i, t)
+	return true, x.maybeMerge()
+}
+
+// Delete removes a triple. It returns true if the logical set changed.
+func (x *DynamicIndex) Delete(t Triple) (bool, error) {
+	if i, ok := searchTriple(x.added, t); ok {
+		x.added = removeAt(x.added, i)
+		return true, nil
+	}
+	if !Lookup(x.base, t) {
+		return false, nil
+	}
+	i, ok := searchTriple(x.deleted, t)
+	if ok {
+		return false, nil
+	}
+	x.deleted = insertAt(x.deleted, i, t)
+	return true, x.maybeMerge()
+}
+
+func (x *DynamicIndex) maybeMerge() error {
+	if x.LogSize() < x.threshold {
+		return nil
+	}
+	return x.Merge()
+}
+
+// Merge folds the log into a rebuilt static index ("whenever the small
+// index reaches a predefined size, its content is merged with the one of
+// the main, static, index").
+func (x *DynamicIndex) Merge() error {
+	if x.LogSize() == 0 {
+		return nil
+	}
+	merged := make([]Triple, 0, x.NumTriples())
+	it := x.base.Select(Pattern{Wildcard, Wildcard, Wildcard})
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if _, del := searchTriple(x.deleted, t); !del {
+			merged = append(merged, t)
+		}
+	}
+	merged = append(merged, x.added...)
+	d := NewDataset(merged)
+	base, err := Build(d, x.layout, x.opts...)
+	if err != nil {
+		return fmt.Errorf("core: merge rebuild failed: %w", err)
+	}
+	x.base = base
+	x.added = nil
+	x.deleted = nil
+	return nil
+}
+
+// Select resolves a pattern against the static index and the log: base
+// matches not pending deletion, then log insertions matching the
+// pattern ("queries also need to involve both indexes and their results
+// have to be merged accordingly").
+func (x *DynamicIndex) Select(p Pattern) *Iterator {
+	baseIt := x.base.Select(p)
+	deleted := x.deleted
+	inBase := true
+	addPos := 0
+	added := x.added
+	return &Iterator{next: func() (Triple, bool) {
+		if inBase {
+			for {
+				t, ok := baseIt.Next()
+				if !ok {
+					inBase = false
+					break
+				}
+				if _, del := searchTriple(deleted, t); !del {
+					return t, true
+				}
+			}
+		}
+		for addPos < len(added) {
+			t := added[addPos]
+			addPos++
+			if p.Matches(t) {
+				return t, true
+			}
+		}
+		return Triple{}, false
+	}}
+}
+
+// Lookup reports whether the dynamic index contains t.
+func (x *DynamicIndex) Lookup(t Triple) bool {
+	_, ok := x.Select(PatternOf(t)).Next()
+	return ok
+}

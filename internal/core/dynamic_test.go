@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refDynamic is the oracle: a plain set.
+type refDynamic map[Triple]bool
+
+func (r refDynamic) selectPattern(p Pattern) []Triple {
+	var out []Triple
+	for t := range r {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestDynamicIndexRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	d := skewedDataset(rng, 1000)
+	x, err := NewDynamic(d, Layout2Tp, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refDynamic{}
+	for _, tr := range d.Triples {
+		ref[tr] = true
+	}
+
+	check := func(step int) {
+		t.Helper()
+		if x.NumTriples() != len(ref) {
+			t.Fatalf("step %d: NumTriples = %d, want %d", step, x.NumTriples(), len(ref))
+		}
+		// Compare a handful of patterns of every shape.
+		for trial := 0; trial < 5; trial++ {
+			var tr Triple
+			for cand := range ref {
+				tr = cand
+				break
+			}
+			for _, s := range AllShapes() {
+				pat := WithWildcards(tr, s)
+				got := x.Select(pat).Collect(-1)
+				want := ref.selectPattern(pat)
+				if !sameTripleSet(got, want) {
+					t.Fatalf("step %d: pattern %v: got %d, want %d", step, pat, len(got), len(want))
+				}
+			}
+		}
+	}
+
+	randTriple := func() Triple {
+		return Triple{
+			S: ID(rng.Intn(d.NS)), P: ID(rng.Intn(d.NP)), O: ID(rng.Intn(d.NO)),
+		}
+	}
+	for step := 0; step < 600; step++ {
+		tr := randTriple()
+		if rng.Intn(2) == 0 {
+			changed, err := x.Insert(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed == ref[tr] {
+				t.Fatalf("step %d: Insert(%v) changed=%v but ref contains=%v", step, tr, changed, ref[tr])
+			}
+			ref[tr] = true
+		} else {
+			changed, err := x.Delete(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed != ref[tr] {
+				t.Fatalf("step %d: Delete(%v) changed=%v but ref contains=%v", step, tr, changed, ref[tr])
+			}
+			delete(ref, tr)
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(600)
+
+	// Force a final merge and re-verify: the log must be empty and the
+	// results unchanged.
+	if err := x.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if x.LogSize() != 0 {
+		t.Fatalf("log not empty after merge: %d", x.LogSize())
+	}
+	check(601)
+}
+
+func TestDynamicIndexAutoMerge(t *testing.T) {
+	d := NewDataset([]Triple{{0, 0, 0}})
+	x, err := NewDynamic(d, Layout2Tp, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if _, err := x.Insert(Triple{S: ID(i % 7), P: ID(i % 3), O: ID(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if x.LogSize() >= 10 {
+			t.Fatalf("log size %d reached the threshold without merging", x.LogSize())
+		}
+	}
+	if x.NumTriples() != 51 {
+		t.Fatalf("NumTriples = %d, want 51", x.NumTriples())
+	}
+}
+
+func TestDynamicInsertDeleteIdempotence(t *testing.T) {
+	d := NewDataset([]Triple{{1, 1, 1}})
+	x, err := NewDynamic(d, Layout3T, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting an existing triple: no change.
+	if changed, _ := x.Insert(Triple{1, 1, 1}); changed {
+		t.Fatal("Insert of existing triple reported a change")
+	}
+	// Delete it, then delete again.
+	if changed, _ := x.Delete(Triple{1, 1, 1}); !changed {
+		t.Fatal("Delete of existing triple reported no change")
+	}
+	if changed, _ := x.Delete(Triple{1, 1, 1}); changed {
+		t.Fatal("second Delete reported a change")
+	}
+	if x.Lookup(Triple{1, 1, 1}) {
+		t.Fatal("deleted triple still visible")
+	}
+	// Re-insert resurrects it from the deletion log.
+	if changed, _ := x.Insert(Triple{1, 1, 1}); !changed {
+		t.Fatal("re-insert reported no change")
+	}
+	if !x.Lookup(Triple{1, 1, 1}) {
+		t.Fatal("re-inserted triple not visible")
+	}
+	if x.NumTriples() != 1 {
+		t.Fatalf("NumTriples = %d, want 1", x.NumTriples())
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/trie"
+)
+
+// Index2Tp is the predicate-based two-trie layout of Section 3.3: SPO and
+// POS. Five patterns resolve on SPO (including S?O via the enumerate
+// algorithm of Fig. 5), ?PO and ?P? on POS, and ??O with the inverted
+// algorithm (|P| finds on POS's second level).
+type Index2Tp struct {
+	spo, pos *trie.Trie
+}
+
+// Build2Tp constructs the 2Tp index.
+func Build2Tp(d *Dataset, opts ...Option) (*Index2Tp, error) {
+	o := buildOptions(opts)
+	scratch := make([]Triple, len(d.Triples))
+	spo, err := buildTrie(d, scratch, PermSPO, o.trieConfig(PermSPO))
+	if err != nil {
+		return nil, err
+	}
+	pos, err := buildTrie(d, scratch, PermPOS, o.trieConfig(PermPOS))
+	if err != nil {
+		return nil, err
+	}
+	return &Index2Tp{spo: spo, pos: pos}, nil
+}
+
+// Layout returns Layout2Tp.
+func (x *Index2Tp) Layout() Layout { return Layout2Tp }
+
+// NumTriples returns the number of indexed triples.
+func (x *Index2Tp) NumTriples() int { return x.spo.NumTriples() }
+
+// SizeBits returns the total storage footprint in bits.
+func (x *Index2Tp) SizeBits() uint64 { return x.spo.SizeBits() + x.pos.SizeBits() }
+
+// Trie exposes the materialized permutations.
+func (x *Index2Tp) Trie(p Perm) *trie.Trie {
+	switch p {
+	case PermSPO:
+		return x.spo
+	case PermPOS:
+		return x.pos
+	}
+	return nil
+}
+
+// Select resolves a pattern per the 2Tp dispatch of Section 3.3.
+func (x *Index2Tp) Select(p Pattern) *Iterator {
+	switch p.Shape() {
+	case ShapeSPO:
+		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+	case ShapeSPx:
+		return selectTwo(x.spo, PermSPO, p.S, p.P)
+	case ShapeSxx:
+		return selectOne(x.spo, PermSPO, p.S)
+	case ShapeSxO:
+		return enumerate(x.spo, p.S, p.O)
+	case ShapexPO:
+		return selectTwo(x.pos, PermPOS, p.P, p.O)
+	case ShapexPx:
+		return selectOne(x.pos, PermPOS, p.P)
+	case ShapexxO:
+		return invertedOnPOS(x.pos, p.O)
+	default:
+		return scanAll(x.spo, PermSPO)
+	}
+}
+
+// SelectObjectRange resolves ?P? with the object constrained to [lo, hi]
+// on the POS trie (the range-query experiment of Section 4.1).
+func (x *Index2Tp) SelectObjectRange(p ID, lo, hi ID) *Iterator {
+	return selectObjectRangeOnPOS(x.pos, p, lo, hi)
+}
+
+func (x *Index2Tp) encode(w *codec.Writer) {
+	x.spo.Encode(w)
+	x.pos.Encode(w)
+}
+
+func decode2Tp(r *codec.Reader) (*Index2Tp, error) {
+	x := &Index2Tp{}
+	var err error
+	if x.spo, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.pos, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Index2To is the object-based two-trie layout of Section 3.3: SPO and
+// OPS, plus the two-level PS structure mapping each predicate to its
+// subjects. ?PO and ??O resolve on OPS; ?P? uses the inverted algorithm
+// over PS and SPO.
+type Index2To struct {
+	spo, ops *trie.Trie
+	ps       *PS
+}
+
+// Build2To constructs the 2To index.
+func Build2To(d *Dataset, opts ...Option) (*Index2To, error) {
+	o := buildOptions(opts)
+	scratch := make([]Triple, len(d.Triples))
+	spo, err := buildTrie(d, scratch, PermSPO, o.trieConfig(PermSPO))
+	if err != nil {
+		return nil, err
+	}
+	ops, err := buildTrie(d, scratch, PermOPS, o.trieConfig(PermOPS))
+	if err != nil {
+		return nil, err
+	}
+	ps := buildPS(d, scratch)
+	return &Index2To{spo: spo, ops: ops, ps: ps}, nil
+}
+
+// Layout returns Layout2To.
+func (x *Index2To) Layout() Layout { return Layout2To }
+
+// NumTriples returns the number of indexed triples.
+func (x *Index2To) NumTriples() int { return x.spo.NumTriples() }
+
+// SizeBits returns the total storage footprint in bits.
+func (x *Index2To) SizeBits() uint64 {
+	return x.spo.SizeBits() + x.ops.SizeBits() + x.ps.SizeBits()
+}
+
+// Trie exposes the materialized permutations.
+func (x *Index2To) Trie(p Perm) *trie.Trie {
+	switch p {
+	case PermSPO:
+		return x.spo
+	case PermOPS:
+		return x.ops
+	}
+	return nil
+}
+
+// PSStructure exposes the predicate-to-subjects structure.
+func (x *Index2To) PSStructure() *PS { return x.ps }
+
+// Select resolves a pattern per the 2To dispatch of Section 3.3.
+func (x *Index2To) Select(p Pattern) *Iterator {
+	switch p.Shape() {
+	case ShapeSPO:
+		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+	case ShapeSPx:
+		return selectTwo(x.spo, PermSPO, p.S, p.P)
+	case ShapeSxx:
+		return selectOne(x.spo, PermSPO, p.S)
+	case ShapeSxO:
+		return enumerate(x.spo, p.S, p.O)
+	case ShapexPO:
+		return selectTwo(x.ops, PermOPS, p.O, p.P)
+	case ShapexPx:
+		return invertedOnPS(x.ps, x.spo, p.P)
+	case ShapexxO:
+		return selectOne(x.ops, PermOPS, p.O)
+	default:
+		return scanAll(x.spo, PermSPO)
+	}
+}
+
+func (x *Index2To) encode(w *codec.Writer) {
+	x.spo.Encode(w)
+	x.ops.Encode(w)
+	x.ps.encode(w)
+}
+
+func decode2To(r *codec.Reader) (*Index2To, error) {
+	x := &Index2To{}
+	var err error
+	if x.spo, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.ops, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.ps, err = decodePS(r); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

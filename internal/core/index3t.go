@@ -1,0 +1,141 @@
+package core
+
+import (
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/seq"
+	"rdfindexes/internal/trie"
+)
+
+// Index3T is the base permuted trie index of Section 3.1: the SPO, POS
+// and OSP permutations, symmetrically covering all selection patterns
+// with the select algorithm.
+type Index3T struct {
+	spo, pos, osp *trie.Trie
+}
+
+// Build3T constructs the 3T index.
+func Build3T(d *Dataset, opts ...Option) (*Index3T, error) {
+	o := buildOptions(opts)
+	scratch := make([]Triple, len(d.Triples))
+	spo, err := buildTrie(d, scratch, PermSPO, o.trieConfig(PermSPO))
+	if err != nil {
+		return nil, err
+	}
+	pos, err := buildTrie(d, scratch, PermPOS, o.trieConfig(PermPOS))
+	if err != nil {
+		return nil, err
+	}
+	osp, err := buildTrie(d, scratch, PermOSP, o.trieConfig(PermOSP))
+	if err != nil {
+		return nil, err
+	}
+	return &Index3T{spo: spo, pos: pos, osp: osp}, nil
+}
+
+// Layout returns Layout3T.
+func (x *Index3T) Layout() Layout { return Layout3T }
+
+// NumTriples returns the number of indexed triples.
+func (x *Index3T) NumTriples() int { return x.spo.NumTriples() }
+
+// SizeBits returns the total storage footprint in bits.
+func (x *Index3T) SizeBits() uint64 {
+	return x.spo.SizeBits() + x.pos.SizeBits() + x.osp.SizeBits()
+}
+
+// Trie exposes the materialized permutations.
+func (x *Index3T) Trie(p Perm) *trie.Trie {
+	switch p {
+	case PermSPO:
+		return x.spo
+	case PermPOS:
+		return x.pos
+	case PermOSP:
+		return x.osp
+	}
+	return nil
+}
+
+// Select resolves a pattern per the dispatch of Section 3.1: SP? and S??
+// on SPO; ?PO and ?P? on POS; S?O and ??O on OSP; SPO and ??? on SPO.
+func (x *Index3T) Select(p Pattern) *Iterator {
+	switch p.Shape() {
+	case ShapeSPO:
+		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+	case ShapeSPx:
+		return selectTwo(x.spo, PermSPO, p.S, p.P)
+	case ShapeSxx:
+		return selectOne(x.spo, PermSPO, p.S)
+	case ShapeSxO:
+		return selectTwo(x.osp, PermOSP, p.O, p.S)
+	case ShapexPO:
+		return selectTwo(x.pos, PermPOS, p.P, p.O)
+	case ShapexPx:
+		return selectOne(x.pos, PermPOS, p.P)
+	case ShapexxO:
+		return selectOne(x.osp, PermOSP, p.O)
+	default:
+		return scanAll(x.spo, PermSPO)
+	}
+}
+
+// SelectObjectRange resolves ?P? with the object constrained to the ID
+// interval [lo, hi] (Section 3.1, range queries), using the POS trie.
+func (x *Index3T) SelectObjectRange(p ID, lo, hi ID) *Iterator {
+	return selectObjectRangeOnPOS(x.pos, p, lo, hi)
+}
+
+func (x *Index3T) encode(w *codec.Writer) {
+	x.spo.Encode(w)
+	x.pos.Encode(w)
+	x.osp.Encode(w)
+}
+
+func decode3T(r *codec.Reader) (*Index3T, error) {
+	x := &Index3T{}
+	var err error
+	if x.spo, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.pos, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.osp, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// selectObjectRangeOnPOS scans the children of predicate p whose IDs fall
+// in [lo, hi], yielding all their subjects.
+func selectObjectRangeOnPOS(pos *trie.Trie, p ID, lo, hi ID) *Iterator {
+	b1, e1 := pos.RootRange(uint32(p))
+	j, val, ok := pos.Nodes(1).FindGEQ(b1, e1, uint64(lo))
+	if !ok || val > uint64(hi) {
+		return emptyIterator()
+	}
+	it1 := pos.Iter1From(b1, j, e1)
+	pos1 := j
+	var (
+		curO ID
+		it2  seq.Iterator
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return Triple{ID(v), p, curO}, true
+				}
+				it2 = nil
+			}
+			ov, ok := it1.Next()
+			if !ok || ov > uint64(hi) {
+				return Triple{}, false
+			}
+			curO = ID(ov)
+			b2, e2 := pos.ChildRange(pos1)
+			pos1++
+			it2 = pos.Iter2(b2, e2)
+		}
+	}}
+}

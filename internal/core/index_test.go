@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSelect is the brute-force oracle for pattern matching.
+func refSelect(ts []Triple, p Pattern) []Triple {
+	var out []Triple
+	for _, t := range ts {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}
+
+func sameTripleSet(a, b []Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Triple(nil), a...)
+	bs := append([]Triple(nil), b...)
+	sortTriples(as)
+	sortTriples(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// skewedDataset mimics the RDF statistics the paper's techniques exploit:
+// few, highly associative predicates; low subject out-degree; objects that
+// are mostly rare (large ID space) with a small popular head.
+func skewedDataset(rng *rand.Rand, n int) *Dataset {
+	numS := n/12 + 30
+	numP := 15
+	popularO := 40
+	longO := n/3 + 50
+	zipfP := rand.NewZipf(rng, 1.3, 2, uint64(numP-1))
+	ts := make([]Triple, 0, n)
+	for len(ts) < n {
+		s := ID(rng.Intn(numS))
+		p := ID(zipfP.Uint64())
+		var o ID
+		if rng.Intn(100) < 25 {
+			o = ID(rng.Intn(popularO))
+		} else {
+			o = ID(popularO + rng.Intn(longO))
+		}
+		ts = append(ts, Triple{s, p, o})
+	}
+	return NewDataset(ts)
+}
+
+func allLayouts(t *testing.T, d *Dataset) map[string]Index {
+	t.Helper()
+	out := map[string]Index{}
+	x3, err := Build3T(d)
+	if err != nil {
+		t.Fatalf("Build3T: %v", err)
+	}
+	out["3T"] = x3
+	cc, err := BuildCC(d)
+	if err != nil {
+		t.Fatalf("BuildCC: %v", err)
+	}
+	out["CC"] = cc
+	ccAll, err := BuildCC(d, WithCCAllPermutations())
+	if err != nil {
+		t.Fatalf("BuildCC(all): %v", err)
+	}
+	out["CC-all"] = ccAll
+	p2, err := Build2Tp(d)
+	if err != nil {
+		t.Fatalf("Build2Tp: %v", err)
+	}
+	out["2Tp"] = p2
+	o2, err := Build2To(d)
+	if err != nil {
+		t.Fatalf("Build2To: %v", err)
+	}
+	out["2To"] = o2
+	return out
+}
+
+func TestAllLayoutsAgainstOracleAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	d := skewedDataset(rng, 4000)
+	indexes := allLayouts(t, d)
+
+	// Pattern pool: shapes derived from existing triples plus absent ones.
+	var patterns []Pattern
+	for i := 0; i < 60; i++ {
+		tr := d.Triples[rng.Intn(len(d.Triples))]
+		for _, s := range AllShapes() {
+			patterns = append(patterns, WithWildcards(tr, s))
+		}
+	}
+	// Absent probes: components beyond the used spaces are not possible
+	// (dense spaces), so perturb components to likely-absent combos.
+	for i := 0; i < 40; i++ {
+		tr := d.Triples[rng.Intn(len(d.Triples))]
+		tr.O = ID(rng.Intn(d.NO))
+		tr.P = ID(rng.Intn(d.NP))
+		for _, s := range []Shape{ShapeSPO, ShapeSPx, ShapeSxO, ShapexPO} {
+			patterns = append(patterns, WithWildcards(tr, s))
+		}
+	}
+
+	for name, x := range indexes {
+		if x.NumTriples() != d.Len() {
+			t.Fatalf("%s: NumTriples = %d, want %d", name, x.NumTriples(), d.Len())
+		}
+		for _, p := range patterns {
+			want := refSelect(d.Triples, p)
+			got := x.Select(p).Collect(-1)
+			if !sameTripleSet(got, want) {
+				t.Fatalf("%s: pattern %v (%v): got %d matches, want %d",
+					name, p, p.Shape(), len(got), len(want))
+			}
+			// Every produced triple must satisfy the pattern.
+			for _, m := range got {
+				if !p.Matches(m) {
+					t.Fatalf("%s: pattern %v yielded non-matching %v", name, p, m)
+				}
+			}
+		}
+	}
+}
+
+func TestFullScanAllLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	d := skewedDataset(rng, 2000)
+	for name, x := range allLayouts(t, d) {
+		got := x.Select(NewPattern(-1, -1, -1)).Collect(-1)
+		if !sameTripleSet(got, d.Triples) {
+			t.Fatalf("%s: full scan returned %d triples, want %d", name, len(got), d.Len())
+		}
+	}
+}
+
+func TestLookupAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	d := skewedDataset(rng, 1500)
+	for name, x := range allLayouts(t, d) {
+		for i := 0; i < 100; i++ {
+			tr := d.Triples[rng.Intn(len(d.Triples))]
+			if !Lookup(x, tr) {
+				t.Fatalf("%s: Lookup lost triple %v", name, tr)
+			}
+		}
+		absent := Triple{ID(d.NS - 1), ID(d.NP - 1), ID(d.NO - 1)}
+		if refSelect(d.Triples, PatternOf(absent)) == nil && Lookup(x, absent) {
+			t.Fatalf("%s: Lookup found absent triple %v", name, absent)
+		}
+		p := NewPattern(-1, 0, -1)
+		if got, want := Count(x, p), len(refSelect(d.Triples, p)); got != want {
+			t.Fatalf("%s: Count(?0?) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestSpaceOrderingAcrossLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	d := skewedDataset(rng, 20000)
+	x3, _ := Build3T(d)
+	cc, _ := BuildCC(d)
+	p2, _ := Build2Tp(d)
+	o2, _ := Build2To(d)
+	// Paper Table 4: 3T > CC > 2To > 2Tp.
+	if !(x3.SizeBits() > cc.SizeBits()) {
+		t.Errorf("3T (%d bits) not larger than CC (%d bits)", x3.SizeBits(), cc.SizeBits())
+	}
+	if !(cc.SizeBits() > p2.SizeBits()) {
+		t.Errorf("CC (%d bits) not larger than 2Tp (%d bits)", cc.SizeBits(), p2.SizeBits())
+	}
+	if !(o2.SizeBits() > p2.SizeBits()) {
+		t.Errorf("2To (%d bits) not larger than 2Tp (%d bits)", o2.SizeBits(), p2.SizeBits())
+	}
+	if !(x3.SizeBits() > o2.SizeBits()) {
+		t.Errorf("3T (%d bits) not larger than 2To (%d bits)", x3.SizeBits(), o2.SizeBits())
+	}
+}
+
+func TestEmptyAndTinyDatasets(t *testing.T) {
+	for _, triples := range [][]Triple{
+		{},
+		{{0, 0, 0}},
+		{{0, 0, 0}, {0, 0, 1}, {1, 0, 0}},
+	} {
+		d := NewDataset(append([]Triple(nil), triples...))
+		for name, x := range allLayouts(t, d) {
+			for _, s := range AllShapes() {
+				var pat Pattern
+				if len(d.Triples) > 0 {
+					pat = WithWildcards(d.Triples[0], s)
+				} else {
+					pat = NewPattern(-1, -1, -1)
+				}
+				want := refSelect(d.Triples, pat)
+				got := x.Select(pat).Collect(-1)
+				if !sameTripleSet(got, want) {
+					t.Fatalf("%s (n=%d): pattern %v mismatch", name, len(triples), pat)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	d := skewedDataset(rng, 2000)
+	for name, x := range allLayouts(t, d) {
+		var buf bytes.Buffer
+		if err := WriteIndex(&buf, x); err != nil {
+			t.Fatalf("%s: WriteIndex: %v", name, err)
+		}
+		got, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadIndex: %v", name, err)
+		}
+		if got.Layout() != x.Layout() || got.NumTriples() != x.NumTriples() {
+			t.Fatalf("%s: decoded header mismatch", name)
+		}
+		for i := 0; i < 50; i++ {
+			tr := d.Triples[rng.Intn(len(d.Triples))]
+			for _, s := range AllShapes() {
+				pat := WithWildcards(tr, s)
+				if !sameTripleSet(got.Select(pat).Collect(-1), x.Select(pat).Collect(-1)) {
+					t.Fatalf("%s: decoded index disagrees on %v", name, pat)
+				}
+			}
+		}
+	}
+}
+
+func TestReadIndexRejectsJunk(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("ReadIndex accepted junk")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	d := NewDataset([]Triple{{0, 0, 0}, {1, 1, 1}})
+	for _, l := range []Layout{Layout3T, LayoutCC, Layout2Tp, Layout2To} {
+		x, err := Build(d, l)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", l, err)
+		}
+		if x.Layout() != l {
+			t.Fatalf("Build(%v) returned layout %v", l, x.Layout())
+		}
+	}
+	if _, err := Build(d, Layout(99)); err == nil {
+		t.Fatal("Build accepted unknown layout")
+	}
+}
+
+func TestLayoutParse(t *testing.T) {
+	for _, l := range []Layout{Layout3T, LayoutCC, Layout2Tp, Layout2To} {
+		got, err := ParseLayout(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLayout(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLayout("9T"); err == nil {
+		t.Error("ParseLayout accepted junk")
+	}
+}
+
+func TestIteratorCollectLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	d := skewedDataset(rng, 500)
+	x, _ := Build2Tp(d)
+	got := x.Select(NewPattern(-1, -1, -1)).Collect(10)
+	if len(got) != 10 {
+		t.Fatalf("Collect(10) returned %d triples", len(got))
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/seq"
+	"rdfindexes/internal/trie"
+)
+
+// IndexCC is the cross-compressed index of Section 3.2. Like 3T it keeps
+// the SPO, POS and OSP permutations, but the third level of POS stores,
+// instead of subject IDs, their positions within the enclosing set of
+// children of the object in the OSP trie (Fig. 3 and 4). By default only
+// POS is cross-compressed — the paper's choice, since mapping the other
+// two permutations yields only modest savings — but the ablation option
+// WithCCAllPermutations maps all three.
+type IndexCC struct {
+	spo, pos, osp *trie.Trie
+	all           bool // all three permutations cross-compressed
+}
+
+// BuildCC constructs the cross-compressed index.
+func BuildCC(d *Dataset, opts ...Option) (*IndexCC, error) {
+	o := buildOptions(opts)
+	x := &IndexCC{all: o.CCAllPermutations}
+	scratch := make([]Triple, len(d.Triples))
+
+	// The mapping of a trie's third level reads only the first two levels
+	// of the reference trie, which are never themselves mapped, so the
+	// build order below is safe: OSP's own mapping (via SPO) is applied
+	// last, by rebuilding it.
+	ospCfg := o.trieConfig(PermOSP)
+	if _, overridden := o.TrieConfigs[PermOSP]; !overridden {
+		// Fast unmap needs O(1) random access to OSP's second level
+		// (Section 3.2), so CC models it with Compact.
+		ospCfg.Nodes1 = seq.KindCompact
+	}
+	osp, err := buildTrie(d, scratch, PermOSP, ospCfg)
+	if err != nil {
+		return nil, err
+	}
+	x.osp = osp
+
+	pos, err := buildMappedTrie(d, scratch, PermPOS, o.trieConfig(PermPOS), x.mapPOS)
+	if err != nil {
+		return nil, err
+	}
+	x.pos = pos
+
+	if !x.all {
+		spo, err := buildTrie(d, scratch, PermSPO, o.trieConfig(PermSPO))
+		if err != nil {
+			return nil, err
+		}
+		x.spo = spo
+		return x, nil
+	}
+
+	// Ablation: map SPO's objects via POS and OSP's predicates via SPO.
+	spo, err := buildMappedTrie(d, scratch, PermSPO, o.trieConfig(PermSPO), x.mapSPO)
+	if err != nil {
+		return nil, err
+	}
+	x.spo = spo
+	ospMapped, err := buildMappedTrie(d, scratch, PermOSP, ospCfg, x.mapOSP)
+	if err != nil {
+		return nil, err
+	}
+	x.osp = ospMapped
+	return x, nil
+}
+
+// buildMappedTrie builds the permutation's trie with the third component
+// rewritten by mapChild(secondComponent, thirdComponent).
+func buildMappedTrie(d *Dataset, scratch []Triple, p Perm, cfg trie.Config,
+	mapChild func(ID, ID) (uint64, bool)) (*trie.Trie, error) {
+	copy(scratch, d.Triples)
+	SortPerm(scratch, p, d.NS, d.NP, d.NO)
+	numRoots := p.RootSpace(d.NS, d.NP, d.NO)
+	return trie.Build(len(scratch), numRoots, func(i int) (uint32, uint32, uint32) {
+		a, b, c := p.Apply(scratch[i])
+		m, ok := mapChild(b, c)
+		if !ok {
+			// Impossible by the subset property of Section 3.2.
+			panic("core: cross-compression mapping failed")
+		}
+		return uint32(a), uint32(b), uint32(m)
+	}, cfg)
+}
+
+// mapPOS rewrites subject s as its position among the children of object
+// o in the OSP trie (the map function of Fig. 4 with i = OSP).
+func (x *IndexCC) mapPOS(o, s ID) (uint64, bool) {
+	b, e := x.osp.RootRange(uint32(o))
+	j := x.osp.FindChild1(b, e, uint32(s))
+	if j < 0 {
+		return 0, false
+	}
+	return uint64(j - b), true
+}
+
+// unmapPOS recovers the subject from its mapped position (Fig. 4).
+func (x *IndexCC) unmapPOS(o ID, v uint64) ID {
+	b, _ := x.osp.RootRange(uint32(o))
+	return ID(x.osp.Node1At(b, b+int(v)))
+}
+
+// mapSPO rewrites object o as its position among the children of
+// predicate p in the POS trie.
+func (x *IndexCC) mapSPO(p, o ID) (uint64, bool) {
+	b, e := x.pos.RootRange(uint32(p))
+	j := x.pos.FindChild1(b, e, uint32(o))
+	if j < 0 {
+		return 0, false
+	}
+	return uint64(j - b), true
+}
+
+func (x *IndexCC) unmapSPO(p ID, v uint64) ID {
+	b, _ := x.pos.RootRange(uint32(p))
+	return ID(x.pos.Node1At(b, b+int(v)))
+}
+
+// mapOSP rewrites predicate p as its position among the children of
+// subject s in the SPO trie.
+func (x *IndexCC) mapOSP(s, p ID) (uint64, bool) {
+	b, e := x.spo.RootRange(uint32(s))
+	j := x.spo.FindChild1(b, e, uint32(p))
+	if j < 0 {
+		return 0, false
+	}
+	return uint64(j - b), true
+}
+
+func (x *IndexCC) unmapOSP(s ID, v uint64) ID {
+	b, _ := x.spo.RootRange(uint32(s))
+	return ID(x.spo.Node1At(b, b+int(v)))
+}
+
+// Layout returns LayoutCC.
+func (x *IndexCC) Layout() Layout { return LayoutCC }
+
+// NumTriples returns the number of indexed triples.
+func (x *IndexCC) NumTriples() int { return x.spo.NumTriples() }
+
+// SizeBits returns the total storage footprint in bits.
+func (x *IndexCC) SizeBits() uint64 {
+	return x.spo.SizeBits() + x.pos.SizeBits() + x.osp.SizeBits()
+}
+
+// Trie exposes the materialized permutations. Note that mapped third
+// levels store positions, not IDs.
+func (x *IndexCC) Trie(p Perm) *trie.Trie {
+	switch p {
+	case PermSPO:
+		return x.spo
+	case PermPOS:
+		return x.pos
+	case PermOSP:
+		return x.osp
+	}
+	return nil
+}
+
+// Select resolves a pattern with the same dispatch as 3T, applying unmap
+// to the third component of every match produced by a mapped trie.
+func (x *IndexCC) Select(p Pattern) *Iterator {
+	switch p.Shape() {
+	case ShapeSPO:
+		if x.all {
+			return lookupMapped(x.spo, PermSPO, Triple{p.S, p.P, p.O}, x.mapSPO)
+		}
+		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+	case ShapeSPx:
+		if x.all {
+			return selectTwoMapped(x.spo, PermSPO, p.S, p.P, x.unmapSPO)
+		}
+		return selectTwo(x.spo, PermSPO, p.S, p.P)
+	case ShapeSxx:
+		if x.all {
+			return selectOneMapped(x.spo, PermSPO, p.S, x.unmapSPO)
+		}
+		return selectOne(x.spo, PermSPO, p.S)
+	case ShapeSxO:
+		if x.all {
+			return selectTwoMapped(x.osp, PermOSP, p.O, p.S, x.unmapOSP)
+		}
+		return selectTwo(x.osp, PermOSP, p.O, p.S)
+	case ShapexPO:
+		return selectTwoMapped(x.pos, PermPOS, p.P, p.O, x.unmapPOS)
+	case ShapexPx:
+		return selectOneMapped(x.pos, PermPOS, p.P, x.unmapPOS)
+	case ShapexxO:
+		if x.all {
+			return selectOneMapped(x.osp, PermOSP, p.O, x.unmapOSP)
+		}
+		return selectOne(x.osp, PermOSP, p.O)
+	default:
+		if x.all {
+			return scanAllMapped(x.spo, PermSPO, x.unmapSPO)
+		}
+		return scanAll(x.spo, PermSPO)
+	}
+}
+
+// SelectObjectRange resolves ?P? with the object constrained to [lo, hi],
+// unmapping each subject.
+func (x *IndexCC) SelectObjectRange(p ID, lo, hi ID) *Iterator {
+	inner := selectObjectRangeOnPOS(x.pos, p, lo, hi)
+	return &Iterator{next: func() (Triple, bool) {
+		t, ok := inner.Next()
+		if !ok {
+			return Triple{}, false
+		}
+		t.S = x.unmapPOS(t.O, uint64(t.S))
+		return t, true
+	}}
+}
+
+func (x *IndexCC) encode(w *codec.Writer) {
+	flag := byte(0)
+	if x.all {
+		flag = 1
+	}
+	w.Byte(flag)
+	x.spo.Encode(w)
+	x.pos.Encode(w)
+	x.osp.Encode(w)
+}
+
+func decodeCC(r *codec.Reader) (*IndexCC, error) {
+	x := &IndexCC{all: r.Byte() == 1}
+	var err error
+	if x.spo, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.pos, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.osp, err = trie.Decode(r); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// lookupMapped is lookupSPO on a trie with a mapped third level: the
+// target child is first rewritten with the map function of Fig. 4.
+func lookupMapped(t *trie.Trie, perm Perm, tr Triple,
+	mapChild func(ID, ID) (uint64, bool)) *Iterator {
+	a, b, c := perm.Apply(tr)
+	b1, e1 := t.RootRange(uint32(a))
+	j := t.FindChild1(b1, e1, uint32(b))
+	if j < 0 {
+		return emptyIterator()
+	}
+	m, ok := mapChild(b, c)
+	if !ok {
+		return emptyIterator()
+	}
+	b2, e2 := t.ChildRange(j)
+	if t.FindChild2(b2, e2, uint32(m)) < 0 {
+		return emptyIterator()
+	}
+	return singleIterator(tr)
+}
+
+// selectTwoMapped is selectTwo with unmap applied to each completion.
+func selectTwoMapped(t *trie.Trie, perm Perm, a, b ID,
+	unmap func(ID, uint64) ID) *Iterator {
+	b1, e1 := t.RootRange(uint32(a))
+	j := t.FindChild1(b1, e1, uint32(b))
+	if j < 0 {
+		return emptyIterator()
+	}
+	b2, e2 := t.ChildRange(j)
+	it := t.Iter2(b2, e2)
+	return &Iterator{next: func() (Triple, bool) {
+		v, ok := it.Next()
+		if !ok {
+			return Triple{}, false
+		}
+		return perm.Restore(a, b, unmap(b, v)), true
+	}}
+}
+
+// selectOneMapped is selectOne with unmap applied to each completion.
+func selectOneMapped(t *trie.Trie, perm Perm, a ID,
+	unmap func(ID, uint64) ID) *Iterator {
+	b1, e1 := t.RootRange(uint32(a))
+	if b1 >= e1 {
+		return emptyIterator()
+	}
+	it1 := t.Iter1(b1, e1)
+	ptrIt := t.Ptr1Iter(b1, e1+1)
+	first, _ := ptrIt.Next()
+	prev := int(first)
+	var (
+		curB ID
+		it2  seq.Iterator
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return perm.Restore(a, curB, unmap(curB, v)), true
+				}
+				it2 = nil
+			}
+			bv, ok := it1.Next()
+			if !ok {
+				return Triple{}, false
+			}
+			curB = ID(bv)
+			endv, _ := ptrIt.Next()
+			b2, e2 := prev, int(endv)
+			prev = e2
+			it2 = t.Iter2(b2, e2)
+		}
+	}}
+}
+
+// scanAllMapped is scanAll with unmap applied to each completion.
+func scanAllMapped(t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
+	var (
+		root = -1
+		pos1 = 0
+		curB ID
+		it1  seq.Iterator
+		it2  seq.Iterator
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return perm.Restore(ID(root), curB, unmap(curB, v)), true
+				}
+				it2 = nil
+			}
+			if it1 != nil {
+				if bv, ok := it1.Next(); ok {
+					curB = ID(bv)
+					b2, e2 := t.ChildRange(pos1)
+					pos1++
+					it2 = t.Iter2(b2, e2)
+					continue
+				}
+				it1 = nil
+			}
+			for {
+				root++
+				if root >= t.NumRoots() {
+					return Triple{}, false
+				}
+				b1, e1 := t.RootRange(uint32(root))
+				if b1 < e1 {
+					pos1 = b1
+					it1 = t.Iter1(b1, e1)
+					break
+				}
+			}
+		}
+	}}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rdfindexes/internal/codec"
+)
+
+// indexMagic identifies serialized index files; the trailing digit is the
+// format version.
+const indexMagic = "RDFIDX1"
+
+// WriteIndex serializes any index layout to w with a versioned header.
+func WriteIndex(w io.Writer, x Index) error {
+	cw := codec.NewWriter(w)
+	cw.String(indexMagic)
+	cw.Byte(byte(x.Layout()))
+	x.encode(cw)
+	return cw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteIndex, dispatching on
+// the stored layout.
+func ReadIndex(r io.Reader) (Index, error) {
+	cr := codec.NewReader(r)
+	magic := cr.String()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", codec.ErrCorrupt, magic)
+	}
+	layout := Layout(cr.Byte())
+	var (
+		x   Index
+		err error
+	)
+	switch layout {
+	case Layout3T:
+		x, err = decode3T(cr)
+	case LayoutCC:
+		x, err = decodeCC(cr)
+	case Layout2Tp:
+		x, err = decode2Tp(cr)
+	case Layout2To:
+		x, err = decode2To(cr)
+	default:
+		return nil, fmt.Errorf("%w: unknown layout %d", codec.ErrCorrupt, layout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// datasetMagic identifies serialized dataset files.
+const datasetMagic = "RDFDAT1"
+
+// WriteDataset serializes a dataset to w.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	cw := codec.NewWriter(w)
+	cw.String(datasetMagic)
+	cw.Uvarint(uint64(d.NS))
+	cw.Uvarint(uint64(d.NP))
+	cw.Uvarint(uint64(d.NO))
+	cw.Uvarint(uint64(len(d.Triples)))
+	// Delta-encode the sorted triples for a compact on-disk form.
+	var prev Triple
+	for _, t := range d.Triples {
+		if t.S != prev.S {
+			cw.Uvarint(uint64(t.S-prev.S)<<1 | 1)
+			cw.Uvarint(uint64(t.P))
+		} else if t.P != prev.P {
+			cw.Uvarint(0 << 1)
+			cw.Uvarint(uint64(t.P - prev.P))
+		} else {
+			cw.Uvarint(0)
+			cw.Uvarint(0)
+		}
+		cw.Uvarint(uint64(t.O))
+		prev = t
+	}
+	return cw.Flush()
+}
+
+// ReadDataset deserializes a dataset written by WriteDataset.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	cr := codec.NewReader(r)
+	if magic := cr.String(); magic != datasetMagic {
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: bad dataset magic", codec.ErrCorrupt)
+	}
+	d := &Dataset{}
+	d.NS = int(cr.Uvarint())
+	d.NP = int(cr.Uvarint())
+	d.NO = int(cr.Uvarint())
+	n := int(cr.Uvarint())
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	d.Triples = make([]Triple, 0, n)
+	var prev Triple
+	for i := 0; i < n; i++ {
+		sTag := cr.Uvarint()
+		p := cr.Uvarint()
+		o := cr.Uvarint()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		t := prev
+		if sTag&1 == 1 {
+			t.S = prev.S + ID(sTag>>1)
+			t.P = ID(p)
+		} else {
+			t.P = prev.P + ID(p)
+		}
+		t.O = ID(o)
+		d.Triples = append(d.Triples, t)
+		prev = t
+	}
+	return d, nil
+}
+
+// Build constructs an index of the requested layout.
+func Build(d *Dataset, layout Layout, opts ...Option) (Index, error) {
+	switch layout {
+	case Layout3T:
+		return Build3T(d, opts...)
+	case LayoutCC:
+		return BuildCC(d, opts...)
+	case Layout2Tp:
+		return Build2Tp(d, opts...)
+	case Layout2To:
+		return Build2To(d, opts...)
+	}
+	return nil, fmt.Errorf("core: unknown layout %d", layout)
+}

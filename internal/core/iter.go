@@ -1,0 +1,309 @@
+package core
+
+import (
+	"rdfindexes/internal/seq"
+	"rdfindexes/internal/trie"
+)
+
+// Iterator yields the triples matching a selection pattern, in the order
+// of the trie that resolves it, with components restored to canonical
+// S-P-O form.
+type Iterator struct {
+	next func() (Triple, bool)
+}
+
+// NewIterator wraps a generator function into an Iterator; used by the
+// baseline index implementations outside this package.
+func NewIterator(next func() (Triple, bool)) *Iterator { return &Iterator{next: next} }
+
+// EmptyIterator returns an iterator with no results.
+func EmptyIterator() *Iterator { return emptyIterator() }
+
+// SingleIterator returns an iterator yielding exactly t.
+func SingleIterator(t Triple) *Iterator { return singleIterator(t) }
+
+// Next returns the next matching triple, or ok=false when exhausted.
+func (it *Iterator) Next() (Triple, bool) { return it.next() }
+
+// Count drains the iterator and returns the number of triples.
+func (it *Iterator) Count() int {
+	n := 0
+	for {
+		if _, ok := it.next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Collect drains the iterator into a slice, stopping after limit triples
+// if limit >= 0.
+func (it *Iterator) Collect(limit int) []Triple {
+	var out []Triple
+	for limit < 0 || len(out) < limit {
+		t, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func emptyIterator() *Iterator {
+	return &Iterator{next: func() (Triple, bool) { return Triple{}, false }}
+}
+
+func singleIterator(t Triple) *Iterator {
+	done := false
+	return &Iterator{next: func() (Triple, bool) {
+		if done {
+			return Triple{}, false
+		}
+		done = true
+		return t, true
+	}}
+}
+
+// lookupSPO resolves the fully-specified pattern on any trie: two find
+// operations (Section 3.1).
+func lookupSPO(t *trie.Trie, perm Perm, tr Triple) *Iterator {
+	a, b, c := perm.Apply(tr)
+	b1, e1 := t.RootRange(uint32(a))
+	j := t.FindChild1(b1, e1, uint32(b))
+	if j < 0 {
+		return emptyIterator()
+	}
+	b2, e2 := t.ChildRange(j)
+	if t.FindChild2(b2, e2, uint32(c)) < 0 {
+		return emptyIterator()
+	}
+	return singleIterator(tr)
+}
+
+// selectTwo implements the select algorithm of Fig. 2 with the first two
+// components fixed: one find on the second level, then a scan of the
+// completions on the third.
+func selectTwo(t *trie.Trie, perm Perm, a, b ID) *Iterator {
+	b1, e1 := t.RootRange(uint32(a))
+	j := t.FindChild1(b1, e1, uint32(b))
+	if j < 0 {
+		return emptyIterator()
+	}
+	b2, e2 := t.ChildRange(j)
+	it := t.Iter2(b2, e2)
+	return &Iterator{next: func() (Triple, bool) {
+		v, ok := it.Next()
+		if !ok {
+			return Triple{}, false
+		}
+		return perm.Restore(a, b, ID(v)), true
+	}}
+}
+
+// selectOne implements the select algorithm of Fig. 2 with only the first
+// component fixed: scan the children and their completions. Sibling
+// ranges are delimited by a sequential pointer iterator.
+func selectOne(t *trie.Trie, perm Perm, a ID) *Iterator {
+	b1, e1 := t.RootRange(uint32(a))
+	if b1 >= e1 {
+		return emptyIterator()
+	}
+	it1 := t.Iter1(b1, e1)
+	ptrIt := t.Ptr1Iter(b1, e1+1)
+	first, _ := ptrIt.Next()
+	prev := int(first)
+	var (
+		curB ID
+		it2  seq.Iterator
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return perm.Restore(a, curB, ID(v)), true
+				}
+				it2 = nil
+			}
+			bv, ok := it1.Next()
+			if !ok {
+				return Triple{}, false
+			}
+			curB = ID(bv)
+			endv, _ := ptrIt.Next()
+			b2, e2 := prev, int(endv)
+			prev = e2
+			it2 = t.Iter2(b2, e2)
+		}
+	}}
+}
+
+// scanAll enumerates the whole trie (the ??? pattern).
+func scanAll(t *trie.Trie, perm Perm) *Iterator {
+	var (
+		root   = -1
+		pos1   = 0
+		prev   = 0
+		curB   ID
+		it1    seq.Iterator
+		ptrIt  seq.Iterator
+		it2    seq.Iterator
+		b1, e1 int
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return perm.Restore(ID(root), curB, ID(v)), true
+				}
+				it2 = nil
+			}
+			if it1 != nil && pos1 < e1 {
+				bv, _ := it1.Next()
+				curB = ID(bv)
+				endv, _ := ptrIt.Next()
+				b2, e2 := prev, int(endv)
+				prev = e2
+				pos1++
+				it2 = t.Iter2(b2, e2)
+				continue
+			}
+			it1 = nil
+			// advance to the next non-empty root
+			for {
+				root++
+				if root >= t.NumRoots() {
+					return Triple{}, false
+				}
+				b1, e1 = t.RootRange(uint32(root))
+				if b1 < e1 {
+					break
+				}
+			}
+			pos1 = b1
+			it1 = t.Iter1(b1, e1)
+			ptrIt = t.Ptr1Iter(b1, e1+1)
+			first, _ := ptrIt.Next()
+			prev = int(first)
+		}
+	}}
+}
+
+// enumerate implements the algorithm of Fig. 5, resolving S?O directly on
+// the SPO permutation: for each predicate child of s, one find among its
+// objects. The subject's few children are walked with sequential node and
+// pointer iterators, which is where the algorithm's advantage over
+// percolating the OSP trie comes from (Section 3.3).
+func enumerate(spo *trie.Trie, s, o ID) *Iterator {
+	b1, e1 := spo.RootRange(uint32(s))
+	if b1 >= e1 {
+		return emptyIterator()
+	}
+	ptrIt := spo.Ptr1Iter(b1, e1+1)
+	first, _ := ptrIt.Next()
+	prev := int(first)
+	pos1 := b1
+	return &Iterator{next: func() (Triple, bool) {
+		for pos1 < e1 {
+			endv, _ := ptrIt.Next()
+			jb, je := prev, int(endv)
+			prev = je
+			j := pos1
+			pos1++
+			if spo.FindChild2(jb, je, uint32(o)) >= 0 {
+				// Fetch the predicate only for matches (the pseudocode of
+				// Fig. 5 reads levels[1].nodes[i] per iteration; deferring
+				// it to hits avoids decoding the node sequence at all for
+				// the misses, which dominate).
+				return Triple{s, ID(spo.Node1At(b1, j)), o}, true
+			}
+		}
+		return Triple{}, false
+	}}
+}
+
+// invertedOnPOS resolves ??O on the POS permutation (the 2Tp fallback of
+// Section 3.3): |P| find operations locate o among each predicate's
+// children.
+func invertedOnPOS(pos *trie.Trie, o ID) *Iterator {
+	p := -1
+	var (
+		it2  seq.Iterator
+		curP ID
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return Triple{ID(v), curP, o}, true
+				}
+				it2 = nil
+			}
+			p++
+			if p >= pos.NumRoots() {
+				return Triple{}, false
+			}
+			b1, e1 := pos.RootRange(uint32(p))
+			j := pos.FindChild1(b1, e1, uint32(o))
+			if j < 0 {
+				continue
+			}
+			curP = ID(p)
+			b2, e2 := pos.ChildRange(j)
+			it2 = pos.Iter2(b2, e2)
+		}
+	}}
+}
+
+// invertedOnPS resolves ?P? for 2To (Section 3.3): walk the PS structure's
+// subject list of p and pattern match (s, p, ?) on SPO for each subject.
+func invertedOnPS(ps *PS, spo *trie.Trie, p ID) *Iterator {
+	b, e := ps.Range(p)
+	if b >= e {
+		return emptyIterator()
+	}
+	subjects := ps.Iter(b, e)
+	var (
+		curS ID
+		it2  seq.Iterator
+	)
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			if it2 != nil {
+				if v, ok := it2.Next(); ok {
+					return Triple{curS, p, ID(v)}, true
+				}
+				it2 = nil
+			}
+			sv, ok := subjects.Next()
+			if !ok {
+				return Triple{}, false
+			}
+			// (s, p, ?) on SPO: every subject in the PS list has at least
+			// one triple with predicate p, so the find always succeeds.
+			b1, e1 := spo.RootRange(uint32(sv))
+			j := spo.FindChild1(b1, e1, uint32(p))
+			if j < 0 {
+				continue
+			}
+			curS = ID(sv)
+			b2, e2 := spo.ChildRange(j)
+			it2 = spo.Iter2(b2, e2)
+		}
+	}}
+}
+
+// Filter yields only the triples of inner satisfying keep.
+func Filter(inner *Iterator, keep func(Triple) bool) *Iterator {
+	return &Iterator{next: func() (Triple, bool) {
+		for {
+			t, ok := inner.next()
+			if !ok {
+				return Triple{}, false
+			}
+			if keep(t) {
+				return t, true
+			}
+		}
+	}}
+}

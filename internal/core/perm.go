@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Perm is a permutation of the S-P-O components defining a trie's
+// component order.
+type Perm uint8
+
+// The six permutations; the index layouts materialize subsets of them.
+const (
+	PermSPO Perm = iota
+	PermSOP
+	PermPSO
+	PermPOS
+	PermOSP
+	PermOPS
+	NumPerms = 6
+)
+
+var permNames = [NumPerms]string{"SPO", "SOP", "PSO", "POS", "OSP", "OPS"}
+
+// String returns the permutation name, e.g. "POS".
+func (p Perm) String() string {
+	if int(p) < len(permNames) {
+		return permNames[p]
+	}
+	return fmt.Sprintf("Perm(%d)", uint8(p))
+}
+
+// Apply returns t's components in the permutation's order.
+func (p Perm) Apply(t Triple) (a, b, c ID) {
+	switch p {
+	case PermSPO:
+		return t.S, t.P, t.O
+	case PermSOP:
+		return t.S, t.O, t.P
+	case PermPSO:
+		return t.P, t.S, t.O
+	case PermPOS:
+		return t.P, t.O, t.S
+	case PermOSP:
+		return t.O, t.S, t.P
+	case PermOPS:
+		return t.O, t.P, t.S
+	}
+	panic(fmt.Sprintf("core: invalid permutation %d", p))
+}
+
+// Restore rebuilds a canonical triple from components in the
+// permutation's order.
+func (p Perm) Restore(a, b, c ID) Triple {
+	switch p {
+	case PermSPO:
+		return Triple{a, b, c}
+	case PermSOP:
+		return Triple{a, c, b}
+	case PermPSO:
+		return Triple{b, a, c}
+	case PermPOS:
+		return Triple{c, a, b}
+	case PermOSP:
+		return Triple{b, c, a}
+	case PermOPS:
+		return Triple{c, b, a}
+	}
+	panic(fmt.Sprintf("core: invalid permutation %d", p))
+}
+
+// RootSpace returns the ID-space size of the permutation's first
+// component given the dataset's space sizes.
+func (p Perm) RootSpace(ns, np, no int) int {
+	switch p {
+	case PermSPO, PermSOP:
+		return ns
+	case PermPSO, PermPOS:
+		return np
+	default:
+		return no
+	}
+}
+
+// SortPerm sorts triples in the lexicographic order of the permutation.
+// When the three component ID spaces fit in a 64-bit packed key a
+// byte-wise LSD radix sort is used; otherwise it falls back to a
+// comparison sort.
+func SortPerm(ts []Triple, p Perm, ns, np, no int) {
+	ba := bits.Len(uint(max(ns-1, 1)))
+	bb := bits.Len(uint(max(np-1, 1)))
+	bc := bits.Len(uint(max(no-1, 1)))
+	// widths in permuted order
+	var wa, wb, wc int
+	switch p {
+	case PermSPO:
+		wa, wb, wc = ba, bb, bc
+	case PermSOP:
+		wa, wb, wc = ba, bc, bb
+	case PermPSO:
+		wa, wb, wc = bb, ba, bc
+	case PermPOS:
+		wa, wb, wc = bb, bc, ba
+	case PermOSP:
+		wa, wb, wc = bc, ba, bb
+	case PermOPS:
+		wa, wb, wc = bc, bb, ba
+	}
+	total := wa + wb + wc
+	if total <= 64 {
+		radixSortPerm(ts, p, uint(wb), uint(wc), total)
+		return
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		ai, bi, ci := p.Apply(ts[i])
+		aj, bj, cj := p.Apply(ts[j])
+		if ai != aj {
+			return ai < aj
+		}
+		if bi != bj {
+			return bi < bj
+		}
+		return ci < cj
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// radixSortPerm packs each permuted triple into a uint64 key and performs
+// an LSD radix sort over the significant bytes.
+func radixSortPerm(ts []Triple, p Perm, wb, wc uint, totalBits int) {
+	n := len(ts)
+	keys := make([]uint64, n)
+	for i, t := range ts {
+		a, b, c := p.Apply(t)
+		keys[i] = uint64(a)<<(wb+wc) | uint64(b)<<wc | uint64(c)
+	}
+	tmp := make([]uint64, n)
+	passes := (totalBits + 7) / 8
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(8 * pass)
+		var count [257]int
+		for _, k := range keys {
+			count[int(k>>shift&0xff)+1]++
+		}
+		if count[1] == n {
+			continue // every key has a zero byte here: already in order
+		}
+		for b := 1; b < 257; b++ {
+			count[b] += count[b-1]
+		}
+		for _, k := range keys {
+			b := byte(k >> shift)
+			tmp[count[b]] = k
+			count[b]++
+		}
+		keys, tmp = tmp, keys
+	}
+	mask := uint64(1)<<wc - 1
+	maskB := uint64(1)<<wb - 1
+	for i, k := range keys {
+		a := ID(k >> (wb + wc))
+		b := ID(k >> wc & maskB)
+		c := ID(k & mask)
+		ts[i] = p.Restore(a, b, c)
+	}
+}

@@ -1,0 +1,226 @@
+// Package dict implements a front-coded compressed string dictionary
+// mapping sorted strings to dense integer IDs and back. The paper treats
+// the string dictionary as a separate problem (Section 1) and excludes it
+// from all measurements; this implementation exists so the end-to-end
+// tools and examples can ingest real N-Triples data.
+//
+// Layout: strings are sorted and grouped into buckets of fixed size; the
+// first string of each bucket is stored verbatim and the rest as (shared
+// prefix length, suffix) pairs. Lookup binary searches the bucket headers
+// and scans one bucket.
+package dict
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/ef"
+)
+
+// DefaultBucketSize balances space (larger buckets share more prefixes)
+// against lookup latency (a lookup scans one bucket).
+const DefaultBucketSize = 16
+
+// Dict is an immutable front-coded dictionary. IDs are the ranks of the
+// strings in sorted order, starting at 0.
+type Dict struct {
+	n          int
+	bucketSize int
+	data       []byte
+	offsets    *ef.Sequence // byte offset of each bucket in data
+}
+
+// New builds a dictionary over strs, which must be sorted and distinct.
+func New(strs []string, bucketSize int) (*Dict, error) {
+	if bucketSize <= 0 {
+		bucketSize = DefaultBucketSize
+	}
+	d := &Dict{n: len(strs), bucketSize: bucketSize}
+	var offsets []uint64
+	for i, s := range strs {
+		if i > 0 && strs[i-1] >= s {
+			return nil, fmt.Errorf("dict: input not sorted/distinct at %d (%q >= %q)", i, strs[i-1], s)
+		}
+		if i%bucketSize == 0 {
+			offsets = append(offsets, uint64(len(d.data)))
+			d.data = appendUvarint(d.data, uint64(len(s)))
+			d.data = append(d.data, s...)
+		} else {
+			lcp := commonPrefix(strs[i-1], s)
+			d.data = appendUvarint(d.data, uint64(lcp))
+			d.data = appendUvarint(d.data, uint64(len(s)-lcp))
+			d.data = append(d.data, s[lcp:]...)
+		}
+	}
+	offsets = append(offsets, uint64(len(d.data)))
+	d.offsets = ef.New(offsets)
+	return d, nil
+}
+
+// FromUnsorted sorts and deduplicates strs, builds the dictionary, and
+// returns it. The input slice is not modified.
+func FromUnsorted(strs []string, bucketSize int) (*Dict, error) {
+	sorted := append([]string(nil), strs...)
+	sort.Strings(sorted)
+	w := 0
+	for i, s := range sorted {
+		if i == 0 || s != sorted[w-1] {
+			sorted[w] = s
+			w++
+		}
+	}
+	return New(sorted[:w], bucketSize)
+}
+
+func commonPrefix(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func readUvarint(data []byte, pos int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for {
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos
+		}
+		shift += 7
+	}
+}
+
+// Len returns the number of strings.
+func (d *Dict) Len() int { return d.n }
+
+// header decodes the first string of bucket k.
+func (d *Dict) header(k int) string {
+	pos := int(d.offsets.Access(k))
+	l, pos := readUvarint(d.data, pos)
+	return string(d.data[pos : pos+int(l)])
+}
+
+// Extract returns the string with the given ID.
+func (d *Dict) Extract(id int) (string, bool) {
+	if id < 0 || id >= d.n {
+		return "", false
+	}
+	k := id / d.bucketSize
+	pos := int(d.offsets.Access(k))
+	l, pos := readUvarint(d.data, pos)
+	cur := string(d.data[pos : pos+int(l)])
+	pos += int(l)
+	for i := 0; i < id%d.bucketSize; i++ {
+		lcp, p := readUvarint(d.data, pos)
+		suf, p2 := readUvarint(d.data, p)
+		cur = cur[:lcp] + string(d.data[p2:p2+int(suf)])
+		pos = p2 + int(suf)
+	}
+	return cur, true
+}
+
+// Locate returns the ID of s, or ok=false if absent.
+func (d *Dict) Locate(s string) (int, bool) {
+	if d.n == 0 {
+		return 0, false
+	}
+	numBuckets := (d.n + d.bucketSize - 1) / d.bucketSize
+	// Last bucket whose header is <= s.
+	lo, hi := 0, numBuckets-1
+	if d.header(0) > s {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if d.header(mid) <= s {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	k := lo
+	pos := int(d.offsets.Access(k))
+	l, pos := readUvarint(d.data, pos)
+	cur := string(d.data[pos : pos+int(l)])
+	pos += int(l)
+	if cur == s {
+		return k * d.bucketSize, true
+	}
+	limit := d.bucketSize
+	if rem := d.n - k*d.bucketSize; rem < limit {
+		limit = rem
+	}
+	for i := 1; i < limit; i++ {
+		lcp, p := readUvarint(d.data, pos)
+		suf, p2 := readUvarint(d.data, p)
+		cur = cur[:lcp] + string(d.data[p2:p2+int(suf)])
+		pos = p2 + int(suf)
+		if cur == s {
+			return k*d.bucketSize + i, true
+		}
+		if cur > s {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// SizeBits returns the storage footprint in bits.
+func (d *Dict) SizeBits() uint64 {
+	return uint64(len(d.data))*8 + d.offsets.SizeBits() + 2*64
+}
+
+// Encode writes the dictionary to w.
+func (d *Dict) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(d.n))
+	w.Uvarint(uint64(d.bucketSize))
+	w.Bytes(d.data)
+	d.offsets.Encode(w)
+}
+
+// Decode reads a dictionary written by Encode.
+func Decode(r *codec.Reader) (*Dict, error) {
+	d := &Dict{}
+	d.n = int(r.Uvarint())
+	d.bucketSize = int(r.Uvarint())
+	d.data = r.BytesBuf()
+	var err error
+	if d.offsets, err = ef.Decode(r); err != nil {
+		return nil, err
+	}
+	if d.bucketSize <= 0 {
+		return nil, r.Fail(fmt.Errorf("%w: dict bucket size", codec.ErrCorrupt))
+	}
+	return d, nil
+}
+
+// Builder accumulates strings before constructing a dictionary; it is a
+// convenience for streaming loaders.
+type Builder struct {
+	strs []string
+}
+
+// Add appends a string (duplicates allowed).
+func (b *Builder) Add(s string) { b.strs = append(b.strs, s) }
+
+// Build sorts, deduplicates and constructs the dictionary.
+func (b *Builder) Build(bucketSize int) (*Dict, error) {
+	return FromUnsorted(b.strs, bucketSize)
+}

@@ -1,0 +1,178 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rdfindexes/internal/codec"
+)
+
+func buildSorted(t *testing.T, strs []string, bucket int) *Dict {
+	t.Helper()
+	d, err := New(strs, bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func uriLike(n int) []string {
+	set := map[string]bool{}
+	rng := rand.New(rand.NewSource(211))
+	domains := []string{"http://dbpedia.org/resource/", "http://example.org/ns#", "http://xmlns.com/foaf/0.1/"}
+	for len(set) < n {
+		set[fmt.Sprintf("%sEntity_%d", domains[rng.Intn(len(domains))], rng.Intn(n*4))] = true
+	}
+	out := make([]string, 0, n)
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDictExtractLocateRoundTrip(t *testing.T) {
+	for _, bucket := range []int{1, 2, 7, 16, 64} {
+		strs := uriLike(500)
+		d := buildSorted(t, strs, bucket)
+		if d.Len() != len(strs) {
+			t.Fatalf("bucket %d: Len() = %d, want %d", bucket, d.Len(), len(strs))
+		}
+		for id, s := range strs {
+			got, ok := d.Extract(id)
+			if !ok || got != s {
+				t.Fatalf("bucket %d: Extract(%d) = (%q, %v), want %q", bucket, id, got, ok, s)
+			}
+			gotID, ok := d.Locate(s)
+			if !ok || gotID != id {
+				t.Fatalf("bucket %d: Locate(%q) = (%d, %v), want %d", bucket, s, gotID, ok, id)
+			}
+		}
+		// Absent strings.
+		for _, probe := range []string{"", "aaaa", "http://zzz/last", strs[0] + "!"} {
+			present := false
+			for _, s := range strs {
+				if s == probe {
+					present = true
+				}
+			}
+			if _, ok := d.Locate(probe); ok != present {
+				t.Fatalf("bucket %d: Locate(%q) = %v, want %v", bucket, probe, ok, present)
+			}
+		}
+	}
+}
+
+func TestDictExtractOutOfRange(t *testing.T) {
+	d := buildSorted(t, []string{"a", "b"}, 4)
+	if _, ok := d.Extract(-1); ok {
+		t.Error("Extract(-1) succeeded")
+	}
+	if _, ok := d.Extract(2); ok {
+		t.Error("Extract(2) succeeded")
+	}
+}
+
+func TestDictRejectsUnsorted(t *testing.T) {
+	if _, err := New([]string{"b", "a"}, 4); err == nil {
+		t.Fatal("New accepted unsorted input")
+	}
+	if _, err := New([]string{"a", "a"}, 4); err == nil {
+		t.Fatal("New accepted duplicates")
+	}
+}
+
+func TestFromUnsorted(t *testing.T) {
+	d, err := FromUnsorted([]string{"pear", "apple", "pear", "fig"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", d.Len())
+	}
+	for _, s := range []string{"apple", "fig", "pear"} {
+		if _, ok := d.Locate(s); !ok {
+			t.Fatalf("Locate(%q) failed", s)
+		}
+	}
+}
+
+func TestDictQuick(t *testing.T) {
+	f := func(raw []string) bool {
+		set := map[string]bool{}
+		for _, s := range raw {
+			set[s] = true
+		}
+		strs := make([]string, 0, len(set))
+		for s := range set {
+			strs = append(strs, s)
+		}
+		sort.Strings(strs)
+		d, err := New(strs, 3)
+		if err != nil {
+			return false
+		}
+		for id, s := range strs {
+			if got, ok := d.Extract(id); !ok || got != s {
+				return false
+			}
+			if gotID, ok := d.Locate(s); !ok || gotID != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictCompression(t *testing.T) {
+	// Front-coding should beat raw storage on shared-prefix URIs.
+	strs := make([]string, 2000)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("http://dbpedia.org/resource/Entity_%06d", i)
+	}
+	d := buildSorted(t, strs, 16)
+	raw := 0
+	for _, s := range strs {
+		raw += len(s)
+	}
+	if d.SizeBits() >= uint64(raw)*8 {
+		t.Errorf("dict %d bits >= raw %d bits", d.SizeBits(), raw*8)
+	}
+}
+
+func TestDictSerializationRoundTrip(t *testing.T) {
+	strs := uriLike(300)
+	d := buildSorted(t, strs, 8)
+	var buf bytes.Buffer
+	w := codec.NewWriter(&buf)
+	d.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(codec.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range strs {
+		if v, ok := got.Extract(id); !ok || v != s {
+			t.Fatalf("decoded Extract(%d) = (%q, %v)", id, v, ok)
+		}
+	}
+}
+
+func TestDictEmpty(t *testing.T) {
+	d := buildSorted(t, nil, 4)
+	if d.Len() != 0 {
+		t.Fatal("empty dict has nonzero length")
+	}
+	if _, ok := d.Locate("x"); ok {
+		t.Fatal("Locate on empty dict succeeded")
+	}
+}

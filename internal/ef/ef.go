@@ -1,0 +1,202 @@
+// Package ef implements Elias-Fano encodings of monotone integer
+// sequences: the plain encoding with constant-time access and fast
+// successor queries, and the partitioned variant (PEF) of Ottaviano and
+// Venturini that splits the sequence into partitions encoded independently
+// as Elias-Fano, plain bitmaps, or implicit runs, whichever is smallest.
+package ef
+
+import (
+	"fmt"
+	"math/bits"
+
+	xbits "rdfindexes/internal/bits"
+	"rdfindexes/internal/codec"
+)
+
+// Sequence is a plain Elias-Fano encoded non-decreasing integer sequence.
+// It supports O(1) Access, near-O(1) NextGEQ, and fast sequential
+// iteration.
+type Sequence struct {
+	n        int
+	universe uint64
+	l        uint
+	low      *xbits.Vector
+	high     *xbits.RankSelect
+}
+
+// lowBitsFor returns the optimal number of low bits: floor(log2(u/n)).
+func lowBitsFor(n int, universe uint64) uint {
+	if n == 0 || universe/uint64(n) < 2 {
+		return 0
+	}
+	return uint(bits.Len64(universe/uint64(n)) - 1)
+}
+
+// New encodes values, which must be non-decreasing. An empty slice yields
+// an empty sequence.
+func New(values []uint64) *Sequence {
+	var universe uint64
+	if len(values) > 0 {
+		universe = values[len(values)-1]
+	}
+	return NewWithUniverse(values, universe)
+}
+
+// NewWithUniverse encodes values with an explicit universe >= the last
+// value. A larger universe wastes space but lets callers reserve headroom.
+func NewWithUniverse(values []uint64, universe uint64) *Sequence {
+	n := len(values)
+	l := lowBitsFor(n, universe)
+	s := &Sequence{n: n, universe: universe, l: l}
+	highLen := n + int(universe>>l) + 1
+	high := xbits.NewVector(highLen)
+	low := xbits.WithCapacity(n * int(l))
+	var prev uint64
+	for i, v := range values {
+		if v < prev {
+			panic(fmt.Sprintf("ef: sequence not monotone at %d: %d < %d", i, v, prev))
+		}
+		if v > universe {
+			panic(fmt.Sprintf("ef: value %d exceeds universe %d", v, universe))
+		}
+		prev = v
+		high.SetBit(int(v>>l) + i)
+		low.AppendBits(v&(1<<l-1), l)
+	}
+	s.low = low
+	s.high = xbits.NewRankSelect(high)
+	return s
+}
+
+// Len returns the number of elements.
+func (s *Sequence) Len() int { return s.n }
+
+// Universe returns the declared universe (an upper bound on all values).
+func (s *Sequence) Universe() uint64 { return s.universe }
+
+// Access returns the i-th value.
+func (s *Sequence) Access(i int) uint64 {
+	pos := s.high.Select1(i)
+	return uint64(pos-i)<<s.l | s.low.Get(i*int(s.l), s.l)
+}
+
+// AccessPair returns the i-th and (i+1)-th values with a single select:
+// the successor's high part is found by scanning forward from the first
+// one's position. Trie pointer lookups (begin, end) are the hot caller.
+func (s *Sequence) AccessPair(i int) (uint64, uint64) {
+	pos := s.high.Select1(i)
+	v1 := uint64(pos-i)<<s.l | s.low.Get(i*int(s.l), s.l)
+	words := s.high.Vector().Words()
+	w := pos >> 6
+	cur := words[w] &^ (uint64(1)<<(uint(pos)&63) - 1)
+	cur &= cur - 1 // drop the i-th one itself
+	for cur == 0 {
+		w++
+		cur = words[w]
+	}
+	pos2 := w<<6 + bits.TrailingZeros64(cur)
+	v2 := uint64(pos2-(i+1))<<s.l | s.low.Get((i+1)*int(s.l), s.l)
+	return v1, v2
+}
+
+// NextGEQ returns the position and value of the first element >= x. ok is
+// false when every element is smaller than x, in which case pos is Len().
+func (s *Sequence) NextGEQ(x uint64) (pos int, val uint64, ok bool) {
+	if s.n == 0 || x > s.universe {
+		return s.n, 0, false
+	}
+	hx := x >> s.l
+	i := 0
+	if hx > 0 {
+		// Elements with high part < hx all precede the (hx-1)-th zero.
+		p := s.high.Select0(int(hx) - 1)
+		i = p - (int(hx) - 1) // number of ones before position p
+	}
+	// The first candidate is the first element of bucket hx; at most one
+	// bucket needs to be scanned before values exceed x.
+	for ; i < s.n; i++ {
+		if v := s.Access(i); v >= x {
+			return i, v, true
+		}
+	}
+	return s.n, 0, false
+}
+
+// Iterator iterates the sequence from index from, decoding the upper bits
+// by streaming over the words of the high bit vector.
+type Iterator struct {
+	s       *Sequence
+	i       int
+	wordIdx int
+	word    uint64
+}
+
+// Iterator returns an iterator positioned at index from.
+func (s *Sequence) Iterator(from int) *Iterator {
+	it := &Iterator{s: s, i: from}
+	if from >= s.n {
+		it.i = s.n
+		return it
+	}
+	p := s.high.Select1(from)
+	it.wordIdx = p >> 6
+	it.word = s.high.Vector().Words()[it.wordIdx] &^ (1<<(uint(p)&63) - 1)
+	return it
+}
+
+// Next returns the next value, or ok=false at the end.
+func (it *Iterator) Next() (uint64, bool) {
+	s := it.s
+	if it.i >= s.n {
+		return 0, false
+	}
+	words := s.high.Vector().Words()
+	for it.word == 0 {
+		it.wordIdx++
+		it.word = words[it.wordIdx]
+	}
+	p := it.wordIdx<<6 + bits.TrailingZeros64(it.word)
+	it.word &= it.word - 1
+	v := uint64(p-it.i)<<s.l | s.low.Get(it.i*int(s.l), s.l)
+	it.i++
+	return v, true
+}
+
+// SizeBits returns the storage footprint in bits.
+func (s *Sequence) SizeBits() uint64 {
+	return s.low.SizeBits() + s.high.Vector().SizeBits() + s.high.SizeBits() + 3*64
+}
+
+// Encode writes the sequence to w. The rank/select directory is rebuilt at
+// decode time rather than serialized.
+func (s *Sequence) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(s.n))
+	w.Uvarint(s.universe)
+	w.Byte(byte(s.l))
+	s.low.Encode(w)
+	s.high.Vector().Encode(w)
+}
+
+// Decode reads a sequence written by Encode.
+func Decode(r *codec.Reader) (*Sequence, error) {
+	n := int(r.Uvarint())
+	universe := r.Uvarint()
+	l := uint(r.Byte())
+	low, err := xbits.DecodeVector(r)
+	if err != nil {
+		return nil, err
+	}
+	high, err := xbits.DecodeVector(r)
+	if err != nil {
+		return nil, err
+	}
+	if l > 64 || low.Len() != n*int(l) {
+		return nil, r.Fail(fmt.Errorf("%w: elias-fano header", codec.ErrCorrupt))
+	}
+	s := &Sequence{n: n, universe: universe, l: l, low: low}
+	s.high = xbits.NewRankSelect(high)
+	if s.high.Ones() != n {
+		return nil, r.Fail(fmt.Errorf("%w: elias-fano high bits", codec.ErrCorrupt))
+	}
+	return s, nil
+}

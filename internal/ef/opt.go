@@ -1,0 +1,341 @@
+package ef
+
+import (
+	"fmt"
+	"math/bits"
+
+	xbits "rdfindexes/internal/bits"
+	"rdfindexes/internal/codec"
+)
+
+// OptPartitioned is the cost-optimized variant of partitioned Elias-Fano:
+// instead of fixed-size partitions, boundaries are chosen by a dynamic
+// program minimizing the estimated encoded size (the approach of
+// Ottaviano and Venturini, here at a boundary granularity of optGrain
+// positions, which approximates the optimum within a small constant).
+// Random access pays one extra search to locate the partition of a
+// position; the space is at most that of the uniform partitioning.
+type OptPartitioned struct {
+	n        int
+	universe uint64
+	ends     *Sequence // exclusive end position of each partition
+	upper    *Sequence // upper bound of each partition
+	kinds    []byte
+	offsets  *xbits.CompactVector
+	payload  *xbits.Vector
+}
+
+// optGrain is the boundary granularity of the partitioning DP.
+const optGrain = 64
+
+// optMaxPart is the maximum partition size considered by the DP.
+const optMaxPart = 4096
+
+// optFixedCost approximates the per-partition overhead in bits (endpoint,
+// upper bound, offset and kind entries).
+const optFixedCost = 96
+
+// estimateCost approximates the encoded size in bits of one partition.
+func estimateCost(sz int, span uint64) uint64 {
+	if span == uint64(sz) {
+		return optFixedCost // likely allOnes
+	}
+	l := lowBitsFor(sz, span)
+	ef := uint64(6) + uint64(sz)*uint64(l) + uint64(sz) + span>>l + 1
+	if span < ef {
+		return span + optFixedCost // bitmap
+	}
+	return ef + optFixedCost
+}
+
+// NewOptPartitioned encodes values (non-decreasing) with cost-optimized
+// partition boundaries.
+func NewOptPartitioned(values []uint64) *OptPartitioned {
+	n := len(values)
+	p := &OptPartitioned{n: n}
+	if n > 0 {
+		p.universe = values[n-1]
+	}
+	for i := 1; i < n; i++ {
+		if values[i] < values[i-1] {
+			panic(fmt.Sprintf("ef: sequence not monotone at %d", i))
+		}
+	}
+
+	// Candidate boundaries at multiples of optGrain plus n itself.
+	numCands := (n + optGrain - 1) / optGrain
+	boundary := func(c int) int { // boundary position of candidate c
+		if pos := c * optGrain; pos < n {
+			return pos
+		}
+		return n
+	}
+	// dp over candidates 0..numCands; dp[c] = best cost of encoding
+	// values[0:boundary(c)].
+	const inf = ^uint64(0) >> 1
+	dp := make([]uint64, numCands+1)
+	from := make([]int32, numCands+1)
+	for c := 1; c <= numCands; c++ {
+		dp[c] = inf
+		end := boundary(c)
+		maxBack := optMaxPart / optGrain
+		for back := 1; back <= maxBack && c-back >= 0; back++ {
+			start := boundary(c - back)
+			if start >= end {
+				continue
+			}
+			var base uint64
+			if start > 0 {
+				base = values[start-1]
+			}
+			cost := dp[c-back] + estimateCost(end-start, values[end-1]-base)
+			if cost < dp[c] {
+				dp[c] = cost
+				from[c] = int32(c - back)
+			}
+		}
+	}
+
+	// Recover boundaries and encode each partition.
+	var cuts []int
+	for c := numCands; c > 0; c = int(from[c]) {
+		cuts = append(cuts, boundary(c))
+	}
+	for i, j := 0, len(cuts)-1; i < j; i, j = i+1, j-1 {
+		cuts[i], cuts[j] = cuts[j], cuts[i]
+	}
+
+	p.payload = xbits.WithCapacity(n)
+	var ends, uppers, offsets []uint64
+	start := 0
+	var base uint64
+	for _, end := range cuts {
+		part := values[start:end]
+		ub := part[len(part)-1]
+		ends = append(ends, uint64(end))
+		uppers = append(uppers, ub)
+		offsets = append(offsets, uint64(p.payload.Len()))
+		p.kinds = append(p.kinds, encodePartitionInto(p.payload, part, base, ub))
+		base = ub
+		start = end
+	}
+	if len(offsets) == 0 {
+		offsets = []uint64{0}
+	}
+	p.ends = New(ends)
+	p.upper = New(uppers)
+	p.offsets = xbits.NewCompact(offsets)
+	return p
+}
+
+// Len returns the number of elements.
+func (p *OptPartitioned) Len() int { return p.n }
+
+// Universe returns the largest value.
+func (p *OptPartitioned) Universe() uint64 { return p.universe }
+
+// NumPartitions returns the number of partitions chosen by the DP.
+func (p *OptPartitioned) NumPartitions() int { return len(p.kinds) }
+
+// partBounds returns the global position range of partition k.
+func (p *OptPartitioned) partBounds(k int) (int, int) {
+	var start uint64
+	var end uint64
+	if k > 0 {
+		start, end = p.ends.AccessPair(k - 1)
+	} else {
+		end = p.ends.Access(0)
+	}
+	return int(start), int(end)
+}
+
+func (p *OptPartitioned) part(k int) partView {
+	var base, ub uint64
+	if k > 0 {
+		base, ub = p.upper.AccessPair(k - 1)
+	} else {
+		ub = p.upper.Access(0)
+	}
+	start, end := p.partBounds(k)
+	return partView{
+		payload: p.payload,
+		kind:    p.kinds[k],
+		base:    base,
+		span:    ub - base,
+		off:     int(p.offsets.At(k)),
+		sz:      end - start,
+	}
+}
+
+// partOf locates the partition containing global position i.
+func (p *OptPartitioned) partOf(i int) int {
+	k, _, ok := p.ends.NextGEQ(uint64(i) + 1)
+	if !ok {
+		panic("ef: position beyond last partition")
+	}
+	return k
+}
+
+// Access returns the i-th value.
+func (p *OptPartitioned) Access(i int) uint64 {
+	k := p.partOf(i)
+	start, _ := p.partBounds(k)
+	return p.part(k).access(i - start)
+}
+
+// AccessPair returns values i and i+1.
+func (p *OptPartitioned) AccessPair(i int) (uint64, uint64) {
+	return p.Access(i), p.Access(i + 1)
+}
+
+// NextGEQ returns the position and value of the first element >= x.
+func (p *OptPartitioned) NextGEQ(x uint64) (int, uint64, bool) {
+	if p.n == 0 || x > p.universe {
+		return p.n, 0, false
+	}
+	k, _, ok := p.upper.NextGEQ(x)
+	if !ok {
+		return p.n, 0, false
+	}
+	pv := p.part(k)
+	j, v, ok := pv.nextGEQ(x)
+	if !ok {
+		return p.n, 0, false
+	}
+	start, _ := p.partBounds(k)
+	return start + j, v, true
+}
+
+// OptIterator iterates an OptPartitioned sequence with the same streaming
+// cursor as PartIterator.
+type OptIterator struct {
+	p       *OptPartitioned
+	i       int
+	k       int
+	partEnd int
+	pv      partView
+	l       uint
+	lowOff  int
+	regOff  int
+	regLen  int
+	chBase  int
+	chunk   uint64
+	inPart  int
+}
+
+// Iterator returns an iterator positioned at index from.
+func (p *OptPartitioned) Iterator(from int) *OptIterator {
+	return &OptIterator{p: p, i: from, k: -1}
+}
+
+func (it *OptIterator) enter(k, j int) {
+	it.k = k
+	_, it.partEnd = it.p.partBounds(k)
+	it.pv = it.p.part(k)
+	it.inPart = j
+	switch it.pv.kind {
+	case kindAllOnes:
+		return
+	case kindBitmap:
+		it.regOff = it.pv.off
+		it.regLen = int(it.pv.span)
+	default:
+		it.l = uint(it.pv.payload.Get(it.pv.off, 6))
+		it.lowOff = it.pv.off + 6
+		it.regOff = it.lowOff + it.pv.sz*int(it.l)
+		it.regLen = it.pv.sz + int(it.pv.span>>it.l) + 1
+	}
+	pos := selectInRange(it.pv.payload, it.regOff, it.regLen, j)
+	it.chBase = pos &^ 63
+	w := it.regLen - it.chBase
+	if w > 64 {
+		w = 64
+	}
+	it.chunk = it.pv.payload.Get(it.regOff+it.chBase, uint(w))
+	it.chunk &^= 1<<uint(pos-it.chBase) - 1
+}
+
+func (it *OptIterator) nextBit() int {
+	for it.chunk == 0 {
+		it.chBase += 64
+		w := it.regLen - it.chBase
+		if w > 64 {
+			w = 64
+		}
+		it.chunk = it.pv.payload.Get(it.regOff+it.chBase, uint(w))
+	}
+	t := bits.TrailingZeros64(it.chunk)
+	it.chunk &= it.chunk - 1
+	return it.chBase + t
+}
+
+// Next returns the next value, or ok=false at the end.
+func (it *OptIterator) Next() (uint64, bool) {
+	if it.i >= it.p.n {
+		return 0, false
+	}
+	if it.k < 0 || it.i >= it.partEnd {
+		k := it.k + 1
+		if it.k < 0 {
+			k = it.p.partOf(it.i)
+		}
+		start, _ := it.p.partBounds(k)
+		it.enter(k, it.i-start)
+	}
+	var v uint64
+	switch it.pv.kind {
+	case kindAllOnes:
+		v = it.pv.base + uint64(it.inPart) + 1
+	case kindBitmap:
+		v = it.pv.base + 1 + uint64(it.nextBit())
+	default:
+		pos := it.nextBit()
+		hi := uint64(pos - it.inPart)
+		v = it.pv.base + (hi<<it.l | it.pv.payload.Get(it.lowOff+it.inPart*int(it.l), it.l))
+	}
+	it.inPart++
+	it.i++
+	return v, true
+}
+
+// SizeBits returns the storage footprint in bits.
+func (p *OptPartitioned) SizeBits() uint64 {
+	return p.payload.SizeBits() + p.ends.SizeBits() + p.upper.SizeBits() +
+		uint64(len(p.kinds))*8 + p.offsets.SizeBits() + 2*64
+}
+
+// Encode writes the sequence to w.
+func (p *OptPartitioned) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(p.n))
+	w.Uvarint(p.universe)
+	p.ends.Encode(w)
+	p.upper.Encode(w)
+	w.Bytes(p.kinds)
+	p.offsets.Encode(w)
+	p.payload.Encode(w)
+}
+
+// DecodeOptPartitioned reads a sequence written by Encode.
+func DecodeOptPartitioned(r *codec.Reader) (*OptPartitioned, error) {
+	p := &OptPartitioned{}
+	p.n = int(r.Uvarint())
+	p.universe = r.Uvarint()
+	var err error
+	if p.ends, err = Decode(r); err != nil {
+		return nil, err
+	}
+	if p.upper, err = Decode(r); err != nil {
+		return nil, err
+	}
+	p.kinds = r.BytesBuf()
+	if p.offsets, err = xbits.DecodeCompact(r); err != nil {
+		return nil, err
+	}
+	if p.payload, err = xbits.DecodeVector(r); err != nil {
+		return nil, err
+	}
+	if len(p.kinds) != p.ends.Len() || p.upper.Len() != p.ends.Len() {
+		return nil, r.Fail(fmt.Errorf("%w: opt-pef partition count", codec.ErrCorrupt))
+	}
+	return p, nil
+}

@@ -1,0 +1,464 @@
+package ef
+
+import (
+	"fmt"
+	"math/bits"
+
+	xbits "rdfindexes/internal/bits"
+	"rdfindexes/internal/codec"
+)
+
+// Partition encodings. Each partition of 2^partLog consecutive values is
+// stored relative to the exclusive lower bound given by the previous
+// partition's upper bound, using whichever representation is smallest.
+const (
+	kindAllOnes = iota // consecutive run: nothing stored
+	kindBitmap         // characteristic bitmap of the spanned interval
+	kindEF             // inline Elias-Fano: 6-bit l, low bits, high bits
+)
+
+// DefaultPartLog is the default log2 of the partition size (256 values),
+// a good space/time balance for the trie level sequences of the paper.
+const DefaultPartLog = 8
+
+// Partitioned is a partitioned Elias-Fano (PEF) encoded non-decreasing
+// sequence. Compared to plain Elias-Fano it is smaller on clustered data
+// and faster for bounded searches, at the price of slower random access.
+type Partitioned struct {
+	n        int
+	universe uint64
+	partLog  uint
+	upper    *Sequence            // upper bound of each partition
+	kinds    []byte               // encoding kind of each partition
+	offsets  *xbits.CompactVector // bit offset of each partition in payload
+	payload  *xbits.Vector
+}
+
+// NewPartitioned encodes values (non-decreasing) with the default
+// partition size.
+func NewPartitioned(values []uint64) *Partitioned {
+	return NewPartitionedLog(values, DefaultPartLog)
+}
+
+// NewPartitionedLog encodes values with partitions of 2^partLog values.
+func NewPartitionedLog(values []uint64, partLog uint) *Partitioned {
+	if partLog < 2 || partLog > 20 {
+		panic(fmt.Sprintf("ef: invalid partition log %d", partLog))
+	}
+	n := len(values)
+	p := &Partitioned{n: n, partLog: partLog}
+	if n > 0 {
+		p.universe = values[n-1]
+	}
+	partSize := 1 << partLog
+	numParts := (n + partSize - 1) / partSize
+
+	uppers := make([]uint64, 0, numParts)
+	offsets := make([]uint64, 0, numParts+1)
+	p.kinds = make([]byte, 0, numParts)
+	p.payload = xbits.WithCapacity(n) // grows as needed
+
+	var prev uint64
+	for i, v := range values {
+		if v < prev {
+			panic(fmt.Sprintf("ef: sequence not monotone at %d: %d < %d", i, v, prev))
+		}
+		prev = v
+	}
+
+	var base uint64
+	for k := 0; k < numParts; k++ {
+		lo := k * partSize
+		hi := lo + partSize
+		if hi > n {
+			hi = n
+		}
+		part := values[lo:hi]
+		ub := part[len(part)-1]
+		uppers = append(uppers, ub)
+		offsets = append(offsets, uint64(p.payload.Len()))
+		p.kinds = append(p.kinds, p.encodePartition(part, base, ub))
+		base = ub
+	}
+	offsets = append(offsets, uint64(p.payload.Len()))
+
+	p.upper = New(uppers)
+	if len(offsets) > 0 {
+		p.offsets = xbits.NewCompact(offsets)
+	} else {
+		p.offsets = xbits.NewCompact([]uint64{0})
+	}
+	return p
+}
+
+// encodePartition appends the cheapest encoding of part (relative to the
+// exclusive lower bound base, spanning up to ub) and returns its kind.
+func (p *Partitioned) encodePartition(part []uint64, base, ub uint64) byte {
+	return encodePartitionInto(p.payload, part, base, ub)
+}
+
+// encodePartitionInto is the shared partition encoder used by both the
+// uniform and the cost-optimized partitionings.
+func encodePartitionInto(payload *xbits.Vector, part []uint64, base, ub uint64) byte {
+	sz := len(part)
+	span := ub - base
+
+	strict := true
+	for i, v := range part {
+		if v <= base || (i > 0 && v <= part[i-1]) {
+			strict = false
+			break
+		}
+	}
+
+	if strict && span == uint64(sz) {
+		return kindAllOnes // part[j] == base + j + 1, nothing to store
+	}
+
+	l := lowBitsFor(sz, span)
+	efCost := uint64(6) + uint64(sz)*uint64(l) + uint64(sz) + span>>l + 1
+	if strict && span <= efCost {
+		// Characteristic bitmap over (base, ub].
+		start := payload.Len()
+		for i := 0; i < int(span); i++ {
+			payload.AppendBit(false)
+		}
+		for _, v := range part {
+			payload.SetBit(start + int(v-base-1))
+		}
+		return kindBitmap
+	}
+
+	// Inline Elias-Fano of the relative values.
+	payload.AppendBits(uint64(l), 6)
+	for _, v := range part {
+		payload.AppendBits((v-base)&(1<<l-1), l)
+	}
+	highLen := sz + int(span>>l) + 1
+	start := payload.Len()
+	for i := 0; i < highLen; i++ {
+		payload.AppendBit(false)
+	}
+	for i, v := range part {
+		payload.SetBit(start + int((v-base)>>l) + i)
+	}
+	return kindEF
+}
+
+// Len returns the number of elements.
+func (p *Partitioned) Len() int { return p.n }
+
+// Universe returns the largest value.
+func (p *Partitioned) Universe() uint64 { return p.universe }
+
+// partView captures the decoding context of one partition.
+type partView struct {
+	payload *xbits.Vector
+	kind    byte
+	base    uint64
+	span    uint64
+	off     int
+	sz      int
+}
+
+func (p *Partitioned) part(k int) partView {
+	var base, ub uint64
+	if k > 0 {
+		base, ub = p.upper.AccessPair(k - 1)
+	} else {
+		ub = p.upper.Access(0)
+	}
+	sz := 1 << p.partLog
+	if lo := k << p.partLog; lo+sz > p.n {
+		sz = p.n - lo
+	}
+	return partView{
+		payload: p.payload,
+		kind:    p.kinds[k],
+		base:    base,
+		span:    ub - base,
+		off:     int(p.offsets.At(k)),
+		sz:      sz,
+	}
+}
+
+// selectInRange returns the position (relative to off) of the k-th set bit
+// in payload[off, off+length).
+func selectInRange(payload *xbits.Vector, off, length, k int) int {
+	pos := 0
+	for pos < length {
+		w := length - pos
+		if w > 64 {
+			w = 64
+		}
+		chunk := payload.Get(off+pos, uint(w))
+		c := bits.OnesCount64(chunk)
+		if k < c {
+			return pos + xbits.SelectInWord(chunk, k)
+		}
+		k -= c
+		pos += w
+	}
+	panic("ef: selectInRange out of range")
+}
+
+func (pv partView) access(j int) uint64 {
+	switch pv.kind {
+	case kindAllOnes:
+		return pv.base + uint64(j) + 1
+	case kindBitmap:
+		pos := selectInRange(pv.payload, pv.off, int(pv.span), j)
+		return pv.base + 1 + uint64(pos)
+	default:
+		l := uint(pv.payload.Get(pv.off, 6))
+		lowOff := pv.off + 6
+		highOff := lowOff + pv.sz*int(l)
+		highLen := pv.sz + int(pv.span>>l) + 1
+		pos := selectInRange(pv.payload, highOff, highLen, j)
+		hi := uint64(pos - j)
+		return pv.base + (hi<<l | pv.payload.Get(lowOff+j*int(l), l))
+	}
+}
+
+// nextGEQ returns the index within the partition of the first value >= x
+// (absolute), with its value. ok is false when all values are smaller.
+func (pv partView) nextGEQ(x uint64) (int, uint64, bool) {
+	if x <= pv.base {
+		x = pv.base // relative target becomes 0
+	}
+	if x > pv.base+pv.span {
+		return pv.sz, 0, false
+	}
+	switch pv.kind {
+	case kindAllOnes:
+		if x <= pv.base+1 {
+			return 0, pv.base + 1, true
+		}
+		j := int(x - pv.base - 1)
+		return j, x, true
+	case kindBitmap:
+		rel := 0
+		if x > pv.base+1 {
+			rel = int(x - pv.base - 1)
+		}
+		j := 0
+		pos := 0
+		span := int(pv.span)
+		for pos < span {
+			w := span - pos
+			if w > 64 {
+				w = 64
+			}
+			chunk := pv.payload.Get(pv.off+pos, uint(w))
+			if pos+w <= rel {
+				j += bits.OnesCount64(chunk)
+				pos += w
+				continue
+			}
+			if pos < rel {
+				mask := uint64(1)<<uint(rel-pos) - 1
+				j += bits.OnesCount64(chunk & mask)
+				chunk &^= mask
+			}
+			if chunk != 0 {
+				t := bits.TrailingZeros64(chunk)
+				return j, pv.base + 1 + uint64(pos+t), true
+			}
+			pos += w
+		}
+		return pv.sz, 0, false
+	default:
+		l := uint(pv.payload.Get(pv.off, 6))
+		lowOff := pv.off + 6
+		highOff := lowOff + pv.sz*int(l)
+		highLen := pv.sz + int(pv.span>>l) + 1
+		rel := x - pv.base
+		hx := rel >> l
+		i := 0 // elements seen
+		pos := 0
+		for pos < highLen {
+			w := highLen - pos
+			if w > 64 {
+				w = 64
+			}
+			chunk := pv.payload.Get(highOff+pos, uint(w))
+			for chunk != 0 {
+				t := bits.TrailingZeros64(chunk)
+				chunk &= chunk - 1
+				bitPos := pos + t
+				hi := uint64(bitPos - i)
+				if hi >= hx {
+					v := pv.base + (hi<<l | pv.payload.Get(lowOff+i*int(l), l))
+					if v >= x {
+						return i, v, true
+					}
+				}
+				i++
+			}
+			pos += w
+		}
+		return pv.sz, 0, false
+	}
+}
+
+// Access returns the i-th value.
+func (p *Partitioned) Access(i int) uint64 {
+	k := i >> p.partLog
+	j := i - k<<p.partLog
+	return p.part(k).access(j)
+}
+
+// NextGEQ returns the position and value of the first element >= x. ok is
+// false when every element is smaller than x, in which case pos is Len().
+func (p *Partitioned) NextGEQ(x uint64) (pos int, val uint64, ok bool) {
+	if p.n == 0 || x > p.universe {
+		return p.n, 0, false
+	}
+	k, _, ok := p.upper.NextGEQ(x)
+	if !ok {
+		return p.n, 0, false
+	}
+	pv := p.part(k)
+	j, v, ok := pv.nextGEQ(x)
+	if !ok {
+		// Cannot happen: the partition's upper bound is >= x.
+		return p.n, 0, false
+	}
+	return k<<p.partLog + j, v, ok
+}
+
+// PartIterator iterates a Partitioned sequence. Entering a partition
+// positions a bit cursor with one in-partition select; each Next advances
+// by trailing-zero scanning, so short iterations over long partitions do
+// not pay for decoding the whole partition.
+type PartIterator struct {
+	p  *Partitioned
+	i  int // global index of the next element
+	k  int // current partition, -1 before the first Next
+	pv partView
+	// streaming state for the bitmap and EF kinds
+	l         uint
+	lowOff    int
+	regionOff int // payload offset of the bit region being scanned
+	regionLen int
+	chunkBase int    // region-relative offset of the loaded chunk
+	chunk     uint64 // loaded chunk with consumed bits cleared
+	inPart    int    // partition-relative index of the next element
+}
+
+// Iterator returns an iterator positioned at index from.
+func (p *Partitioned) Iterator(from int) *PartIterator {
+	return &PartIterator{p: p, i: from, k: -1}
+}
+
+// enterPartition initializes the cursor at element j of partition k.
+func (it *PartIterator) enterPartition(k, j int) {
+	it.k = k
+	it.pv = it.p.part(k)
+	it.inPart = j
+	switch it.pv.kind {
+	case kindAllOnes:
+		return
+	case kindBitmap:
+		it.regionOff = it.pv.off
+		it.regionLen = int(it.pv.span)
+	default:
+		it.l = uint(it.pv.payload.Get(it.pv.off, 6))
+		it.lowOff = it.pv.off + 6
+		it.regionOff = it.lowOff + it.pv.sz*int(it.l)
+		it.regionLen = it.pv.sz + int(it.pv.span>>it.l) + 1
+	}
+	// Position the chunk cursor at the j-th set bit of the region.
+	pos := selectInRange(it.pv.payload, it.regionOff, it.regionLen, j)
+	it.chunkBase = pos &^ 63
+	w := it.regionLen - it.chunkBase
+	if w > 64 {
+		w = 64
+	}
+	it.chunk = it.pv.payload.Get(it.regionOff+it.chunkBase, uint(w))
+	it.chunk &^= 1<<uint(pos-it.chunkBase) - 1 // clear bits before pos
+}
+
+// nextBit returns the position of the next set bit of the region.
+func (it *PartIterator) nextBit() int {
+	for it.chunk == 0 {
+		it.chunkBase += 64
+		w := it.regionLen - it.chunkBase
+		if w > 64 {
+			w = 64
+		}
+		it.chunk = it.pv.payload.Get(it.regionOff+it.chunkBase, uint(w))
+	}
+	t := bits.TrailingZeros64(it.chunk)
+	it.chunk &= it.chunk - 1
+	return it.chunkBase + t
+}
+
+// Next returns the next value, or ok=false at the end.
+func (it *PartIterator) Next() (uint64, bool) {
+	if it.i >= it.p.n {
+		return 0, false
+	}
+	k := it.i >> it.p.partLog
+	if k != it.k {
+		it.enterPartition(k, it.i-k<<it.p.partLog)
+	}
+	var v uint64
+	switch it.pv.kind {
+	case kindAllOnes:
+		v = it.pv.base + uint64(it.inPart) + 1
+	case kindBitmap:
+		v = it.pv.base + 1 + uint64(it.nextBit())
+	default:
+		pos := it.nextBit()
+		hi := uint64(pos - it.inPart)
+		v = it.pv.base + (hi<<it.l | it.pv.payload.Get(it.lowOff+it.inPart*int(it.l), it.l))
+	}
+	it.inPart++
+	it.i++
+	return v, true
+}
+
+// SizeBits returns the storage footprint in bits.
+func (p *Partitioned) SizeBits() uint64 {
+	return p.payload.SizeBits() + p.upper.SizeBits() +
+		uint64(len(p.kinds))*8 + p.offsets.SizeBits() + 3*64
+}
+
+// Encode writes the sequence to w.
+func (p *Partitioned) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(p.n))
+	w.Uvarint(p.universe)
+	w.Byte(byte(p.partLog))
+	p.upper.Encode(w)
+	w.Bytes(p.kinds)
+	p.offsets.Encode(w)
+	p.payload.Encode(w)
+}
+
+// DecodePartitioned reads a sequence written by Encode.
+func DecodePartitioned(r *codec.Reader) (*Partitioned, error) {
+	p := &Partitioned{}
+	p.n = int(r.Uvarint())
+	p.universe = r.Uvarint()
+	p.partLog = uint(r.Byte())
+	if p.partLog < 2 || p.partLog > 20 {
+		return nil, r.Fail(fmt.Errorf("%w: pef partition log", codec.ErrCorrupt))
+	}
+	var err error
+	if p.upper, err = Decode(r); err != nil {
+		return nil, err
+	}
+	p.kinds = r.BytesBuf()
+	if p.offsets, err = xbits.DecodeCompact(r); err != nil {
+		return nil, err
+	}
+	if p.payload, err = xbits.DecodeVector(r); err != nil {
+		return nil, err
+	}
+	numParts := (p.n + 1<<p.partLog - 1) >> p.partLog
+	if len(p.kinds) != numParts || p.upper.Len() != numParts {
+		return nil, r.Fail(fmt.Errorf("%w: pef partition count", codec.ErrCorrupt))
+	}
+	return p, nil
+}

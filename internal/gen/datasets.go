@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rdfindexes/internal/core"
+)
+
+// Config parameterizes the statistical generator. The ratios are relative
+// to the number of triples, mirroring how Table 3 of the paper reports
+// dataset shapes; the per-subject statistics mirror Table 2 (children per
+// trie node), which are the quantities Sections 3.2-3.3 build on.
+type Config struct {
+	Name string
+	// Triples is the target number of distinct triples.
+	Triples int
+	// SubjectRatio, ObjectRatio scale the subject/object ID spaces as a
+	// fraction of Triples.
+	SubjectRatio float64
+	ObjectRatio  float64
+	// Predicates is the absolute predicate count (RDF predicate sets are
+	// small and do not scale with the data).
+	Predicates int
+	// PredicateSkew is the Zipf exponent of predicate usage; larger means
+	// a few predicates dominate (high predicate associativity).
+	PredicateSkew float64
+	// PredsPerSubject is the mean number of distinct predicates per
+	// subject (the paper's SP pairs / |S|, i.e. the average C of Fig. 7).
+	PredsPerSubject float64
+	// ObjsPerPair is the mean number of objects per (subject, predicate)
+	// pair (the paper's triples / SP pairs).
+	ObjsPerPair float64
+	// ObjectHeadFraction is the probability that a triple's object is
+	// drawn from the small popular head rather than the long tail.
+	ObjectHeadFraction float64
+	// ObjectHead is the size of the popular head.
+	ObjectHead int
+	Seed       int64
+}
+
+// Presets calibrated against Tables 2 and 3 of the paper:
+// PredsPerSubject = SP pairs / |S| and ObjsPerPair = triples / SP pairs,
+// computed from the Table 3 rows.
+var presets = map[string]Config{
+	"dblp": {
+		SubjectRatio: 0.058, ObjectRatio: 0.41, Predicates: 27,
+		PredicateSkew: 0.9, PredsPerSubject: 11.4, ObjsPerPair: 1.51,
+		ObjectHeadFraction: 0.25, ObjectHead: 64,
+	},
+	"geonames": {
+		SubjectRatio: 0.068, ObjectRatio: 0.35, Predicates: 26,
+		PredicateSkew: 0.6, PredsPerSubject: 14.2, ObjsPerPair: 1.04,
+		ObjectHeadFraction: 0.3, ObjectHead: 128,
+	},
+	"dbpedia": {
+		SubjectRatio: 0.078, ObjectRatio: 0.33, Predicates: 1480,
+		PredicateSkew: 1.1, PredsPerSubject: 5.5, ObjsPerPair: 2.32,
+		ObjectHeadFraction: 0.2, ObjectHead: 256,
+	},
+	"watdiv": {
+		SubjectRatio: 0.048, ObjectRatio: 0.084, Predicates: 86,
+		PredicateSkew: 0.8, PredsPerSubject: 4.4, ObjsPerPair: 4.75,
+		ObjectHeadFraction: 0.15, ObjectHead: 64,
+	},
+	"lubm": {
+		SubjectRatio: 0.16, ObjectRatio: 0.12, Predicates: 17,
+		PredicateSkew: 0.7, PredsPerSubject: 4.9, ObjsPerPair: 1.26,
+		ObjectHeadFraction: 0.1, ObjectHead: 32,
+	},
+	"freebase": {
+		SubjectRatio: 0.049, ObjectRatio: 0.21, Predicates: 800,
+		PredicateSkew: 1.2, PredsPerSubject: 8.6, ObjsPerPair: 2.35,
+		ObjectHeadFraction: 0.2, ObjectHead: 256,
+	},
+}
+
+// PresetNames lists the available dataset presets in the paper's order.
+func PresetNames() []string {
+	return []string{"dblp", "geonames", "dbpedia", "watdiv", "lubm", "freebase"}
+}
+
+// Preset returns the configuration named after one of the paper's
+// datasets, scaled to the given triple count.
+func Preset(name string, triples int, seed int64) (Config, error) {
+	c, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, PresetNames())
+	}
+	c.Name = name
+	c.Triples = triples
+	c.Seed = seed
+	return c, nil
+}
+
+// Generate produces a dataset according to the configuration. Triples
+// are generated subject by subject: each subject draws a small set of
+// distinct predicates (mean PredsPerSubject, exponential spread so that
+// the Fig. 7 out-degree distribution has a long tail) and each
+// (subject, predicate) pair draws one or more objects (mean ObjsPerPair).
+func Generate(c Config) *core.Dataset {
+	if c.Triples <= 0 {
+		return core.NewDataset(nil)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	numS := maxInt(int(float64(c.Triples)*c.SubjectRatio), 4)
+	numO := maxInt(int(float64(c.Triples)*c.ObjectRatio), 4)
+	numP := maxInt(c.Predicates, 1)
+	head := minInt(maxInt(c.ObjectHead, 1), numO)
+	meanPreds := c.PredsPerSubject
+	if meanPreds < 1 {
+		meanPreds = 1
+	}
+	meanObjs := c.ObjsPerPair
+	if meanObjs < 1 {
+		meanObjs = 1
+	}
+
+	predicates := NewZipf(numP, c.PredicateSkew)
+	headDist := NewZipf(head, 1.0)
+	sampleObject := func() core.ID {
+		if rng.Float64() < c.ObjectHeadFraction {
+			return core.ID(headDist.Sample(rng))
+		}
+		return core.ID(head + rng.Intn(maxInt(numO-head, 1)))
+	}
+
+	seen := make(map[core.Triple]struct{}, c.Triples)
+	ts := make([]core.Triple, 0, c.Triples)
+	var predSet []core.ID
+	for s := 0; len(ts) < c.Triples; s = (s + 1) % numS {
+		outDeg := 1 + int(rng.ExpFloat64()*(meanPreds-1)+0.5)
+		if outDeg > numP {
+			outDeg = numP
+		}
+		predSet = predSet[:0]
+		for len(predSet) < outDeg {
+			p := core.ID(predicates.Sample(rng))
+			dup := false
+			for _, q := range predSet {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				predSet = append(predSet, p)
+			}
+		}
+		for _, p := range predSet {
+			numObjs := 1 + int(rng.ExpFloat64()*(meanObjs-1)+0.5)
+			for k := 0; k < numObjs && len(ts) < c.Triples; k++ {
+				t := core.Triple{S: core.ID(s), P: p, O: sampleObject()}
+				if _, dup := seen[t]; dup {
+					continue
+				}
+				seen[t] = struct{}{}
+				ts = append(ts, t)
+			}
+		}
+	}
+	return core.NewDataset(ts)
+}
+
+// GeneratePreset is shorthand for Preset followed by Generate.
+func GeneratePreset(name string, triples int, seed int64) (*core.Dataset, error) {
+	c, err := Preset(name, triples, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(c), nil
+}
+
+// SampleTriples draws n triples at random from the dataset, the paper's
+// methodology for building per-pattern query sets (Section 4,
+// "experimental setting": 5,000 triples drawn at random).
+func SampleTriples(d *core.Dataset, n int, seed int64) []core.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	if n >= d.Len() {
+		out := append([]core.Triple(nil), d.Triples...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	out := make([]core.Triple, n)
+	for i := range out {
+		out[i] = d.Triples[rng.Intn(d.Len())]
+	}
+	return out
+}
+
+// PatternWorkload turns sampled triples into patterns of a given shape.
+func PatternWorkload(sample []core.Triple, shape core.Shape) []core.Pattern {
+	out := make([]core.Pattern, len(sample))
+	for i, t := range sample {
+		out[i] = core.WithWildcards(t, shape)
+	}
+	return out
+}
+
+// SubjectsByOutDegree buckets sampled subjects by their number of
+// distinct predicates (the C statistic of Fig. 7) and returns, for each
+// out-degree value, the subjects having it and the count distribution.
+func SubjectsByOutDegree(d *core.Dataset) map[int][]core.ID {
+	deg := make(map[core.ID]int)
+	var ps core.ID
+	var pp core.ID
+	for i, t := range d.Triples {
+		if i == 0 || t.S != ps || t.P != pp {
+			deg[t.S]++
+		}
+		ps, pp = t.S, t.P
+	}
+	buckets := make(map[int][]core.ID)
+	for s, c := range deg {
+		buckets[c] = append(buckets[c], s)
+	}
+	for _, b := range buckets {
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	}
+	return buckets
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+package gen
+
+import (
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/sparql"
+)
+
+// execCount runs a query and returns the number of solutions.
+func execCount(q sparql.Query, x core.Index) (int, error) {
+	stats, err := sparql.Execute(q, x, nil)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Results, nil
+}

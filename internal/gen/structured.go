@@ -1,0 +1,388 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/sparql"
+)
+
+// The structured generators build schema-shaped datasets with a shared
+// subject/object entity ID space, so that join queries are meaningful.
+// LUBM is itself a synthetic benchmark (the paper generates it with the
+// official tool); this generator reproduces its university schema at a
+// configurable scale. The WatDiv-like generator reproduces an e-commerce
+// schema with numeric attributes for the range-query experiment of
+// Section 4.1.
+
+// LUBM predicate IDs (a compact rendition of the benchmark's ontology).
+const (
+	LubmType = iota
+	LubmSubOrganizationOf
+	LubmWorksFor
+	LubmMemberOf
+	LubmAdvisor
+	LubmTakesCourse
+	LubmTeacherOf
+	LubmHeadOf
+	LubmUndergraduateDegreeFrom
+	LubmMastersDegreeFrom
+	LubmDoctoralDegreeFrom
+	LubmPublicationAuthor
+	LubmName
+	LubmEmailAddress
+	LubmTelephone
+	LubmResearchInterest
+	LubmTitle
+	lubmNumPreds
+)
+
+// LUBM class IDs (objects of the type predicate).
+const (
+	LubmClassUniversity = iota
+	LubmClassDepartment
+	LubmClassProfessor
+	LubmClassGradStudent
+	LubmClassUndergradStudent
+	LubmClassCourse
+	LubmClassPublication
+	lubmFirstEntity = 10
+)
+
+// LUBMData is a generated university dataset with the entity groups
+// needed to instantiate query templates.
+type LUBMData struct {
+	Dataset      *core.Dataset
+	Universities []core.ID
+	Departments  []core.ID
+	Professors   []core.ID
+	Students     []core.ID
+	Courses      []core.ID
+}
+
+// LUBM generates a dataset with the given number of universities,
+// following the proportions of the Lehigh University Benchmark.
+func LUBM(universities int, seed int64) *LUBMData {
+	rng := rand.New(rand.NewSource(seed))
+	data := &LUBMData{}
+	next := core.ID(lubmFirstEntity)
+	alloc := func() core.ID {
+		id := next
+		next++
+		return id
+	}
+	var ts []core.Triple
+	add := func(s core.ID, p int, o core.ID) {
+		ts = append(ts, core.Triple{S: s, P: core.ID(p), O: o})
+	}
+	interests := make([]core.ID, 24)
+	for i := range interests {
+		interests[i] = alloc()
+	}
+	for u := 0; u < universities; u++ {
+		uni := alloc()
+		data.Universities = append(data.Universities, uni)
+		add(uni, LubmType, LubmClassUniversity)
+		add(uni, LubmName, alloc())
+		numDepts := 3 + rng.Intn(6)
+		for dI := 0; dI < numDepts; dI++ {
+			dept := alloc()
+			data.Departments = append(data.Departments, dept)
+			add(dept, LubmType, LubmClassDepartment)
+			add(dept, LubmSubOrganizationOf, uni)
+			add(dept, LubmName, alloc())
+
+			numProfs := 4 + rng.Intn(7)
+			profs := make([]core.ID, 0, numProfs)
+			var courses []core.ID
+			for pI := 0; pI < numProfs; pI++ {
+				prof := alloc()
+				profs = append(profs, prof)
+				data.Professors = append(data.Professors, prof)
+				add(prof, LubmType, LubmClassProfessor)
+				add(prof, LubmWorksFor, dept)
+				add(prof, LubmName, alloc())
+				add(prof, LubmEmailAddress, alloc())
+				add(prof, LubmTelephone, alloc())
+				add(prof, LubmResearchInterest, interests[rng.Intn(len(interests))])
+				if len(data.Universities) > 0 {
+					add(prof, LubmUndergraduateDegreeFrom,
+						data.Universities[rng.Intn(len(data.Universities))])
+					add(prof, LubmDoctoralDegreeFrom,
+						data.Universities[rng.Intn(len(data.Universities))])
+				}
+				if pI == 0 {
+					add(prof, LubmHeadOf, dept)
+				}
+				numCourses := 1 + rng.Intn(3)
+				for cI := 0; cI < numCourses; cI++ {
+					course := alloc()
+					courses = append(courses, course)
+					data.Courses = append(data.Courses, course)
+					add(course, LubmType, LubmClassCourse)
+					add(course, LubmName, alloc())
+					add(prof, LubmTeacherOf, course)
+				}
+				numPubs := 1 + rng.Intn(4)
+				for bI := 0; bI < numPubs; bI++ {
+					pub := alloc()
+					add(pub, LubmType, LubmClassPublication)
+					add(pub, LubmTitle, alloc())
+					add(pub, LubmPublicationAuthor, prof)
+				}
+			}
+			numStudents := 15 + rng.Intn(30)
+			for sI := 0; sI < numStudents; sI++ {
+				student := alloc()
+				data.Students = append(data.Students, student)
+				grad := rng.Intn(4) == 0
+				if grad {
+					add(student, LubmType, LubmClassGradStudent)
+					add(student, LubmUndergraduateDegreeFrom,
+						data.Universities[rng.Intn(len(data.Universities))])
+					add(student, LubmAdvisor, profs[rng.Intn(len(profs))])
+				} else {
+					add(student, LubmType, LubmClassUndergradStudent)
+				}
+				add(student, LubmMemberOf, dept)
+				add(student, LubmName, alloc())
+				add(student, LubmEmailAddress, alloc())
+				take := 2 + rng.Intn(3)
+				for k := 0; k < take && len(courses) > 0; k++ {
+					add(student, LubmTakesCourse, courses[rng.Intn(len(courses))])
+				}
+			}
+		}
+	}
+	data.Dataset = core.NewDataset(ts)
+	// Shared entity space: make the subject and object spaces coincide.
+	unify(data.Dataset)
+	return data
+}
+
+// unify widens both ID spaces to their union so the trie first levels
+// cover every entity regardless of which position it appears in.
+func unify(d *core.Dataset) {
+	if d.NO > d.NS {
+		d.NS = d.NO
+	} else {
+		d.NO = d.NS
+	}
+}
+
+// LUBMQueries generates a query log of n queries cycling through
+// simplified renditions of the LUBM query mix (selective lookups, star
+// joins and chains).
+func LUBMQueries(data *LUBMData, n int, seed int64) []sparql.Query {
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(ids []core.ID) core.ID { return ids[rng.Intn(len(ids))] }
+	var out []sparql.Query
+	for len(out) < n {
+		switch len(out) % 6 {
+		case 0: // students taking a given course
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?x WHERE { ?x <%d> <%d> . ?x <%d> <%d> . }",
+				LubmTakesCourse, pick(data.Courses), LubmType, LubmClassUndergradStudent)))
+		case 1: // professors of a department and their advisees
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?p ?s WHERE { ?p <%d> <%d> . ?s <%d> ?p . }",
+				LubmWorksFor, pick(data.Departments), LubmAdvisor)))
+		case 2: // contact card star
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?p ?n ?e WHERE { ?p <%d> <%d> . ?p <%d> ?n . ?p <%d> ?e . }",
+				LubmWorksFor, pick(data.Departments), LubmName, LubmEmailAddress)))
+		case 3: // members of a university through its departments (chain)
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?x ?d WHERE { ?x <%d> ?d . ?d <%d> <%d> . }",
+				LubmMemberOf, LubmSubOrganizationOf, pick(data.Universities))))
+		case 4: // classmates of the courses taught by a professor
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?s ?c WHERE { <%d> <%d> ?c . ?s <%d> ?c . }",
+				pick(data.Professors), LubmTeacherOf, LubmTakesCourse)))
+		case 5: // advisor chain to a university
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?s ?p WHERE { ?s <%d> ?p . ?p <%d> ?d . ?d <%d> <%d> . }",
+				LubmAdvisor, LubmWorksFor, LubmSubOrganizationOf, pick(data.Universities))))
+		}
+	}
+	return out
+}
+
+// WatDiv predicate IDs.
+const (
+	WdType = iota
+	WdPurchases
+	WdReviewsProduct
+	WdReviewer
+	WdRating
+	WdPrice
+	WdDate
+	WdFriendOf
+	WdLikes
+	WdName
+	WdCaption
+	WdRetailerOf
+	wdNumPreds
+)
+
+// WatDiv class IDs.
+const (
+	WdClassUser = iota
+	WdClassProduct
+	WdClassReview
+	WdClassRetailer
+	wdFirstEntity = 10
+)
+
+// WatDivData is a generated e-commerce dataset; numeric attribute values
+// occupy the contiguous object ID block [NumericBase, NumericBase +
+// len(NumericValues)) in increasing value order, as the range-query ID
+// assignment of Section 3.1 requires.
+type WatDivData struct {
+	Dataset       *core.Dataset
+	Users         []core.ID
+	Products      []core.ID
+	Reviews       []core.ID
+	NumericBase   core.ID
+	NumericValues []uint64
+}
+
+// R builds the paper's R structure over the numeric block.
+func (w *WatDivData) R() *core.R { return core.NewR(w.NumericBase, w.NumericValues) }
+
+// WatDiv generates a dataset with the given number of products.
+func WatDiv(products int, seed int64) *WatDivData {
+	rng := rand.New(rand.NewSource(seed))
+	data := &WatDivData{}
+	next := core.ID(wdFirstEntity)
+	alloc := func() core.ID {
+		id := next
+		next++
+		return id
+	}
+
+	type numericTriple struct {
+		s core.ID
+		p int
+		v uint64
+	}
+	var numerics []numericTriple
+	var ts []core.Triple
+	add := func(s core.ID, p int, o core.ID) {
+		ts = append(ts, core.Triple{S: s, P: core.ID(p), O: o})
+	}
+
+	numUsers := products/2 + 4
+	numRetailers := products/100 + 2
+	retailers := make([]core.ID, numRetailers)
+	for i := range retailers {
+		retailers[i] = alloc()
+		add(retailers[i], WdType, WdClassRetailer)
+		add(retailers[i], WdName, alloc())
+	}
+	for i := 0; i < products; i++ {
+		prod := alloc()
+		data.Products = append(data.Products, prod)
+		add(prod, WdType, WdClassProduct)
+		add(prod, WdCaption, alloc())
+		add(retailers[rng.Intn(numRetailers)], WdRetailerOf, prod)
+		numerics = append(numerics,
+			numericTriple{prod, WdPrice, uint64(100 + rng.Intn(99900))},
+			numericTriple{prod, WdDate, uint64(20100101 + rng.Intn(99999))})
+	}
+	for i := 0; i < numUsers; i++ {
+		user := alloc()
+		data.Users = append(data.Users, user)
+		add(user, WdType, WdClassUser)
+		add(user, WdName, alloc())
+		buys := 1 + rng.Intn(6)
+		for k := 0; k < buys; k++ {
+			add(user, WdPurchases, data.Products[rng.Intn(products)])
+		}
+		likes := rng.Intn(4)
+		for k := 0; k < likes; k++ {
+			add(user, WdLikes, data.Products[rng.Intn(products)])
+		}
+		if i > 0 && rng.Intn(2) == 0 {
+			add(user, WdFriendOf, data.Users[rng.Intn(i)])
+		}
+	}
+	numReviews := products * 2
+	for i := 0; i < numReviews; i++ {
+		rev := alloc()
+		data.Reviews = append(data.Reviews, rev)
+		add(rev, WdType, WdClassReview)
+		add(rev, WdReviewsProduct, data.Products[rng.Intn(products)])
+		add(rev, WdReviewer, data.Users[rng.Intn(numUsers)])
+		numerics = append(numerics, numericTriple{rev, WdRating, uint64(rng.Intn(11))})
+	}
+
+	// Assign the numeric block: distinct values sorted ascending receive
+	// consecutive IDs starting after all entities and literals.
+	distinct := map[uint64]bool{}
+	for _, nt := range numerics {
+		distinct[nt.v] = true
+	}
+	values := make([]uint64, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	rank := make(map[uint64]int, len(values))
+	for i, v := range values {
+		rank[v] = i
+	}
+	data.NumericBase = next
+	data.NumericValues = values
+	for _, nt := range numerics {
+		add(nt.s, nt.p, data.NumericBase+core.ID(rank[nt.v]))
+	}
+
+	data.Dataset = core.NewDataset(ts)
+	unify(data.Dataset)
+	return data
+}
+
+// WatDivQueries generates a query log of n star/chain queries in the
+// spirit of the WatDiv stress workload.
+func WatDivQueries(data *WatDivData, n int, seed int64) []sparql.Query {
+	rng := rand.New(rand.NewSource(seed))
+	pickP := func() core.ID { return data.Products[rng.Intn(len(data.Products))] }
+	pickU := func() core.ID { return data.Users[rng.Intn(len(data.Users))] }
+	var out []sparql.Query
+	for len(out) < n {
+		switch len(out) % 5 {
+		case 0: // reviews of a product with their raters
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?r ?u WHERE { ?r <%d> <%d> . ?r <%d> ?u . }",
+				WdReviewsProduct, pickP(), WdReviewer)))
+		case 1: // what a user's friends purchased
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?f ?p WHERE { <%d> <%d> ?f . ?f <%d> ?p . }",
+				pickU(), WdFriendOf, WdPurchases)))
+		case 2: // product star: caption and price
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?c ?v WHERE { <%d> <%d> ?c . <%d> <%d> ?v . }",
+				pickP(), WdCaption, pickP(), WdPrice)))
+		case 3: // purchasers of products a user likes
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?p ?u WHERE { <%d> <%d> ?p . ?u <%d> ?p . }",
+				pickU(), WdLikes, WdPurchases)))
+		case 4: // review chain: user -> purchases -> reviewed by
+			out = append(out, mustParse(fmt.Sprintf(
+				"SELECT ?p ?r WHERE { <%d> <%d> ?p . ?r <%d> ?p . }",
+				pickU(), WdPurchases, WdReviewsProduct)))
+		}
+	}
+	return out
+}
+
+func mustParse(s string) sparql.Query {
+	q, err := sparql.Parse(s)
+	if err != nil {
+		panic(fmt.Sprintf("gen: bad query template %q: %v", s, err))
+	}
+	return q
+}

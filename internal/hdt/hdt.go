@@ -1,0 +1,377 @@
+// Package hdt reimplements the HDT-FoQ (Focused on Querying) baseline of
+// Martinez-Prieto, Gallego and Fernandez, the RDF index the paper compares
+// against in Tables 5 and 6. HDT-FoQ keeps a single SPO trie: the
+// predicate level is a wavelet tree (so predicate-based patterns can be
+// answered with select operations) and object-based retrieval uses an
+// additional inverted index of object occurrences ("O-index").
+//
+// Differences from the original C++ library, none of which change the
+// experimental shape: sibling group boundaries are delimited with
+// Elias-Fano pointer sequences rather than plain bitmaps with rank/select
+// (equivalent information, comparable space), and the dictionary is
+// external, as in the paper's methodology which excludes dictionaries for
+// all systems.
+package hdt
+
+import (
+	"fmt"
+
+	"rdfindexes/internal/bits"
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/ef"
+	"rdfindexes/internal/wavelet"
+)
+
+// Index is an immutable HDT-FoQ style index.
+type Index struct {
+	numTriples int
+	numS       int
+	numP       int
+	numO       int
+
+	ptrS       *ef.Sequence        // numS+1 positions into the pair level
+	predicates *wavelet.Tree       // predicate of each (s, p) pair
+	ptrPair    *ef.Sequence        // numPairs+1 positions into objects
+	objects    *bits.CompactVector // object of each triple, grouped by pair
+
+	// O-index: for every object, the sorted positions of its occurrences
+	// in the objects array.
+	objPtr       *ef.Sequence
+	objPositions *bits.CompactVector
+}
+
+// Build constructs the index from a dataset (whose triples are already in
+// canonical sorted SPO order).
+func Build(d *core.Dataset) (*Index, error) {
+	x := &Index{numTriples: d.Len(), numS: d.NS, numP: d.NP, numO: d.NO}
+
+	ptrS := make([]uint64, 0, d.NS+1)
+	var preds []uint64
+	ptrPair := []uint64{}
+	objects := make([]uint64, 0, d.Len())
+
+	var ps, pp core.ID
+	for i, t := range d.Triples {
+		newSubject := i == 0 || t.S != ps
+		if newSubject {
+			for len(ptrS) <= int(t.S) {
+				ptrS = append(ptrS, uint64(len(preds)))
+			}
+		}
+		if newSubject || t.P != pp {
+			preds = append(preds, uint64(t.P))
+			ptrPair = append(ptrPair, uint64(len(objects)))
+		}
+		objects = append(objects, uint64(t.O))
+		ps, pp = t.S, t.P
+	}
+	for len(ptrS) <= d.NS {
+		ptrS = append(ptrS, uint64(len(preds)))
+	}
+	ptrPair = append(ptrPair, uint64(len(objects)))
+
+	x.ptrS = ef.New(ptrS)
+	x.predicates = wavelet.New(preds, uint64(maxInt(d.NP, 1)))
+	x.ptrPair = ef.New(ptrPair)
+	x.objects = bits.NewCompact(objects)
+
+	// O-index: bucket the object positions.
+	counts := make([]int, d.NO+1)
+	for _, o := range objects {
+		counts[o+1]++
+	}
+	objPtr := make([]uint64, d.NO+1)
+	for o := 1; o <= d.NO; o++ {
+		counts[o] += counts[o-1]
+		objPtr[o] = uint64(counts[o])
+	}
+	positions := make([]uint64, len(objects))
+	fill := make([]int, d.NO)
+	for pos, o := range objects {
+		positions[int(objPtr[o])+fill[o]] = uint64(pos)
+		fill[o]++
+	}
+	x.objPtr = ef.New(objPtr)
+	x.objPositions = bits.NewCompact(positions)
+	return x, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NumTriples returns the number of indexed triples.
+func (x *Index) NumTriples() int { return x.numTriples }
+
+// SizeBits returns the total storage footprint in bits.
+func (x *Index) SizeBits() uint64 {
+	return x.ptrS.SizeBits() + x.predicates.SizeBits() + x.ptrPair.SizeBits() +
+		x.objects.SizeBits() + x.objPtr.SizeBits() + x.objPositions.SizeBits() + 4*64
+}
+
+// pairRange returns the pair positions of subject s.
+func (x *Index) pairRange(s core.ID) (int, int) {
+	if int(s) >= x.numS {
+		return 0, 0
+	}
+	return int(x.ptrS.Access(int(s))), int(x.ptrS.Access(int(s) + 1))
+}
+
+// objRange returns the object positions of pair j.
+func (x *Index) objRange(j int) (int, int) {
+	return int(x.ptrPair.Access(j)), int(x.ptrPair.Access(j + 1))
+}
+
+// subjectOfPair returns the subject owning pair j.
+func (x *Index) subjectOfPair(j int) core.ID {
+	pos, _, _ := x.ptrS.NextGEQ(uint64(j) + 1)
+	return core.ID(pos - 1)
+}
+
+// pairOfPosition returns the pair owning object position q.
+func (x *Index) pairOfPosition(q int) int {
+	pos, _, _ := x.ptrPair.NextGEQ(uint64(q) + 1)
+	return pos - 1
+}
+
+// findPair locates predicate p among subject s's pairs by binary search
+// over wavelet tree accesses; returns the pair position or -1.
+func (x *Index) findPair(s, p core.ID) int {
+	lo, hi := x.pairRange(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := x.predicates.Access(mid)
+		switch {
+		case v < uint64(p):
+			lo = mid + 1
+		case v > uint64(p):
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// objPositionsOf returns the O-index slice bounds of object o.
+func (x *Index) objPositionsOf(o core.ID) (int, int) {
+	if int(o) >= x.numO {
+		return 0, 0
+	}
+	return int(x.objPtr.Access(int(o))), int(x.objPtr.Access(int(o) + 1))
+}
+
+// Select resolves a triple selection pattern.
+func (x *Index) Select(p core.Pattern) *core.Iterator {
+	switch p.Shape() {
+	case core.ShapeSPO:
+		return x.selectSPO(p.S, p.P, p.O)
+	case core.ShapeSPx:
+		return x.selectSP(p.S, p.P)
+	case core.ShapeSxx:
+		return x.selectS(p.S)
+	case core.ShapeSxO:
+		// Resolved through the O-index, filtering on the subject; the
+		// cost is proportional to the object's popularity, which is what
+		// makes HDT-FoQ's S?O slow in Table 5.
+		return x.selectViaOIndex(p.O, func(s core.ID, _ core.ID) bool { return s == p.S })
+	case core.ShapexPO:
+		return x.selectViaOIndex(p.O, func(_ core.ID, pr core.ID) bool { return pr == p.P })
+	case core.ShapexPx:
+		return x.selectP(p.P)
+	case core.ShapexxO:
+		return x.selectViaOIndex(p.O, func(core.ID, core.ID) bool { return true })
+	default:
+		return x.scan()
+	}
+}
+
+func (x *Index) selectSPO(s, p, o core.ID) *core.Iterator {
+	j := x.findPair(s, p)
+	if j < 0 {
+		return core.EmptyIterator()
+	}
+	b, e := x.objRange(j)
+	for q := b; q < e; q++ {
+		v := x.objects.At(q)
+		if v == uint64(o) {
+			return core.SingleIterator(core.Triple{S: s, P: p, O: o})
+		}
+		if v > uint64(o) {
+			break
+		}
+	}
+	return core.EmptyIterator()
+}
+
+func (x *Index) selectSP(s, p core.ID) *core.Iterator {
+	j := x.findPair(s, p)
+	if j < 0 {
+		return core.EmptyIterator()
+	}
+	b, e := x.objRange(j)
+	q := b
+	return core.NewIterator(func() (core.Triple, bool) {
+		if q >= e {
+			return core.Triple{}, false
+		}
+		o := core.ID(x.objects.At(q))
+		q++
+		return core.Triple{S: s, P: p, O: o}, true
+	})
+}
+
+func (x *Index) selectS(s core.ID) *core.Iterator {
+	jb, je := x.pairRange(s)
+	j := jb
+	var (
+		curP core.ID
+		q, e int
+		open bool
+	)
+	return core.NewIterator(func() (core.Triple, bool) {
+		for {
+			if open && q < e {
+				o := core.ID(x.objects.At(q))
+				q++
+				return core.Triple{S: s, P: curP, O: o}, true
+			}
+			if j >= je {
+				return core.Triple{}, false
+			}
+			curP = core.ID(x.predicates.Access(j))
+			q, e = x.objRange(j)
+			open = true
+			j++
+		}
+	})
+}
+
+// selectViaOIndex iterates the occurrences of object o, keeping the
+// triples accepted by keep(subject, predicate).
+func (x *Index) selectViaOIndex(o core.ID, keep func(core.ID, core.ID) bool) *core.Iterator {
+	b, e := x.objPositionsOf(o)
+	q := b
+	return core.NewIterator(func() (core.Triple, bool) {
+		for q < e {
+			pos := int(x.objPositions.At(q))
+			q++
+			j := x.pairOfPosition(pos)
+			s := x.subjectOfPair(j)
+			p := core.ID(x.predicates.Access(j))
+			if keep(s, p) {
+				return core.Triple{S: s, P: p, O: o}, true
+			}
+		}
+		return core.Triple{}, false
+	})
+}
+
+// selectP resolves ?P? with one wavelet-tree select per occurrence of the
+// predicate, the operation the paper identifies as HDT-FoQ's weak spot.
+func (x *Index) selectP(p core.ID) *core.Iterator {
+	if int(p) >= x.numP {
+		return core.EmptyIterator()
+	}
+	total := x.predicates.Count(uint64(p))
+	k := 0
+	var (
+		curS core.ID
+		q, e int
+		open bool
+	)
+	return core.NewIterator(func() (core.Triple, bool) {
+		for {
+			if open && q < e {
+				o := core.ID(x.objects.At(q))
+				q++
+				return core.Triple{S: curS, P: p, O: o}, true
+			}
+			if k >= total {
+				return core.Triple{}, false
+			}
+			j := x.predicates.Select(uint64(p), k)
+			k++
+			curS = x.subjectOfPair(j)
+			q, e = x.objRange(j)
+			open = true
+		}
+	})
+}
+
+func (x *Index) scan() *core.Iterator {
+	numPairs := x.predicates.Len()
+	j := 0
+	var (
+		curS, curP core.ID
+		q, e       int
+		open       bool
+	)
+	return core.NewIterator(func() (core.Triple, bool) {
+		for {
+			if open && q < e {
+				o := core.ID(x.objects.At(q))
+				q++
+				return core.Triple{S: curS, P: curP, O: o}, true
+			}
+			if j >= numPairs {
+				return core.Triple{}, false
+			}
+			curS = x.subjectOfPair(j)
+			curP = core.ID(x.predicates.Access(j))
+			q, e = x.objRange(j)
+			open = true
+			j++
+		}
+	})
+}
+
+// Encode writes the index to w.
+func (x *Index) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(x.numTriples))
+	w.Uvarint(uint64(x.numS))
+	w.Uvarint(uint64(x.numP))
+	w.Uvarint(uint64(x.numO))
+	x.ptrS.Encode(w)
+	x.predicates.Encode(w)
+	x.ptrPair.Encode(w)
+	x.objects.Encode(w)
+	x.objPtr.Encode(w)
+	x.objPositions.Encode(w)
+}
+
+// Decode reads an index written by Encode.
+func Decode(r *codec.Reader) (*Index, error) {
+	x := &Index{}
+	x.numTriples = int(r.Uvarint())
+	x.numS = int(r.Uvarint())
+	x.numP = int(r.Uvarint())
+	x.numO = int(r.Uvarint())
+	var err error
+	if x.ptrS, err = ef.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.predicates, err = wavelet.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.ptrPair, err = ef.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.objects, err = bits.DecodeCompact(r); err != nil {
+		return nil, err
+	}
+	if x.objPtr, err = ef.Decode(r); err != nil {
+		return nil, err
+	}
+	if x.objPositions, err = bits.DecodeCompact(r); err != nil {
+		return nil, err
+	}
+	if x.ptrS.Len() != x.numS+1 || x.objects.Len() != x.numTriples {
+		return nil, r.Fail(fmt.Errorf("%w: hdt index sizes", codec.ErrCorrupt))
+	}
+	return x, nil
+}

@@ -1,0 +1,146 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+)
+
+func TestParseLineForms(t *testing.T) {
+	cases := []struct {
+		line string
+		want Statement
+	}{
+		{
+			`<http://a> <http://p> <http://b> .`,
+			Statement{Term{IRI, "http://a", ""}, Term{IRI, "http://p", ""}, Term{IRI, "http://b", ""}},
+		},
+		{
+			`_:x <http://p> "hello" .`,
+			Statement{Term{BlankNode, "x", ""}, Term{IRI, "http://p", ""}, Term{Literal, "hello", ""}},
+		},
+		{
+			`<http://a> <http://p> "bonjour"@fr .`,
+			Statement{Term{IRI, "http://a", ""}, Term{IRI, "http://p", ""}, Term{Literal, "bonjour", "@fr"}},
+		},
+		{
+			`<http://a> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+			Statement{Term{IRI, "http://a", ""}, Term{IRI, "http://p", ""},
+				Term{Literal, "42", "http://www.w3.org/2001/XMLSchema#integer"}},
+		},
+		{
+			`<http://a> <http://p> "with \"quotes\" and \n newline" .`,
+			Statement{Term{IRI, "http://a", ""}, Term{IRI, "http://p", ""},
+				Term{Literal, "with \"quotes\" and \n newline", ""}},
+		},
+	}
+	for _, c := range cases {
+		got, ok, err := ParseLine(c.line)
+		if err != nil || !ok {
+			t.Fatalf("ParseLine(%q): ok=%v err=%v", c.line, ok, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseLineSkipsCommentsAndBlank(t *testing.T) {
+	for _, line := range []string{"", "   ", "# a comment", "  # indented comment"} {
+		_, ok, err := ParseLine(line)
+		if err != nil || ok {
+			t.Fatalf("ParseLine(%q): ok=%v err=%v, want skip", line, ok, err)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		`<http://a> <http://p> <http://b>`,  // no dot
+		`<http://a> "lit" <http://b> .`,     // literal predicate
+		`<http://a <http://p> <http://b> .`, // unterminated IRI
+		`<http://a> <http://p> "open .`,     // unterminated literal
+		`_: <http://p> <http://b> .`,        // empty blank label
+		`<http://a> <http://p> .`,           // missing object
+	}
+	for _, line := range bad {
+		if _, ok, err := ParseLine(line); err == nil && ok {
+			t.Errorf("ParseLine accepted %q", line)
+		}
+	}
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	lines := []string{
+		`<http://a> <http://p> <http://b> .`,
+		`_:x <http://p> "hello" .`,
+		`<http://a> <http://p> "bonjour"@fr .`,
+		`<http://a> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+	}
+	for _, line := range lines {
+		st, ok, err := ParseLine(line)
+		if err != nil || !ok {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		st2, ok, err := ParseLine(st.String())
+		if err != nil || !ok {
+			t.Fatalf("re-parse %q: %v", st.String(), err)
+		}
+		if st != st2 {
+			t.Fatalf("round trip changed %+v to %+v", st, st2)
+		}
+	}
+}
+
+const sampleNT = `# sample graph
+<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/bob> <http://ex/knows> <http://ex/carol> .
+<http://ex/alice> <http://ex/name> "Alice" .
+<http://ex/bob> <http://ex/name> "Bob" .
+<http://ex/carol> <http://ex/age> "29"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+
+func TestParseAllAndEncode(t *testing.T) {
+	sts, err := ParseAll(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 5 {
+		t.Fatalf("parsed %d statements, want 5", len(sts))
+	}
+	d, dicts, err := Encode(sts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("dataset has %d triples, want 5", d.Len())
+	}
+	if d.NS != d.NO || d.NS != dicts.SO.Len() {
+		t.Fatalf("shared SO space broken: NS=%d NO=%d dict=%d", d.NS, d.NO, dicts.SO.Len())
+	}
+	// Query through an index by URI.
+	x, err := core.Build2Tp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, ok := dicts.SO.Locate("<http://ex/alice>")
+	if !ok {
+		t.Fatal("alice missing from dictionary")
+	}
+	knows, ok := dicts.P.Locate("<http://ex/knows>")
+	if !ok {
+		t.Fatal("knows missing from dictionary")
+	}
+	matches := x.Select(core.Pattern{S: core.ID(alice), P: core.ID(knows), O: core.Wildcard}).Collect(-1)
+	if len(matches) != 1 {
+		t.Fatalf("alice knows %d people, want 1", len(matches))
+	}
+	line, err := dicts.DecodeTriple(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "<http://ex/alice> <http://ex/knows> <http://ex/bob> ." {
+		t.Fatalf("decoded triple %q", line)
+	}
+}

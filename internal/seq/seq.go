@@ -1,0 +1,465 @@
+// Package seq presents the four integer-sequence representations of the
+// paper (Compact, Elias-Fano, partitioned Elias-Fano, blocked VByte)
+// behind a single interface suited to trie levels: sequences whose values
+// are sorted only within the sibling ranges delimited by an external
+// pointer structure.
+//
+// For the monotone encoders (EF, PEF, VByte) the package applies the
+// prefix-sum transformation of Section 3.1 of the paper: each stored value
+// is the original plus the running base of its range, where the base of a
+// range is the stored value immediately preceding it. Lookups take the
+// start of the enclosing range and add/subtract the base transparently;
+// the Compact representation stores original values and needs no
+// transformation.
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfindexes/internal/bits"
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/ef"
+	"rdfindexes/internal/vbyte"
+)
+
+// Kind identifies a sequence representation.
+type Kind uint8
+
+// The four representations benchmarked in Table 1 of the paper, plus the
+// cost-optimized partitioned Elias-Fano variant (an extension used by the
+// ablation study).
+const (
+	KindCompact Kind = iota
+	KindEF
+	KindPEF
+	KindVByte
+	KindPEFOpt
+)
+
+// String returns the representation name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindCompact:
+		return "Compact"
+	case KindEF:
+		return "EF"
+	case KindPEF:
+		return "PEF"
+	case KindVByte:
+		return "VByte"
+	case KindPEFOpt:
+		return "PEFOpt"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind parses a representation name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindCompact, KindEF, KindPEF, KindVByte, KindPEFOpt} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("seq: unknown kind %q", s)
+}
+
+// Iterator yields consecutive original values of one range.
+type Iterator interface {
+	// Next returns the next value, or ok=false at the end of the range.
+	Next() (uint64, bool)
+}
+
+// Sequence is an immutable compressed integer sequence whose values are
+// sorted (strictly increasing) within externally delimited ranges.
+type Sequence interface {
+	// Len returns the total number of values.
+	Len() int
+	// At returns the original value at absolute position i; begin must be
+	// the start of the range containing i.
+	At(begin, i int) uint64
+	// At2 returns the values at positions i and i+1 (both within the
+	// range starting at begin). Implementations may amortize the two
+	// lookups; trie pointer pairs are the hot caller.
+	At2(begin, i int) (uint64, uint64)
+	// Find returns the absolute position of x within the sorted range
+	// [begin, end), or -1 if x does not occur there.
+	Find(begin, end int, x uint64) int
+	// FindGEQ returns the absolute position and value of the first element
+	// >= x within the sorted range [begin, end); ok is false when every
+	// element of the range is smaller.
+	FindGEQ(begin, end int, x uint64) (pos int, val uint64, ok bool)
+	// Iter iterates the original values of the range [begin, end).
+	Iter(begin, end int) Iterator
+	// IterFrom iterates the original values of positions [from, end)
+	// within the sorted range starting at rangeBegin (rangeBegin <= from).
+	IterFrom(rangeBegin, from, end int) Iterator
+	// SizeBits returns the storage footprint in bits.
+	SizeBits() uint64
+	// Kind returns the representation identifier.
+	Kind() Kind
+
+	encode(w *codec.Writer)
+}
+
+// Build encodes values with the given representation. ranges delimits the
+// sorted sub-ranges: ranges[k] is the start of range k, with
+// ranges[0] == 0 and ranges[len-1] == len(values). A nil ranges treats the
+// whole input as a single sorted range (a plain monotone sequence).
+func Build(kind Kind, values []uint64, ranges []int) Sequence {
+	if ranges == nil {
+		ranges = []int{0, len(values)}
+	}
+	if len(ranges) < 2 || ranges[0] != 0 || ranges[len(ranges)-1] != len(values) {
+		panic("seq: invalid range delimiters")
+	}
+	switch kind {
+	case KindCompact:
+		return newCompactSeq(values)
+	case KindEF:
+		return &efSeq{s: ef.New(prefixSum(values, ranges))}
+	case KindPEF:
+		return &pefSeq{s: ef.NewPartitioned(prefixSum(values, ranges))}
+	case KindVByte:
+		return &vbyteSeq{s: vbyte.NewBlocked(prefixSum(values, ranges))}
+	case KindPEFOpt:
+		return &pefOptSeq{s: ef.NewOptPartitioned(prefixSum(values, ranges))}
+	}
+	panic(fmt.Sprintf("seq: unknown kind %d", kind))
+}
+
+// BuildMono encodes an already-monotone sequence (e.g. trie pointers).
+func BuildMono(kind Kind, values []uint64) Sequence {
+	return Build(kind, values, nil)
+}
+
+// prefixSum rewrites each range by adding the stored value that precedes
+// it, making the concatenation globally non-decreasing (Section 3.1).
+func prefixSum(values []uint64, ranges []int) []uint64 {
+	enc := make([]uint64, len(values))
+	var base uint64
+	for k := 0; k+1 < len(ranges); k++ {
+		lo, hi := ranges[k], ranges[k+1]
+		for i := lo; i < hi; i++ {
+			enc[i] = values[i] + base
+		}
+		if hi > lo {
+			base = enc[hi-1]
+		}
+	}
+	return enc
+}
+
+// monotone abstracts the three monotone encoders.
+type monotone interface {
+	Len() int
+	Access(i int) uint64
+	NextGEQ(x uint64) (int, uint64, bool)
+}
+
+func monoAt(m monotone, begin, i int) uint64 {
+	v := m.Access(i)
+	if begin > 0 {
+		v -= m.Access(begin - 1)
+	}
+	return v
+}
+
+func monoFindGEQ(m monotone, begin, end int, x uint64) (int, uint64, bool) {
+	if begin >= end {
+		return end, 0, false
+	}
+	var base uint64
+	if begin > 0 {
+		base = m.Access(begin - 1)
+	}
+	pos, val, ok := m.NextGEQ(base + x)
+	if !ok {
+		return end, 0, false
+	}
+	if pos < begin {
+		// Everything in the range is >= its base, hence >= the target.
+		pos = begin
+		val = m.Access(begin)
+	}
+	if pos >= end {
+		return end, 0, false
+	}
+	return pos, val - base, true
+}
+
+func monoFind(m monotone, begin, end int, x uint64) int {
+	if begin >= end {
+		return -1
+	}
+	target := x
+	if begin > 0 {
+		target += m.Access(begin - 1)
+	}
+	pos, val, ok := m.NextGEQ(target)
+	if !ok || val != target {
+		return -1
+	}
+	// Duplicates of target may precede the range (the first value of a
+	// range repeats its base when the original value is zero).
+	for pos < begin {
+		pos++
+		if pos >= m.Len() || m.Access(pos) != target {
+			return -1
+		}
+	}
+	if pos >= end {
+		return -1
+	}
+	return pos
+}
+
+// monoIter adapts a raw iterator over stored values into original values.
+type monoIter struct {
+	next func() (uint64, bool)
+	base uint64
+	left int
+}
+
+func (it *monoIter) Next() (uint64, bool) {
+	if it.left <= 0 {
+		return 0, false
+	}
+	v, ok := it.next()
+	if !ok {
+		return 0, false
+	}
+	it.left--
+	return v - it.base, true
+}
+
+func newMonoIter(m monotone, raw func() (uint64, bool), rangeBegin, from, end int) Iterator {
+	var base uint64
+	if rangeBegin > 0 {
+		base = m.Access(rangeBegin - 1)
+	}
+	return &monoIter{next: raw, base: base, left: end - from}
+}
+
+// compactSeq is the fixed-width representation; values are stored as-is.
+type compactSeq struct {
+	v *bits.CompactVector
+}
+
+func newCompactSeq(values []uint64) *compactSeq {
+	return &compactSeq{v: bits.NewCompact(values)}
+}
+
+func (c *compactSeq) Len() int           { return c.v.Len() }
+func (c *compactSeq) Kind() Kind         { return KindCompact }
+func (c *compactSeq) SizeBits() uint64   { return c.v.SizeBits() }
+func (c *compactSeq) At(_, i int) uint64 { return c.v.At(i) }
+func (c *compactSeq) At2(_, i int) (uint64, uint64) {
+	return c.v.At(i), c.v.At(i + 1)
+}
+
+func (c *compactSeq) Find(begin, end int, x uint64) int {
+	i := begin + sort.Search(end-begin, func(j int) bool { return c.v.At(begin+j) >= x })
+	if i < end && c.v.At(i) == x {
+		return i
+	}
+	return -1
+}
+
+func (c *compactSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
+	i := begin + sort.Search(end-begin, func(j int) bool { return c.v.At(begin+j) >= x })
+	if i < end {
+		return i, c.v.At(i), true
+	}
+	return end, 0, false
+}
+
+type compactIter struct {
+	v   *bits.CompactVector
+	i   int
+	end int
+}
+
+func (it *compactIter) Next() (uint64, bool) {
+	if it.i >= it.end {
+		return 0, false
+	}
+	v := it.v.At(it.i)
+	it.i++
+	return v, true
+}
+
+func (c *compactSeq) Iter(begin, end int) Iterator {
+	return &compactIter{v: c.v, i: begin, end: end}
+}
+
+func (c *compactSeq) IterFrom(_, from, end int) Iterator {
+	return &compactIter{v: c.v, i: from, end: end}
+}
+
+func (c *compactSeq) encode(w *codec.Writer) { c.v.Encode(w) }
+
+// efSeq wraps a plain Elias-Fano sequence of prefix-summed values.
+type efSeq struct {
+	s *ef.Sequence
+}
+
+func (e *efSeq) Len() int         { return e.s.Len() }
+func (e *efSeq) Kind() Kind       { return KindEF }
+func (e *efSeq) SizeBits() uint64 { return e.s.SizeBits() }
+func (e *efSeq) At(begin, i int) uint64 {
+	return monoAt(e.s, begin, i)
+}
+func (e *efSeq) At2(begin, i int) (uint64, uint64) {
+	v1, v2 := e.s.AccessPair(i)
+	if begin > 0 {
+		base := e.s.Access(begin - 1)
+		v1 -= base
+		v2 -= base
+	}
+	return v1, v2
+}
+func (e *efSeq) Find(begin, end int, x uint64) int {
+	return monoFind(e.s, begin, end, x)
+}
+func (e *efSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
+	return monoFindGEQ(e.s, begin, end, x)
+}
+func (e *efSeq) Iter(begin, end int) Iterator {
+	return newMonoIter(e.s, e.s.Iterator(begin).Next, begin, begin, end)
+}
+func (e *efSeq) IterFrom(rangeBegin, from, end int) Iterator {
+	return newMonoIter(e.s, e.s.Iterator(from).Next, rangeBegin, from, end)
+}
+func (e *efSeq) encode(w *codec.Writer) { e.s.Encode(w) }
+
+// pefSeq wraps a partitioned Elias-Fano sequence of prefix-summed values.
+type pefSeq struct {
+	s *ef.Partitioned
+}
+
+func (p *pefSeq) Len() int         { return p.s.Len() }
+func (p *pefSeq) Kind() Kind       { return KindPEF }
+func (p *pefSeq) SizeBits() uint64 { return p.s.SizeBits() }
+func (p *pefSeq) At(begin, i int) uint64 {
+	return monoAt(p.s, begin, i)
+}
+func (p *pefSeq) At2(begin, i int) (uint64, uint64) {
+	return monoAt(p.s, begin, i), monoAt(p.s, begin, i+1)
+}
+func (p *pefSeq) Find(begin, end int, x uint64) int {
+	return monoFind(p.s, begin, end, x)
+}
+func (p *pefSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
+	return monoFindGEQ(p.s, begin, end, x)
+}
+func (p *pefSeq) Iter(begin, end int) Iterator {
+	return newMonoIter(p.s, p.s.Iterator(begin).Next, begin, begin, end)
+}
+func (p *pefSeq) IterFrom(rangeBegin, from, end int) Iterator {
+	return newMonoIter(p.s, p.s.Iterator(from).Next, rangeBegin, from, end)
+}
+func (p *pefSeq) encode(w *codec.Writer) { p.s.Encode(w) }
+
+// vbyteSeq wraps a blocked VByte sequence of prefix-summed values.
+type vbyteSeq struct {
+	s *vbyte.Blocked
+}
+
+func (v *vbyteSeq) Len() int         { return v.s.Len() }
+func (v *vbyteSeq) Kind() Kind       { return KindVByte }
+func (v *vbyteSeq) SizeBits() uint64 { return v.s.SizeBits() }
+func (v *vbyteSeq) At(begin, i int) uint64 {
+	return monoAt(v.s, begin, i)
+}
+func (v *vbyteSeq) At2(begin, i int) (uint64, uint64) {
+	return monoAt(v.s, begin, i), monoAt(v.s, begin, i+1)
+}
+func (v *vbyteSeq) Find(begin, end int, x uint64) int {
+	return monoFind(v.s, begin, end, x)
+}
+func (v *vbyteSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
+	return monoFindGEQ(v.s, begin, end, x)
+}
+func (v *vbyteSeq) Iter(begin, end int) Iterator {
+	return newMonoIter(v.s, v.s.Iterator(begin).Next, begin, begin, end)
+}
+func (v *vbyteSeq) IterFrom(rangeBegin, from, end int) Iterator {
+	return newMonoIter(v.s, v.s.Iterator(from).Next, rangeBegin, from, end)
+}
+func (v *vbyteSeq) encode(w *codec.Writer) { v.s.Encode(w) }
+
+// pefOptSeq wraps a cost-optimized partitioned Elias-Fano sequence.
+type pefOptSeq struct {
+	s *ef.OptPartitioned
+}
+
+func (p *pefOptSeq) Len() int         { return p.s.Len() }
+func (p *pefOptSeq) Kind() Kind       { return KindPEFOpt }
+func (p *pefOptSeq) SizeBits() uint64 { return p.s.SizeBits() }
+func (p *pefOptSeq) At(begin, i int) uint64 {
+	return monoAt(p.s, begin, i)
+}
+func (p *pefOptSeq) At2(begin, i int) (uint64, uint64) {
+	return monoAt(p.s, begin, i), monoAt(p.s, begin, i+1)
+}
+func (p *pefOptSeq) Find(begin, end int, x uint64) int {
+	return monoFind(p.s, begin, end, x)
+}
+func (p *pefOptSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
+	return monoFindGEQ(p.s, begin, end, x)
+}
+func (p *pefOptSeq) Iter(begin, end int) Iterator {
+	return newMonoIter(p.s, p.s.Iterator(begin).Next, begin, begin, end)
+}
+func (p *pefOptSeq) IterFrom(rangeBegin, from, end int) Iterator {
+	return newMonoIter(p.s, p.s.Iterator(from).Next, rangeBegin, from, end)
+}
+func (p *pefOptSeq) encode(w *codec.Writer) { p.s.Encode(w) }
+
+// Write serializes s with a leading kind tag.
+func Write(w *codec.Writer, s Sequence) {
+	w.Byte(byte(s.Kind()))
+	s.encode(w)
+}
+
+// Read deserializes a sequence written by Write.
+func Read(r *codec.Reader) (Sequence, error) {
+	kind := Kind(r.Byte())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindCompact:
+		v, err := bits.DecodeCompact(r)
+		if err != nil {
+			return nil, err
+		}
+		return &compactSeq{v: v}, nil
+	case KindEF:
+		s, err := ef.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		return &efSeq{s: s}, nil
+	case KindPEF:
+		s, err := ef.DecodePartitioned(r)
+		if err != nil {
+			return nil, err
+		}
+		return &pefSeq{s: s}, nil
+	case KindVByte:
+		s, err := vbyte.DecodeBlocked(r)
+		if err != nil {
+			return nil, err
+		}
+		return &vbyteSeq{s: s}, nil
+	case KindPEFOpt:
+		s, err := ef.DecodeOptPartitioned(r)
+		if err != nil {
+			return nil, err
+		}
+		return &pefOptSeq{s: s}, nil
+	}
+	return nil, r.Fail(fmt.Errorf("%w: unknown sequence kind %d", codec.ErrCorrupt, kind))
+}

@@ -1,0 +1,272 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rdfindexes/internal/codec"
+)
+
+// rangedData is a test fixture mimicking a trie level: values sorted
+// strictly within ranges, arbitrary across ranges.
+type rangedData struct {
+	values []uint64
+	ranges []int // numRanges+1 delimiters
+}
+
+func randomRanged(rng *rand.Rand, numRanges, maxRangeLen int, maxVal uint64) rangedData {
+	var d rangedData
+	d.ranges = append(d.ranges, 0)
+	for r := 0; r < numRanges; r++ {
+		n := 1 + rng.Intn(maxRangeLen)
+		seen := map[uint64]bool{}
+		vals := make([]uint64, 0, n)
+		for len(vals) < n {
+			v := rng.Uint64() % (maxVal + 1)
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		// strictly increasing within the range
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		d.values = append(d.values, vals...)
+		d.ranges = append(d.ranges, len(d.values))
+	}
+	return d
+}
+
+var allKinds = []Kind{KindCompact, KindEF, KindPEF, KindVByte, KindPEFOpt}
+
+func TestSequenceOracleAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fixtures := map[string]rangedData{
+		"small-dense":  randomRanged(rng, 50, 8, 30),
+		"wide":         randomRanged(rng, 40, 12, 1<<30),
+		"tiny-ranges":  randomRanged(rng, 400, 2, 1000),
+		"single-range": randomRanged(rng, 1, 500, 100000),
+		"zero-heavy":   randomRanged(rng, 100, 3, 2),
+	}
+	for name, d := range fixtures {
+		for _, kind := range allKinds {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				s := Build(kind, d.values, d.ranges)
+				checkSequence(t, s, d, rng)
+			})
+		}
+	}
+}
+
+func checkSequence(t *testing.T, s Sequence, d rangedData, rng *rand.Rand) {
+	t.Helper()
+	if s.Len() != len(d.values) {
+		t.Fatalf("Len() = %d, want %d", s.Len(), len(d.values))
+	}
+	for k := 0; k+1 < len(d.ranges); k++ {
+		begin, end := d.ranges[k], d.ranges[k+1]
+		// At
+		for i := begin; i < end; i++ {
+			if got := s.At(begin, i); got != d.values[i] {
+				t.Fatalf("At(%d, %d) = %d, want %d", begin, i, got, d.values[i])
+			}
+		}
+		// At2 agrees with two At calls.
+		for i := begin; i+1 < end; i++ {
+			v1, v2 := s.At2(begin, i)
+			if v1 != d.values[i] || v2 != d.values[i+1] {
+				t.Fatalf("At2(%d, %d) = (%d, %d), want (%d, %d)",
+					begin, i, v1, v2, d.values[i], d.values[i+1])
+			}
+		}
+		// Find: every present value, plus absent probes
+		for i := begin; i < end; i++ {
+			if got := s.Find(begin, end, d.values[i]); got != i {
+				t.Fatalf("Find(%d, %d, %d) = %d, want %d", begin, end, d.values[i], got, i)
+			}
+		}
+		for trial := 0; trial < 4; trial++ {
+			x := rng.Uint64() % (1 << 31)
+			present := -1
+			for i := begin; i < end; i++ {
+				if d.values[i] == x {
+					present = i
+					break
+				}
+			}
+			if got := s.Find(begin, end, x); got != present {
+				t.Fatalf("Find(%d, %d, %d) = %d, want %d", begin, end, x, got, present)
+			}
+		}
+		// FindGEQ oracle
+		for trial := 0; trial < 6; trial++ {
+			x := rng.Uint64() % (1 << 31)
+			if trial < 3 && end > begin {
+				x = d.values[begin+rng.Intn(end-begin)] // exact hits too
+			}
+			wantPos, wantVal, wantOK := end, uint64(0), false
+			for i := begin; i < end; i++ {
+				if d.values[i] >= x {
+					wantPos, wantVal, wantOK = i, d.values[i], true
+					break
+				}
+			}
+			pos, val, ok := s.FindGEQ(begin, end, x)
+			if ok != wantOK || (ok && (pos != wantPos || val != wantVal)) {
+				t.Fatalf("FindGEQ(%d, %d, %d) = (%d, %d, %v), want (%d, %d, %v)",
+					begin, end, x, pos, val, ok, wantPos, wantVal, wantOK)
+			}
+		}
+		// Iter
+		it := s.Iter(begin, end)
+		for i := begin; i < end; i++ {
+			v, ok := it.Next()
+			if !ok || v != d.values[i] {
+				t.Fatalf("Iter(%d, %d) at %d = (%d, %v), want %d", begin, end, i, v, ok, d.values[i])
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("Iter(%d, %d) did not stop", begin, end)
+		}
+		// IterFrom starting mid-range must agree with the values oracle.
+		if end > begin {
+			from := begin + rng.Intn(end-begin)
+			fit := s.IterFrom(begin, from, end)
+			for i := from; i < end; i++ {
+				v, ok := fit.Next()
+				if !ok || v != d.values[i] {
+					t.Fatalf("IterFrom(%d, %d, %d) at %d = (%d, %v), want %d",
+						begin, from, end, i, v, ok, d.values[i])
+				}
+			}
+			if _, ok := fit.Next(); ok {
+				t.Fatalf("IterFrom(%d, %d, %d) did not stop", begin, from, end)
+			}
+		}
+	}
+	// Find on an empty range.
+	if got := s.Find(0, 0, 0); got != -1 {
+		t.Fatalf("Find on empty range = %d, want -1", got)
+	}
+}
+
+func TestSequenceFindDuplicateBases(t *testing.T) {
+	// Ranges starting with value 0 make the stored value equal the
+	// previous range's last stored value: the duplicate-skipping logic in
+	// monoFind must still resolve positions inside the right range.
+	values := []uint64{0, 1, 2, 0, 5, 0, 0, 3}
+	ranges := []int{0, 3, 5, 6, 8}
+	for _, kind := range allKinds {
+		s := Build(kind, values, ranges)
+		for k := 0; k+1 < len(ranges); k++ {
+			begin, end := ranges[k], ranges[k+1]
+			for i := begin; i < end; i++ {
+				if got := s.Find(begin, end, values[i]); got != i {
+					t.Errorf("%v: Find(%d, %d, %d) = %d, want %d",
+						kind, begin, end, values[i], got, i)
+				}
+				if got := s.At(begin, i); got != values[i] {
+					t.Errorf("%v: At(%d, %d) = %d, want %d", kind, begin, i, got, values[i])
+				}
+			}
+			// 4 never occurs in any range.
+			if got := s.Find(begin, end, 4); got != -1 {
+				t.Errorf("%v: Find(%d, %d, 4) = %d, want -1", kind, begin, end, got)
+			}
+		}
+	}
+}
+
+func TestBuildMono(t *testing.T) {
+	values := []uint64{0, 3, 3, 9, 120, 121}
+	for _, kind := range []Kind{KindEF, KindPEF, KindVByte} {
+		s := BuildMono(kind, values)
+		for i, v := range values {
+			if got := s.At(0, i); got != v {
+				t.Errorf("%v: At(0, %d) = %d, want %d", kind, i, got, v)
+			}
+		}
+	}
+}
+
+func TestSequenceRoundTripAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d := randomRanged(rng, 60, 10, 1<<24)
+	for _, kind := range allKinds {
+		s := Build(kind, d.values, d.ranges)
+		var buf bytes.Buffer
+		w := codec.NewWriter(&buf)
+		Write(w, s)
+		if err := w.Flush(); err != nil {
+			t.Fatalf("%v: flush: %v", kind, err)
+		}
+		got, err := Read(codec.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%v: read: %v", kind, err)
+		}
+		if got.Kind() != kind {
+			t.Fatalf("decoded kind = %v, want %v", got.Kind(), kind)
+		}
+		for k := 0; k+1 < len(d.ranges); k++ {
+			begin, end := d.ranges[k], d.ranges[k+1]
+			for i := begin; i < end; i++ {
+				if got.At(begin, i) != d.values[i] {
+					t.Fatalf("%v: decoded At(%d, %d) mismatch", kind, begin, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := codec.NewWriter(&buf)
+	w.Byte(99)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(codec.NewReader(&buf)); err == nil {
+		t.Fatal("Read accepted unknown kind tag")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range allKinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus name")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Kind(77).String() != "Kind(77)" {
+		t.Errorf("unexpected String for unknown kind: %s", Kind(77))
+	}
+}
+
+func TestPEFSmallerThanCompactOnSkewedRanges(t *testing.T) {
+	// Long, highly compressible ranges (the POS second level shape of the
+	// paper): PEF should beat Compact by a wide margin.
+	var values []uint64
+	ranges := []int{0}
+	for r := 0; r < 20; r++ {
+		for i := 0; i < 5000; i++ {
+			values = append(values, uint64(i*2))
+		}
+		ranges = append(ranges, len(values))
+	}
+	pef := Build(KindPEF, values, ranges)
+	compact := Build(KindCompact, values, ranges)
+	if pef.SizeBits() >= compact.SizeBits()/2 {
+		t.Errorf("PEF = %d bits, Compact = %d bits: expected PEF < half",
+			pef.SizeBits(), compact.SizeBits())
+	}
+}

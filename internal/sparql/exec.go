@@ -1,0 +1,334 @@
+package sparql
+
+import (
+	"rdfindexes/internal/core"
+)
+
+// Store is the index capability the executor needs; all index layouts in
+// this repository and the baseline systems satisfy it.
+type Store interface {
+	Select(core.Pattern) *core.Iterator
+	NumTriples() int
+}
+
+// Bindings maps variable names to IDs.
+type Bindings map[string]core.ID
+
+// ExecStats reports the work done by an execution: the serial
+// decomposition length (number of atomic triple selection patterns
+// issued) and the number of triples they matched. Table 6 of the paper
+// measures exactly this decomposition's raw index speed.
+type ExecStats struct {
+	PatternsIssued int
+	TriplesMatched int
+	Results        int
+}
+
+// shapeCost ranks pattern shapes by expected selectivity; used to order
+// the BGP greedily, most selective first, as TripleBit's planner does for
+// the paper's benchmark.
+func shapeCost(s core.Shape) int {
+	switch s {
+	case core.ShapeSPO:
+		return 1
+	case core.ShapeSxO:
+		return 4
+	case core.ShapeSPx:
+		return 8
+	case core.ShapexPO:
+		return 8
+	case core.ShapeSxx:
+		return 64
+	case core.ShapexxO:
+		return 64
+	case core.ShapexPx:
+		return 4096
+	default:
+		return 1 << 20
+	}
+}
+
+// substitute resolves a triple pattern against bindings, producing the
+// concrete selection pattern and the still-free variable slots.
+func substitute(tp TriplePattern, b Bindings) core.Pattern {
+	conv := func(t Term) core.ID {
+		if !t.IsVar() {
+			return t.ID
+		}
+		if id, ok := b[t.Var]; ok {
+			return id
+		}
+		return core.Wildcard
+	}
+	return core.Pattern{S: conv(tp.S), P: conv(tp.P), O: conv(tp.O)}
+}
+
+// PlanWithStats orders the BGP's patterns like Plan but replaces the
+// static shape costs with measured cardinalities from the store: the cost
+// of a pattern is its actual match count under the currently bound
+// prefix, probed once per planning step. This is the direction the paper
+// lists as future work ("devising a novel query planning algorithm");
+// the executor accepts either order.
+func PlanWithStats(q Query, st Store) []int {
+	n := len(q.Patterns)
+	used := make([]bool, n)
+	boundVars := map[string]bool{}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestCost := -1, int(^uint(0)>>1)
+		for i, tp := range q.Patterns {
+			if used[i] {
+				continue
+			}
+			fake := Bindings{}
+			for v := range boundVars {
+				fake[v] = 0
+			}
+			shape := substitute(tp, fake).Shape()
+			// Probe the real cardinality for the unbound version of the
+			// pattern (constants only); bound variables are treated as
+			// fixed by halving per bound position, a cheap refinement.
+			probe := substitute(tp, Bindings{})
+			cost := countUpTo(st, probe, 1<<16)
+			if cost == 0 {
+				cost = 1
+			}
+			divisor := 1
+			for _, term := range []Term{tp.S, tp.P, tp.O} {
+				if term.IsVar() && boundVars[term.Var] {
+					divisor *= 64
+				}
+			}
+			cost /= divisor
+			if cost < 1 {
+				cost = 1
+			}
+			_ = shape
+			shares := false
+			for _, t := range []Term{tp.S, tp.P, tp.O} {
+				if t.IsVar() && boundVars[t.Var] {
+					shares = true
+				}
+			}
+			if len(order) > 0 && !shares {
+				cost *= 1 << 16
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, t := range []Term{q.Patterns[best].S, q.Patterns[best].P, q.Patterns[best].O} {
+			if t.IsVar() {
+				boundVars[t.Var] = true
+			}
+		}
+	}
+	return order
+}
+
+// countUpTo counts matches of p, stopping at limit.
+func countUpTo(st Store, p core.Pattern, limit int) int {
+	it := st.Select(p)
+	n := 0
+	for n < limit {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// ExecuteWithOrder runs the query with an explicit evaluation order.
+func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(q, st, order, emit)
+}
+
+// Plan orders the BGP's patterns greedily: at each step, pick the pattern
+// whose shape (under the bindings accumulated so far) is cheapest. It
+// returns the evaluation order as indexes into q.Patterns.
+func Plan(q Query) []int {
+	n := len(q.Patterns)
+	used := make([]bool, n)
+	boundVars := map[string]bool{}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestCost := -1, 1<<62
+		for i, tp := range q.Patterns {
+			if used[i] {
+				continue
+			}
+			// Shape assuming bound variables are constants.
+			fake := Bindings{}
+			for v := range boundVars {
+				fake[v] = 0
+			}
+			cost := shapeCost(substitute(tp, fake).Shape())
+			// Prefer patterns sharing a variable with what is bound
+			// (avoids Cartesian products).
+			shares := false
+			for _, t := range []Term{tp.S, tp.P, tp.O} {
+				if t.IsVar() && boundVars[t.Var] {
+					shares = true
+				}
+			}
+			if len(order) > 0 && !shares {
+				cost *= 1 << 10
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, t := range []Term{q.Patterns[best].S, q.Patterns[best].P, q.Patterns[best].O} {
+			if t.IsVar() {
+				boundVars[t.Var] = true
+			}
+		}
+	}
+	return order
+}
+
+// Execute runs the query against the store with nested-loop joins over
+// the planned order and invokes emit for every solution. It returns the
+// execution statistics.
+func Execute(q Query, st Store, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(q, st, Plan(q), emit)
+}
+
+// executeOrdered is the nested-loop join over an explicit pattern order.
+func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+	var stats ExecStats
+	bindings := Bindings{}
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(order) {
+			stats.Results++
+			if emit != nil {
+				out := Bindings{}
+				for _, v := range q.Vars {
+					if id, ok := bindings[v]; ok {
+						out[v] = id
+					}
+				}
+				emit(out)
+			}
+			return nil
+		}
+		tp := q.Patterns[order[step]]
+		pat := substitute(tp, bindings)
+		stats.PatternsIssued++
+		it := st.Select(pat)
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return nil
+			}
+			stats.TriplesMatched++
+			// Bind free variables; consistent duplicates in the same
+			// pattern (e.g. ?x <p> ?x) must agree.
+			newVars := make([]string, 0, 3)
+			okBind := true
+			tryBind := func(term Term, id core.ID) {
+				if !okBind || !term.IsVar() {
+					return
+				}
+				if prev, bound := bindings[term.Var]; bound {
+					if prev != id {
+						okBind = false
+					}
+					return
+				}
+				bindings[term.Var] = id
+				newVars = append(newVars, term.Var)
+			}
+			tryBind(tp.S, t.S)
+			tryBind(tp.P, t.P)
+			tryBind(tp.O, t.O)
+			if okBind {
+				if err := rec(step + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range newVars {
+				delete(bindings, v)
+			}
+		}
+	}
+	if err := rec(0); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Decompose runs the query and returns the sequence of atomic selection
+// patterns it issued, in execution order. This is the paper's Table 6
+// methodology: the same decomposition is replayed against each index so
+// that all systems execute identical pattern sequences.
+func Decompose(q Query, st Store) ([]core.Pattern, error) {
+	order := Plan(q)
+	var issued []core.Pattern
+	bindings := Bindings{}
+	var rec func(step int)
+	rec = func(step int) {
+		if step == len(order) {
+			return
+		}
+		tp := q.Patterns[order[step]]
+		pat := substitute(tp, bindings)
+		issued = append(issued, pat)
+		it := st.Select(pat)
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return
+			}
+			newVars := make([]string, 0, 3)
+			okBind := true
+			tryBind := func(term Term, id core.ID) {
+				if !okBind || !term.IsVar() {
+					return
+				}
+				if prev, bound := bindings[term.Var]; bound {
+					if prev != id {
+						okBind = false
+					}
+					return
+				}
+				bindings[term.Var] = id
+				newVars = append(newVars, term.Var)
+			}
+			tryBind(tp.S, t.S)
+			tryBind(tp.P, t.P)
+			tryBind(tp.O, t.O)
+			if okBind {
+				rec(step + 1)
+			}
+			for _, v := range newVars {
+				delete(bindings, v)
+			}
+		}
+	}
+	rec(0)
+	return issued, nil
+}
+
+// Replay executes a pre-computed pattern decomposition against a store,
+// draining every iterator, and returns the total matches. All indexes
+// replay the same sequence, which is how Table 6 compares raw speed.
+func Replay(patterns []core.Pattern, st Store) int {
+	total := 0
+	for _, p := range patterns {
+		it := st.Select(p)
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			total++
+		}
+	}
+	return total
+}

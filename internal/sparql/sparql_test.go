@@ -1,0 +1,268 @@
+package sparql
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rdfindexes/internal/core"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("SELECT ?x ?y WHERE { ?x <3> ?y . ?y <5> <120> . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Vars, []string{"x", "y"}) {
+		t.Fatalf("Vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("got %d patterns", len(q.Patterns))
+	}
+	want0 := TriplePattern{V("x"), C(3), V("y")}
+	if q.Patterns[0] != want0 {
+		t.Fatalf("pattern 0 = %v", q.Patterns[0])
+	}
+	want1 := TriplePattern{V("y"), C(5), C(120)}
+	if q.Patterns[1] != want1 {
+		t.Fatalf("pattern 1 = %v", q.Patterns[1])
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	q, err := Parse("SELECT ?a WHERE { ?a <0> <7> . <4> <1> ?a . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Fatalf("round trip mismatch: %v vs %v", q, q2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT WHERE { ?x <1> ?y . }",      // no projection
+		"SELECT ?x WHERE { }",               // empty BGP
+		"SELECT ?x WHERE { ?x <1> ?y }",     // missing dot
+		"SELECT ?z WHERE { ?x <1> ?y . }",   // unbound projection
+		"SELECT ?x WHERE { ?x <abc> ?y . }", // non-numeric constant
+		"SELECT ?x WHERE { ?x <1 ?y . }",    // unterminated IRI
+		"SELECT ?x { ?x <1> ?y . }",         // missing WHERE
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse accepted %q", s)
+		}
+	}
+}
+
+// sliceStore is a brute-force Store for oracle checks.
+type sliceStore []core.Triple
+
+func (s sliceStore) NumTriples() int { return len(s) }
+func (s sliceStore) Select(p core.Pattern) *core.Iterator {
+	i := 0
+	return core.NewIterator(func() (core.Triple, bool) {
+		for i < len(s) {
+			t := s[i]
+			i++
+			if p.Matches(t) {
+				return t, true
+			}
+		}
+		return core.Triple{}, false
+	})
+}
+
+// refExecute evaluates a BGP by brute force over all variable
+// assignments implied by the triples.
+func refExecute(q Query, ts []core.Triple) int {
+	var count int
+	var rec func(step int, b Bindings)
+	rec = func(step int, b Bindings) {
+		if step == len(q.Patterns) {
+			count++
+			return
+		}
+		tp := q.Patterns[step]
+		for _, t := range ts {
+			nb := Bindings{}
+			for k, v := range b {
+				nb[k] = v
+			}
+			ok := true
+			bind := func(term Term, id core.ID) {
+				if !ok {
+					return
+				}
+				if !term.IsVar() {
+					if term.ID != id {
+						ok = false
+					}
+					return
+				}
+				if prev, bound := nb[term.Var]; bound {
+					if prev != id {
+						ok = false
+					}
+					return
+				}
+				nb[term.Var] = id
+			}
+			bind(tp.S, t.S)
+			bind(tp.P, t.P)
+			bind(tp.O, t.O)
+			if ok {
+				rec(step+1, nb)
+			}
+		}
+	}
+	rec(0, Bindings{})
+	return count
+}
+
+func randomTriples(rng *rand.Rand, n int) []core.Triple {
+	seen := map[core.Triple]bool{}
+	var ts []core.Triple
+	for len(ts) < n {
+		t := core.Triple{
+			S: core.ID(rng.Intn(20)),
+			P: core.ID(rng.Intn(5)),
+			O: core.ID(rng.Intn(20)),
+		}
+		if !seen[t] {
+			seen[t] = true
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	return ts
+}
+
+func TestExecuteAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	ts := randomTriples(rng, 300)
+	store := sliceStore(ts)
+	queries := []string{
+		"SELECT ?x WHERE { ?x <1> ?y . }",
+		"SELECT ?x ?y WHERE { ?x <1> ?y . ?y <2> ?z . }",
+		"SELECT ?x WHERE { ?x <0> <5> . ?x <1> ?y . }",
+		"SELECT ?x ?z WHERE { ?x <3> ?y . ?y <4> ?z . ?z <0> ?w . }",
+		"SELECT ?x WHERE { ?x <2> ?x . }", // self-join within a pattern
+		"SELECT ?x ?y WHERE { ?x <0> ?y . ?y <0> ?x . }",
+	}
+	for _, qs := range queries {
+		q, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		stats, err := Execute(q, store, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		want := refExecute(q, ts)
+		if stats.Results != want {
+			t.Fatalf("%q: got %d results, want %d", qs, stats.Results, want)
+		}
+	}
+}
+
+func TestExecuteAgainstRealIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	ts := randomTriples(rng, 500)
+	d := core.NewDataset(append([]core.Triple(nil), ts...))
+	store := sliceStore(d.Triples)
+	x, err := core.Build2Tp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT ?x ?z WHERE { ?x <1> ?y . ?y <2> ?z . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruteStats, err := Execute(q, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solutions []Bindings
+	idxStats, err := Execute(q, x, func(b Bindings) { solutions = append(solutions, b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxStats.Results != bruteStats.Results || len(solutions) != idxStats.Results {
+		t.Fatalf("index execution: %d results, brute force: %d", idxStats.Results, bruteStats.Results)
+	}
+}
+
+func TestPlanOrdersSelectiveFirst(t *testing.T) {
+	q, err := Parse("SELECT ?x WHERE { ?x <1> ?y . ?x <0> <5> . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := Plan(q)
+	if order[0] != 1 {
+		t.Fatalf("plan order %v: expected the ?PO pattern first", order)
+	}
+}
+
+func TestPlanAvoidsCartesian(t *testing.T) {
+	// Patterns 0/2 share ?x, pattern 1 is disconnected but selective;
+	// after starting with pattern 0 or 2 the planner must prefer the
+	// sharing pattern over the disconnected one when costs allow.
+	q, err := Parse("SELECT ?x WHERE { ?x <0> <5> . ?a <1> <6> . ?x <2> ?y . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := Plan(q)
+	// First two picks must include both ?PO patterns; the key property is
+	// that ?x <2> ?y never runs before ?x <0> <5>.
+	posBound := -1
+	posOpen := -1
+	for i, idx := range order {
+		if idx == 0 {
+			posBound = i
+		}
+		if idx == 2 {
+			posOpen = i
+		}
+	}
+	if posOpen < posBound {
+		t.Fatalf("plan %v runs open pattern before its selective anchor", order)
+	}
+}
+
+func TestDecomposeReplayMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(197))
+	ts := randomTriples(rng, 400)
+	d := core.NewDataset(append([]core.Triple(nil), ts...))
+	x, err := core.Build2Tp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT ?x ?z WHERE { ?x <1> ?y . ?y <2> ?z . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := Decompose(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Execute(q, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != stats.PatternsIssued {
+		t.Fatalf("decomposition has %d patterns, execution issued %d",
+			len(patterns), stats.PatternsIssued)
+	}
+	if got := Replay(patterns, x); got != stats.TriplesMatched {
+		t.Fatalf("replay matched %d triples, execution matched %d",
+			got, stats.TriplesMatched)
+	}
+}

@@ -1,0 +1,105 @@
+package rdfindexes
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	d, err := GenerateDataset("dblp", 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []Layout{Layout3T, LayoutCC, Layout2Tp, Layout2To} {
+		x, err := Build(d, layout)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if x.NumTriples() != d.Len() {
+			t.Fatalf("%v: NumTriples = %d, want %d", layout, x.NumTriples(), d.Len())
+		}
+		if bpt := BitsPerTriple(x); bpt <= 0 || bpt > 500 {
+			t.Fatalf("%v: implausible bits/triple %v", layout, bpt)
+		}
+		tr := d.Triples[42]
+		if !Lookup(x, tr) {
+			t.Fatalf("%v: Lookup lost %v", layout, tr)
+		}
+		if got := Count(x, NewPattern(int(tr.S), -1, -1)); got == 0 {
+			t.Fatalf("%v: S?? returned nothing", layout)
+		}
+		var buf bytes.Buffer
+		if err := WriteIndex(&buf, x); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Lookup(loaded, tr) {
+			t.Fatalf("%v: reloaded index lost %v", layout, tr)
+		}
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	d, err := GenerateDataset("lubm", 3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NS != d.NS || got.NP != d.NP || got.NO != d.NO {
+		t.Fatal("dataset header mismatch after round trip")
+	}
+	for i := range d.Triples {
+		if d.Triples[i] != got.Triples[i] {
+			t.Fatalf("triple %d mismatch: %v vs %v", i, d.Triples[i], got.Triples[i])
+		}
+	}
+}
+
+func TestFacadeRangeQueries(t *testing.T) {
+	// Objects 10..29 are numeric with values 100, 102, ..., 138.
+	var triples []Triple
+	values := make([]uint64, 20)
+	for k := 0; k < 20; k++ {
+		values[k] = uint64(100 + 2*k)
+		triples = append(triples, Triple{S: ID(k % 7), P: 0, O: ID(10 + k)})
+	}
+	d := NewDataset(triples)
+	built, err := Build(d, Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := built.(RangeSelecter)
+	if !ok {
+		t.Fatal("2Tp does not implement RangeSelecter")
+	}
+	r := NewR(10, values)
+	got := SelectValueRange(x, r, 0, 104, 110).Collect(-1)
+	if len(got) != 4 { // values 104, 106, 108, 110
+		t.Fatalf("range [104, 110] returned %d matches, want 4", len(got))
+	}
+	for _, tr := range got {
+		v := r.Value(tr.O)
+		if v < 104 || v > 110 {
+			t.Fatalf("match %v has out-of-range value %d", tr, v)
+		}
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	if len(DatasetPresets()) != 6 {
+		t.Fatalf("expected the paper's six presets, got %v", DatasetPresets())
+	}
+	if _, err := GenerateDataset("unknown", 10, 1); err == nil {
+		t.Fatal("GenerateDataset accepted unknown preset")
+	}
+}
