@@ -69,15 +69,17 @@ func fixture(b *testing.B) {
 func drain(b *testing.B, st bench.Store, pats []core.Pattern) {
 	b.Helper()
 	total := 0
+	var buf [512]core.Triple
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pats[i%len(pats)]
 		it := st.Select(p)
 		for {
-			if _, ok := it.Next(); !ok {
+			k := it.NextBatch(buf[:])
+			if k == 0 {
 				break
 			}
-			total++
+			total += k
 		}
 	}
 	if total > 0 {

@@ -6,12 +6,21 @@
 //
 //	rdfbench -exp table1|table2|table3|table4|table5|table6|fig6a|fig6b|fig7|range|ablation|all \
 //	         [-triples 300000] [-queries 2000] [-runs 3] [-seed 1]
+//
+// With -json, rdfbench instead writes machine-readable measurements —
+// ns/triple and bits/triple per layout × pattern shape — to one
+// BENCH_<preset>.json file per requested preset, so the performance
+// trajectory can be tracked across commits:
+//
+//	rdfbench -json [-preset dblp,watdiv] [-out .] [-triples N] [-queries N] [-runs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"rdfindexes/internal/bench"
@@ -44,6 +53,9 @@ func main() {
 		runs    = flag.Int("runs", 3, "measurement repetitions (best is kept)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "emit BENCH_<preset>.json files instead of tables")
+		presets = flag.String("preset", "dblp", "comma-separated dataset presets for -json")
+		outDir  = flag.String("out", ".", "output directory for -json files")
 	)
 	flag.Parse()
 
@@ -55,6 +67,37 @@ func main() {
 	}
 
 	cfg := bench.Config{Triples: *triples, Queries: *queries, Runs: *runs, Seed: *seed}
+
+	if *jsonOut {
+		for _, preset := range strings.Split(*presets, ",") {
+			preset = strings.TrimSpace(preset)
+			if preset == "" {
+				continue
+			}
+			rep, err := bench.MeasureJSON(cfg, preset)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdfbench: %s: %v\n", preset, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "BENCH_"+preset+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdfbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdfbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d triples, %d measurements)\n", path, rep.Triples, len(rep.Patterns))
+		}
+		return
+	}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {

@@ -1,0 +1,3 @@
+module rdfindexes
+
+go 1.24

@@ -63,16 +63,18 @@ func TimePatterns(x Store, pats []core.Pattern, runs int) (nsPerTriple float64, 
 		runs = 1
 	}
 	var best time.Duration
+	var buf [512]core.Triple
 	for r := 0; r < runs; r++ {
 		start := time.Now()
 		total := 0
 		for _, p := range pats {
 			it := x.Select(p)
 			for {
-				if _, ok := it.Next(); !ok {
+				k := it.NextBatch(buf[:])
+				if k == 0 {
 					break
 				}
-				total++
+				total += k
 			}
 		}
 		el := time.Since(start)
@@ -95,16 +97,18 @@ func TimeTotal(x Store, pats []core.Pattern, runs int) (time.Duration, int) {
 	}
 	var best time.Duration
 	matches := 0
+	var buf [512]core.Triple
 	for r := 0; r < runs; r++ {
 		start := time.Now()
 		total := 0
 		for _, p := range pats {
 			it := x.Select(p)
 			for {
-				if _, ok := it.Next(); !ok {
+				k := it.NextBatch(buf[:])
+				if k == 0 {
 					break
 				}
-				total++
+				total += k
 			}
 		}
 		el := time.Since(start)

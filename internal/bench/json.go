@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/gen"
+)
+
+// ShapeResult is one (layout, pattern shape) measurement.
+type ShapeResult struct {
+	Layout      string  `json:"layout"`
+	Shape       string  `json:"shape"`
+	NsPerTriple float64 `json:"ns_per_triple"`
+	Matches     int     `json:"matches"`
+}
+
+// JSONReport is the machine-readable result of one preset run: space and
+// per-pattern speed for every layout, in a stable schema so the perf
+// trajectory can be tracked across commits (cmd/rdfbench writes it as
+// BENCH_<preset>.json).
+type JSONReport struct {
+	Preset        string             `json:"preset"`
+	Triples       int                `json:"triples"`
+	Queries       int                `json:"queries"`
+	Runs          int                `json:"runs"`
+	Seed          int64              `json:"seed"`
+	BitsPerTriple map[string]float64 `json:"bits_per_triple"`
+	Patterns      []ShapeResult      `json:"patterns"`
+}
+
+// MeasureJSON builds every layout over the preset's synthetic dataset
+// and measures ns/triple for each of the eight selection shapes,
+// returning the report.
+func MeasureJSON(cfg Config, preset string) (*JSONReport, error) {
+	cfg = cfg.normalize()
+	d, err := gen.GeneratePreset(preset, cfg.Triples, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sample := gen.SampleTriples(d, cfg.Queries, cfg.Seed+1)
+	rep := &JSONReport{
+		Preset:        preset,
+		Triples:       d.Len(),
+		Queries:       cfg.Queries,
+		Runs:          cfg.Runs,
+		Seed:          cfg.Seed,
+		BitsPerTriple: map[string]float64{},
+	}
+	for _, layout := range []core.Layout{core.Layout3T, core.LayoutCC, core.Layout2Tp, core.Layout2To} {
+		x, err := core.Build(d, layout)
+		if err != nil {
+			return nil, fmt.Errorf("bench: build %s: %w", layout, err)
+		}
+		rep.BitsPerTriple[layout.String()] = BitsPerTriple(x)
+		for _, shape := range core.AllShapes() {
+			var pats []core.Pattern
+			if shape == core.Shapexxx {
+				pats = []core.Pattern{{S: core.Wildcard, P: core.Wildcard, O: core.Wildcard}}
+			} else {
+				pats = gen.PatternWorkload(sample, shape)
+			}
+			ns, matches := TimePatterns(x, pats, cfg.Runs)
+			rep.Patterns = append(rep.Patterns, ShapeResult{
+				Layout:      layout.String(),
+				Shape:       shape.String(),
+				NsPerTriple: ns,
+				Matches:     matches,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r *JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -82,6 +82,19 @@ func (c *CompactVector) At(i int) uint64 {
 	return c.bv.Get(i*int(c.width), c.width)
 }
 
+// Fill decodes the values at indexes [i, i+len(buf)) into buf. It is the
+// bulk counterpart of At: the bit cursor advances sequentially instead of
+// being recomputed per element, which is what the batched sequence
+// iterators build on.
+func (c *CompactVector) Fill(i int, buf []uint64) {
+	w := c.width
+	pos := i * int(w)
+	for j := range buf {
+		buf[j] = c.bv.Get(pos, w)
+		pos += int(w)
+	}
+}
+
 // Len returns the number of values.
 func (c *CompactVector) Len() int { return c.n }
 

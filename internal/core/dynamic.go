@@ -152,7 +152,7 @@ func (x *DynamicIndex) Select(p Pattern) *Iterator {
 	inBase := true
 	addPos := 0
 	added := x.added
-	return &Iterator{next: func() (Triple, bool) {
+	return NewIterator(func() (Triple, bool) {
 		if inBase {
 			for {
 				t, ok := baseIt.Next()
@@ -173,7 +173,7 @@ func (x *DynamicIndex) Select(p Pattern) *Iterator {
 			}
 		}
 		return Triple{}, false
-	}}
+	})
 }
 
 // Lookup reports whether the dynamic index contains t.

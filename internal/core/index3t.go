@@ -106,36 +106,77 @@ func decode3T(r *codec.Reader) (*Index3T, error) {
 	return x, nil
 }
 
-// selectObjectRangeOnPOS scans the children of predicate p whose IDs fall
-// in [lo, hi], yielding all their subjects.
+// objectRangeState scans the children of predicate p whose IDs fall in
+// [lo, hi], yielding all their subjects in blocks.
+type objectRangeState struct {
+	pos       *trie.Trie
+	p, curO   ID
+	hi        uint64
+	pos1      int
+	it1       seq.Iterator
+	it2       seq.Iterator
+	it2Active bool
+	left      int
+	unmap     func(ID, uint64) ID
+	it        Iterator
+	vals      []uint64
+	vals0     [8]uint64
+}
+
+func (st *objectRangeState) fill(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if st.it2Active {
+			k := len(out) - n
+			if k > st.left {
+				k = st.left
+			}
+			vals := valBuf(&st.vals, k)
+			m := st.it2.NextBatch(vals)
+			st.left -= m
+			if m > 0 {
+				if st.unmap != nil {
+					for i := range vals[:m] {
+						vals[i] = uint64(st.unmap(st.curO, vals[i]))
+					}
+				}
+				restoreBatch(PermPOS, st.p, st.curO, vals[:m], out[n:n+m])
+				n += m
+				continue
+			}
+			st.it2Active = false
+		}
+		ov, ok := st.it1.Next()
+		if !ok || ov > st.hi {
+			break
+		}
+		st.curO = ID(ov)
+		b2, e2 := st.pos.ChildRange(st.pos1)
+		st.pos1++
+		if st.it2 == nil {
+			st.it2 = st.pos.Iter2(b2, e2)
+		} else {
+			st.it2.Reset(b2, b2, e2)
+		}
+		st.left = e2 - b2
+		st.it2Active = true
+	}
+	return n
+}
+
 func selectObjectRangeOnPOS(pos *trie.Trie, p ID, lo, hi ID) *Iterator {
+	return selectObjectRangeOnPOSUnmap(pos, p, lo, hi, nil)
+}
+
+func selectObjectRangeOnPOSUnmap(pos *trie.Trie, p ID, lo, hi ID, unmap func(ID, uint64) ID) *Iterator {
 	b1, e1 := pos.RootRange(uint32(p))
 	j, val, ok := pos.Nodes(1).FindGEQ(b1, e1, uint64(lo))
 	if !ok || val > uint64(hi) {
 		return emptyIterator()
 	}
-	it1 := pos.Iter1From(b1, j, e1)
-	pos1 := j
-	var (
-		curO ID
-		it2  seq.Iterator
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return Triple{ID(v), p, curO}, true
-				}
-				it2 = nil
-			}
-			ov, ok := it1.Next()
-			if !ok || ov > uint64(hi) {
-				return Triple{}, false
-			}
-			curO = ID(ov)
-			b2, e2 := pos.ChildRange(pos1)
-			pos1++
-			it2 = pos.Iter2(b2, e2)
-		}
-	}}
+	st := &objectRangeState{pos: pos, p: p, hi: uint64(hi), pos1: j, unmap: unmap}
+	st.it1 = pos.Iter1From(b1, j, e1)
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
 }

@@ -205,15 +205,7 @@ func (x *IndexCC) Select(p Pattern) *Iterator {
 // SelectObjectRange resolves ?P? with the object constrained to [lo, hi],
 // unmapping each subject.
 func (x *IndexCC) SelectObjectRange(p ID, lo, hi ID) *Iterator {
-	inner := selectObjectRangeOnPOS(x.pos, p, lo, hi)
-	return &Iterator{next: func() (Triple, bool) {
-		t, ok := inner.Next()
-		if !ok {
-			return Triple{}, false
-		}
-		t.S = x.unmapPOS(t.O, uint64(t.S))
-		return t, true
-	}}
+	return selectObjectRangeOnPOSUnmap(x.pos, p, lo, hi, x.unmapPOS)
 }
 
 func (x *IndexCC) encode(w *codec.Writer) {
@@ -266,97 +258,16 @@ func lookupMapped(t *trie.Trie, perm Perm, tr Triple,
 // selectTwoMapped is selectTwo with unmap applied to each completion.
 func selectTwoMapped(t *trie.Trie, perm Perm, a, b ID,
 	unmap func(ID, uint64) ID) *Iterator {
-	b1, e1 := t.RootRange(uint32(a))
-	j := t.FindChild1(b1, e1, uint32(b))
-	if j < 0 {
-		return emptyIterator()
-	}
-	b2, e2 := t.ChildRange(j)
-	it := t.Iter2(b2, e2)
-	return &Iterator{next: func() (Triple, bool) {
-		v, ok := it.Next()
-		if !ok {
-			return Triple{}, false
-		}
-		return perm.Restore(a, b, unmap(b, v)), true
-	}}
+	return selectTwoUnmap(t, perm, a, b, unmap)
 }
 
 // selectOneMapped is selectOne with unmap applied to each completion.
 func selectOneMapped(t *trie.Trie, perm Perm, a ID,
 	unmap func(ID, uint64) ID) *Iterator {
-	b1, e1 := t.RootRange(uint32(a))
-	if b1 >= e1 {
-		return emptyIterator()
-	}
-	it1 := t.Iter1(b1, e1)
-	ptrIt := t.Ptr1Iter(b1, e1+1)
-	first, _ := ptrIt.Next()
-	prev := int(first)
-	var (
-		curB ID
-		it2  seq.Iterator
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return perm.Restore(a, curB, unmap(curB, v)), true
-				}
-				it2 = nil
-			}
-			bv, ok := it1.Next()
-			if !ok {
-				return Triple{}, false
-			}
-			curB = ID(bv)
-			endv, _ := ptrIt.Next()
-			b2, e2 := prev, int(endv)
-			prev = e2
-			it2 = t.Iter2(b2, e2)
-		}
-	}}
+	return selectOneUnmap(t, perm, a, unmap)
 }
 
 // scanAllMapped is scanAll with unmap applied to each completion.
 func scanAllMapped(t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
-	var (
-		root = -1
-		pos1 = 0
-		curB ID
-		it1  seq.Iterator
-		it2  seq.Iterator
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return perm.Restore(ID(root), curB, unmap(curB, v)), true
-				}
-				it2 = nil
-			}
-			if it1 != nil {
-				if bv, ok := it1.Next(); ok {
-					curB = ID(bv)
-					b2, e2 := t.ChildRange(pos1)
-					pos1++
-					it2 = t.Iter2(b2, e2)
-					continue
-				}
-				it1 = nil
-			}
-			for {
-				root++
-				if root >= t.NumRoots() {
-					return Triple{}, false
-				}
-				b1, e1 := t.RootRange(uint32(root))
-				if b1 < e1 {
-					pos1 = b1
-					it1 = t.Iter1(b1, e1)
-					break
-				}
-			}
-		}
-	}}
+	return scanAllUnmap(t, perm, unmap)
 }

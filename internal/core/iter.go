@@ -5,16 +5,34 @@ import (
 	"rdfindexes/internal/trie"
 )
 
+// triBatch is the number of triples materialized per refill. It is large
+// enough to amortize the per-batch virtual calls and small enough that
+// the value and triple buffers stay cache-resident.
+const triBatch = 256
+
 // Iterator yields the triples matching a selection pattern, in the order
 // of the trie that resolves it, with components restored to canonical
-// S-P-O form.
+// S-P-O form. Results are produced in blocks: the trie algorithms decode
+// whole sibling ranges into an internal buffer via seq.Iterator.NextBatch
+// and Next just hands out buffered entries, so steady-state iteration
+// performs no allocation and no per-triple indirect call.
 type Iterator struct {
-	next func() (Triple, bool)
+	buf    []Triple
+	pos, n int
+	done   bool
+	src    blockSource           // block source; fill returning 0 means exhausted
+	scalar func() (Triple, bool) // legacy per-triple source
+}
+
+// blockSource produces result blocks; the selection algorithm states
+// implement it, so wiring one to an Iterator costs no closure allocation.
+type blockSource interface {
+	fill(out []Triple) int
 }
 
 // NewIterator wraps a generator function into an Iterator; used by the
 // baseline index implementations outside this package.
-func NewIterator(next func() (Triple, bool)) *Iterator { return &Iterator{next: next} }
+func NewIterator(next func() (Triple, bool)) *Iterator { return &Iterator{scalar: next} }
 
 // EmptyIterator returns an iterator with no results.
 func EmptyIterator() *Iterator { return emptyIterator() }
@@ -23,46 +41,200 @@ func EmptyIterator() *Iterator { return emptyIterator() }
 func SingleIterator(t Triple) *Iterator { return singleIterator(t) }
 
 // Next returns the next matching triple, or ok=false when exhausted.
-func (it *Iterator) Next() (Triple, bool) { return it.next() }
+func (it *Iterator) Next() (Triple, bool) {
+	if it.pos < it.n {
+		t := it.buf[it.pos]
+		it.pos++
+		return t, true
+	}
+	return it.nextSlow()
+}
+
+// nextSlow refills the buffer (or falls back to the scalar source) after
+// the fast path in Next misses.
+func (it *Iterator) nextSlow() (Triple, bool) {
+	if it.done {
+		return Triple{}, false
+	}
+	if it.src == nil {
+		if it.scalar != nil {
+			if t, ok := it.scalar(); ok {
+				return t, true
+			}
+		}
+		it.done = true
+		return Triple{}, false
+	}
+	if it.refill() == 0 {
+		it.done = true
+		return Triple{}, false
+	}
+	it.pos = 1
+	return it.buf[0], true
+}
+
+// refill grows the buffer geometrically — selective patterns never pay
+// for a full block, exhaustive drains quickly reach triBatch — and runs
+// the block source once.
+func (it *Iterator) refill() int {
+	if it.buf == nil {
+		it.buf = make([]Triple, 8)
+	} else if it.n == len(it.buf) && len(it.buf) < triBatch {
+		n := len(it.buf) * 4
+		if n > triBatch {
+			n = triBatch
+		}
+		it.buf = make([]Triple, n)
+	}
+	n := it.src.fill(it.buf)
+	it.pos, it.n = 0, n
+	return n
+}
+
+// NextBatch fills out with up to len(out) triples and returns how many
+// were written; 0 iff the iterator is exhausted. Block-producing
+// iterators decode straight into out, so a caller that drains through
+// NextBatch with a reusable buffer performs zero allocations per triple.
+func (it *Iterator) NextBatch(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if it.pos < it.n {
+			c := copy(out[n:], it.buf[it.pos:it.n])
+			it.pos += c
+			n += c
+			continue
+		}
+		if it.done {
+			break
+		}
+		if it.src != nil {
+			k := it.src.fill(out[n:])
+			if k == 0 {
+				it.done = true
+				break
+			}
+			n += k
+			continue
+		}
+		if it.scalar == nil {
+			it.done = true
+			break
+		}
+		t, ok := it.scalar()
+		if !ok {
+			it.done = true
+			break
+		}
+		out[n] = t
+		n++
+	}
+	return n
+}
 
 // Count drains the iterator and returns the number of triples.
 func (it *Iterator) Count() int {
-	n := 0
-	for {
-		if _, ok := it.next(); !ok {
-			return n
-		}
-		n++
+	n := it.n - it.pos
+	it.pos = it.n
+	if it.done {
+		return n
 	}
+	if it.src != nil {
+		for {
+			k := it.refill()
+			if k == 0 {
+				break
+			}
+			n += k
+		}
+		it.pos = it.n
+		it.done = true
+		return n
+	}
+	if it.scalar != nil {
+		for {
+			if _, ok := it.scalar(); !ok {
+				break
+			}
+			n++
+		}
+	}
+	it.done = true
+	return n
 }
 
 // Collect drains the iterator into a slice, stopping after limit triples
 // if limit >= 0.
 func (it *Iterator) Collect(limit int) []Triple {
 	var out []Triple
+	var chunk [triBatch]Triple
 	for limit < 0 || len(out) < limit {
-		t, ok := it.next()
-		if !ok {
+		want := len(chunk)
+		if limit >= 0 && limit-len(out) < want {
+			want = limit - len(out)
+		}
+		k := it.NextBatch(chunk[:want])
+		if k == 0 {
 			break
 		}
-		out = append(out, t)
+		out = append(out, chunk[:k]...)
 	}
 	return out
 }
 
 func emptyIterator() *Iterator {
-	return &Iterator{next: func() (Triple, bool) { return Triple{}, false }}
+	return &Iterator{done: true}
 }
 
 func singleIterator(t Triple) *Iterator {
-	done := false
-	return &Iterator{next: func() (Triple, bool) {
-		if done {
-			return Triple{}, false
+	return &Iterator{buf: []Triple{t}, n: 1, done: true}
+}
+
+// restoreBatch writes perm.Restore(a, b, vals[i]) into out[i], hoisting
+// the permutation dispatch out of the per-triple loop.
+func restoreBatch(perm Perm, a, b ID, vals []uint64, out []Triple) {
+	switch perm {
+	case PermSPO:
+		for i, v := range vals {
+			out[i] = Triple{a, b, ID(v)}
 		}
-		done = true
-		return t, true
-	}}
+	case PermSOP:
+		for i, v := range vals {
+			out[i] = Triple{a, ID(v), b}
+		}
+	case PermPSO:
+		for i, v := range vals {
+			out[i] = Triple{b, a, ID(v)}
+		}
+	case PermPOS:
+		for i, v := range vals {
+			out[i] = Triple{ID(v), a, b}
+		}
+	case PermOSP:
+		for i, v := range vals {
+			out[i] = Triple{b, ID(v), a}
+		}
+	case PermOPS:
+		for i, v := range vals {
+			out[i] = Triple{ID(v), b, a}
+		}
+	}
+}
+
+// valBuf returns a scratch slice of up to k decoded values, growing the
+// backing store geometrically so short selections never zero a full
+// block.
+func valBuf(p *[]uint64, k int) []uint64 {
+	if k > triBatch {
+		k = triBatch
+	}
+	if cap(*p) < k {
+		n := 8
+		for n < k {
+			n *= 4
+		}
+		*p = make([]uint64, n)
+	}
+	return (*p)[:k]
 }
 
 // lookupSPO resolves the fully-specified pattern on any trie: two find
@@ -81,229 +253,454 @@ func lookupSPO(t *trie.Trie, perm Perm, tr Triple) *Iterator {
 	return singleIterator(tr)
 }
 
+// selectTwoState resolves a pattern with the first two components fixed:
+// the completions of one third-level range, decoded in blocks.
+type selectTwoState struct {
+	perm  Perm
+	a, b  ID
+	left  int // elements remaining in the range
+	it2   seq.Iterator
+	unmap func(ID, uint64) ID // nil unless cross-compressed
+	it    Iterator
+	vals  []uint64
+	vals0 [8]uint64
+}
+
+func (st *selectTwoState) fill(out []Triple) int {
+	k := len(out)
+	if k > st.left {
+		k = st.left
+	}
+	vals := valBuf(&st.vals, k)
+	n := st.it2.NextBatch(vals)
+	st.left -= n
+	if st.unmap != nil {
+		for i := range vals[:n] {
+			vals[i] = uint64(st.unmap(st.b, vals[i]))
+		}
+	}
+	restoreBatch(st.perm, st.a, st.b, vals[:n], out[:n])
+	return n
+}
+
 // selectTwo implements the select algorithm of Fig. 2 with the first two
-// components fixed: one find on the second level, then a scan of the
-// completions on the third.
+// components fixed: one find on the second level, then a block-decoded
+// scan of the completions on the third.
 func selectTwo(t *trie.Trie, perm Perm, a, b ID) *Iterator {
+	return selectTwoUnmap(t, perm, a, b, nil)
+}
+
+func selectTwoUnmap(t *trie.Trie, perm Perm, a, b ID, unmap func(ID, uint64) ID) *Iterator {
 	b1, e1 := t.RootRange(uint32(a))
 	j := t.FindChild1(b1, e1, uint32(b))
 	if j < 0 {
 		return emptyIterator()
 	}
 	b2, e2 := t.ChildRange(j)
-	it := t.Iter2(b2, e2)
-	return &Iterator{next: func() (Triple, bool) {
-		v, ok := it.Next()
-		if !ok {
-			return Triple{}, false
+	st := &selectTwoState{perm: perm, a: a, b: b, left: e2 - b2, it2: t.Iter2(b2, e2), unmap: unmap}
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
+}
+
+// selectOneState walks the children of one root and their completions.
+// Sibling ranges of the third level are contiguous, so a single reusable
+// level-2 iterator is repositioned with Reset per child, which carries
+// the prefix-sum base over instead of paying a random access.
+type selectOneState struct {
+	perm      Perm
+	a, curB   ID
+	t         *trie.Trie
+	it1       seq.Iterator
+	ptrIt     seq.Iterator
+	it2       seq.Iterator
+	it2Active bool
+	prev      int
+	left      int
+	unmap     func(ID, uint64) ID
+	it        Iterator
+	vals      []uint64
+	vals0     [8]uint64
+}
+
+func (st *selectOneState) fill(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if st.it2Active {
+			k := len(out) - n
+			if k > st.left {
+				k = st.left
+			}
+			vals := valBuf(&st.vals, k)
+			m := st.it2.NextBatch(vals)
+			st.left -= m
+			if m > 0 {
+				if st.unmap != nil {
+					for i := range vals[:m] {
+						vals[i] = uint64(st.unmap(st.curB, vals[i]))
+					}
+				}
+				restoreBatch(st.perm, st.a, st.curB, vals[:m], out[n:n+m])
+				n += m
+				continue
+			}
+			st.it2Active = false
 		}
-		return perm.Restore(a, b, ID(v)), true
-	}}
+		bv, ok := st.it1.Next()
+		if !ok {
+			break
+		}
+		st.curB = ID(bv)
+		endv, _ := st.ptrIt.Next()
+		b2, e2 := st.prev, int(endv)
+		st.prev = e2
+		if st.it2 == nil {
+			st.it2 = st.t.Iter2(b2, e2)
+		} else {
+			st.it2.Reset(b2, b2, e2)
+		}
+		st.left = e2 - b2
+		st.it2Active = true
+	}
+	return n
 }
 
 // selectOne implements the select algorithm of Fig. 2 with only the first
 // component fixed: scan the children and their completions. Sibling
 // ranges are delimited by a sequential pointer iterator.
 func selectOne(t *trie.Trie, perm Perm, a ID) *Iterator {
+	return selectOneUnmap(t, perm, a, nil)
+}
+
+func selectOneUnmap(t *trie.Trie, perm Perm, a ID, unmap func(ID, uint64) ID) *Iterator {
 	b1, e1 := t.RootRange(uint32(a))
 	if b1 >= e1 {
 		return emptyIterator()
 	}
-	it1 := t.Iter1(b1, e1)
-	ptrIt := t.Ptr1Iter(b1, e1+1)
-	first, _ := ptrIt.Next()
-	prev := int(first)
-	var (
-		curB ID
-		it2  seq.Iterator
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return perm.Restore(a, curB, ID(v)), true
+	st := &selectOneState{perm: perm, a: a, t: t, unmap: unmap}
+	st.it1 = t.Iter1(b1, e1)
+	st.ptrIt = t.Ptr1Iter(b1, e1+1)
+	first, _ := st.ptrIt.Next()
+	st.prev = int(first)
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
+}
+
+// scanAllState enumerates the whole trie (the ??? pattern). The level-1
+// node and pointer sequences are consumed by single sequential cursors:
+// sibling ranges of consecutive roots are contiguous, so the level-1
+// iterator is repositioned with the cheap contiguous Reset, and the
+// pointer value closing one range opens the next.
+type scanAllState struct {
+	perm      Perm
+	t         *trie.Trie
+	root      int
+	pos1, e1  int
+	prev      int
+	curB      ID
+	it1       seq.Iterator
+	ptrIt     seq.Iterator
+	it2       seq.Iterator
+	it2Active bool
+	left      int
+	unmap     func(ID, uint64) ID
+	it        Iterator
+	vals      []uint64
+	vals0     [8]uint64
+}
+
+func (st *scanAllState) fill(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if st.it2Active {
+			k := len(out) - n
+			if k > st.left {
+				k = st.left
+			}
+			vals := valBuf(&st.vals, k)
+			m := st.it2.NextBatch(vals)
+			st.left -= m
+			if m > 0 {
+				if st.unmap != nil {
+					for i := range vals[:m] {
+						vals[i] = uint64(st.unmap(st.curB, vals[i]))
+					}
 				}
-				it2 = nil
+				restoreBatch(st.perm, ID(st.root), st.curB, vals[:m], out[n:n+m])
+				n += m
+				continue
 			}
-			bv, ok := it1.Next()
-			if !ok {
-				return Triple{}, false
-			}
-			curB = ID(bv)
-			endv, _ := ptrIt.Next()
-			b2, e2 := prev, int(endv)
-			prev = e2
-			it2 = t.Iter2(b2, e2)
+			st.it2Active = false
 		}
-	}}
+		if st.pos1 < st.e1 {
+			bv, _ := st.it1.Next()
+			st.curB = ID(bv)
+			endv, _ := st.ptrIt.Next()
+			b2, e2 := st.prev, int(endv)
+			st.prev = e2
+			st.pos1++
+			if st.it2 == nil {
+				st.it2 = st.t.Iter2(b2, e2)
+			} else {
+				st.it2.Reset(b2, b2, e2)
+			}
+			st.left = e2 - b2
+			st.it2Active = true
+			continue
+		}
+		// Advance to the next non-empty root.
+		var b1 int
+		for {
+			st.root++
+			if st.root >= st.t.NumRoots() {
+				return n
+			}
+			b1, st.e1 = st.t.RootRange(uint32(st.root))
+			if b1 < st.e1 {
+				break
+			}
+		}
+		st.pos1 = b1
+		if st.it1 == nil {
+			st.it1 = st.t.Iter1(b1, st.e1)
+			st.ptrIt = st.t.Ptr1Iter(b1, st.t.NumInternal()+1)
+			first, _ := st.ptrIt.Next()
+			st.prev = int(first)
+		} else {
+			// Level-1 ranges of consecutive non-empty roots are
+			// contiguous, and the pointer closing the previous range
+			// (held in prev) already delimits the next one, so the
+			// pointer cursor just keeps streaming.
+			st.it1.Reset(b1, b1, st.e1)
+		}
+	}
+	return n
 }
 
 // scanAll enumerates the whole trie (the ??? pattern).
 func scanAll(t *trie.Trie, perm Perm) *Iterator {
-	var (
-		root   = -1
-		pos1   = 0
-		prev   = 0
-		curB   ID
-		it1    seq.Iterator
-		ptrIt  seq.Iterator
-		it2    seq.Iterator
-		b1, e1 int
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return perm.Restore(ID(root), curB, ID(v)), true
-				}
-				it2 = nil
-			}
-			if it1 != nil && pos1 < e1 {
-				bv, _ := it1.Next()
-				curB = ID(bv)
-				endv, _ := ptrIt.Next()
-				b2, e2 := prev, int(endv)
-				prev = e2
-				pos1++
-				it2 = t.Iter2(b2, e2)
-				continue
-			}
-			it1 = nil
-			// advance to the next non-empty root
-			for {
-				root++
-				if root >= t.NumRoots() {
-					return Triple{}, false
-				}
-				b1, e1 = t.RootRange(uint32(root))
-				if b1 < e1 {
-					break
-				}
-			}
-			pos1 = b1
-			it1 = t.Iter1(b1, e1)
-			ptrIt = t.Ptr1Iter(b1, e1+1)
-			first, _ := ptrIt.Next()
-			prev = int(first)
-		}
-	}}
+	return scanAllUnmap(t, perm, nil)
 }
 
-// enumerate implements the algorithm of Fig. 5, resolving S?O directly on
-// the SPO permutation: for each predicate child of s, one find among its
-// objects. The subject's few children are walked with sequential node and
-// pointer iterators, which is where the algorithm's advantage over
-// percolating the OSP trie comes from (Section 3.3).
+func scanAllUnmap(t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
+	st := &scanAllState{perm: perm, t: t, root: -1, unmap: unmap}
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
+}
+
+// enumerateState implements the algorithm of Fig. 5, resolving S?O
+// directly on the SPO permutation: for each predicate child of s, one
+// find among its objects. The subject's few children are walked with
+// sequential node and pointer iterators, which is where the algorithm's
+// advantage over percolating the OSP trie comes from (Section 3.3).
+type enumerateState struct {
+	spo          *trie.Trie
+	s, o         ID
+	ptrIt        seq.Iterator
+	prev         int
+	pos1, b1, e1 int
+	it           Iterator
+}
+
+func (st *enumerateState) fill(out []Triple) int {
+	n := 0
+	for st.pos1 < st.e1 && n < len(out) {
+		endv, _ := st.ptrIt.Next()
+		jb, je := st.prev, int(endv)
+		st.prev = je
+		j := st.pos1
+		st.pos1++
+		if st.spo.FindChild2(jb, je, uint32(st.o)) >= 0 {
+			// Fetch the predicate only for matches (the pseudocode of
+			// Fig. 5 reads levels[1].nodes[i] per iteration; deferring
+			// it to hits avoids decoding the node sequence at all for
+			// the misses, which dominate).
+			out[n] = Triple{st.s, ID(st.spo.Node1At(st.b1, j)), st.o}
+			n++
+		}
+	}
+	return n
+}
+
 func enumerate(spo *trie.Trie, s, o ID) *Iterator {
 	b1, e1 := spo.RootRange(uint32(s))
 	if b1 >= e1 {
 		return emptyIterator()
 	}
-	ptrIt := spo.Ptr1Iter(b1, e1+1)
-	first, _ := ptrIt.Next()
-	prev := int(first)
-	pos1 := b1
-	return &Iterator{next: func() (Triple, bool) {
-		for pos1 < e1 {
-			endv, _ := ptrIt.Next()
-			jb, je := prev, int(endv)
-			prev = je
-			j := pos1
-			pos1++
-			if spo.FindChild2(jb, je, uint32(o)) >= 0 {
-				// Fetch the predicate only for matches (the pseudocode of
-				// Fig. 5 reads levels[1].nodes[i] per iteration; deferring
-				// it to hits avoids decoding the node sequence at all for
-				// the misses, which dominate).
-				return Triple{s, ID(spo.Node1At(b1, j)), o}, true
-			}
-		}
-		return Triple{}, false
-	}}
+	st := &enumerateState{spo: spo, s: s, o: o, b1: b1, e1: e1, pos1: b1}
+	st.ptrIt = spo.Ptr1Iter(b1, e1+1)
+	first, _ := st.ptrIt.Next()
+	st.prev = int(first)
+	st.it.src = st
+	return &st.it
 }
 
-// invertedOnPOS resolves ??O on the POS permutation (the 2Tp fallback of
-// Section 3.3): |P| find operations locate o among each predicate's
-// children.
-func invertedOnPOS(pos *trie.Trie, o ID) *Iterator {
-	p := -1
-	var (
-		it2  seq.Iterator
-		curP ID
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return Triple{ID(v), curP, o}, true
-				}
-				it2 = nil
+// invertedPOSState resolves ??O on the POS permutation (the 2Tp fallback
+// of Section 3.3): |P| find operations locate o among each predicate's
+// children; matching subject ranges are decoded in blocks.
+type invertedPOSState struct {
+	pos       *trie.Trie
+	o, curP   ID
+	p         int
+	it2       seq.Iterator
+	it2Active bool
+	left      int
+	it        Iterator
+	vals      []uint64
+	vals0     [8]uint64
+}
+
+func (st *invertedPOSState) fill(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if st.it2Active {
+			k := len(out) - n
+			if k > st.left {
+				k = st.left
 			}
-			p++
-			if p >= pos.NumRoots() {
-				return Triple{}, false
-			}
-			b1, e1 := pos.RootRange(uint32(p))
-			j := pos.FindChild1(b1, e1, uint32(o))
-			if j < 0 {
+			vals := valBuf(&st.vals, k)
+			m := st.it2.NextBatch(vals)
+			st.left -= m
+			if m > 0 {
+				restoreBatch(PermPOS, st.curP, st.o, vals[:m], out[n:n+m])
+				n += m
 				continue
 			}
-			curP = ID(p)
-			b2, e2 := pos.ChildRange(j)
-			it2 = pos.Iter2(b2, e2)
+			st.it2Active = false
 		}
-	}}
+		st.p++
+		if st.p >= st.pos.NumRoots() {
+			break
+		}
+		b1, e1 := st.pos.RootRange(uint32(st.p))
+		j := st.pos.FindChild1(b1, e1, uint32(st.o))
+		if j < 0 {
+			continue
+		}
+		st.curP = ID(st.p)
+		b2, e2 := st.pos.ChildRange(j)
+		if st.it2 == nil {
+			st.it2 = st.pos.Iter2(b2, e2)
+		} else {
+			st.it2.Reset(b2, b2, e2)
+		}
+		st.left = e2 - b2
+		st.it2Active = true
+	}
+	return n
 }
 
-// invertedOnPS resolves ?P? for 2To (Section 3.3): walk the PS structure's
-// subject list of p and pattern match (s, p, ?) on SPO for each subject.
+func invertedOnPOS(pos *trie.Trie, o ID) *Iterator {
+	st := &invertedPOSState{pos: pos, o: o, p: -1}
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
+}
+
+// invertedPSState resolves ?P? for 2To (Section 3.3): walk the PS
+// structure's subject list of p and pattern match (s, p, ?) on SPO for
+// each subject.
+type invertedPSState struct {
+	spo       *trie.Trie
+	p, curS   ID
+	subjects  seq.Iterator
+	it2       seq.Iterator
+	it2Active bool
+	left      int
+	it        Iterator
+	vals      []uint64
+	vals0     [8]uint64
+}
+
+func (st *invertedPSState) fill(out []Triple) int {
+	n := 0
+	for n < len(out) {
+		if st.it2Active {
+			k := len(out) - n
+			if k > st.left {
+				k = st.left
+			}
+			vals := valBuf(&st.vals, k)
+			m := st.it2.NextBatch(vals)
+			st.left -= m
+			if m > 0 {
+				restoreBatch(PermSPO, st.curS, st.p, vals[:m], out[n:n+m])
+				n += m
+				continue
+			}
+			st.it2Active = false
+		}
+		sv, ok := st.subjects.Next()
+		if !ok {
+			break
+		}
+		// (s, p, ?) on SPO: every subject in the PS list has at least
+		// one triple with predicate p, so the find always succeeds.
+		b1, e1 := st.spo.RootRange(uint32(sv))
+		j := st.spo.FindChild1(b1, e1, uint32(st.p))
+		if j < 0 {
+			continue
+		}
+		st.curS = ID(sv)
+		b2, e2 := st.spo.ChildRange(j)
+		if st.it2 == nil {
+			st.it2 = st.spo.Iter2(b2, e2)
+		} else {
+			st.it2.Reset(b2, b2, e2)
+		}
+		st.left = e2 - b2
+		st.it2Active = true
+	}
+	return n
+}
+
 func invertedOnPS(ps *PS, spo *trie.Trie, p ID) *Iterator {
 	b, e := ps.Range(p)
 	if b >= e {
 		return emptyIterator()
 	}
-	subjects := ps.Iter(b, e)
-	var (
-		curS ID
-		it2  seq.Iterator
-	)
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			if it2 != nil {
-				if v, ok := it2.Next(); ok {
-					return Triple{curS, p, ID(v)}, true
-				}
-				it2 = nil
-			}
-			sv, ok := subjects.Next()
-			if !ok {
-				return Triple{}, false
-			}
-			// (s, p, ?) on SPO: every subject in the PS list has at least
-			// one triple with predicate p, so the find always succeeds.
-			b1, e1 := spo.RootRange(uint32(sv))
-			j := spo.FindChild1(b1, e1, uint32(p))
-			if j < 0 {
-				continue
-			}
-			curS = ID(sv)
-			b2, e2 := spo.ChildRange(j)
-			it2 = spo.Iter2(b2, e2)
+	st := &invertedPSState{spo: spo, p: p, subjects: ps.Iter(b, e)}
+	st.vals = st.vals0[:]
+	st.it.src = st
+	return &st.it
+}
+
+// filterState yields only the triples of inner satisfying keep.
+type filterState struct {
+	inner *Iterator
+	keep  func(Triple) bool
+	it    Iterator
+	tmp   [triBatch]Triple
+}
+
+func (st *filterState) fill(out []Triple) int {
+	for {
+		k := len(out)
+		if k > len(st.tmp) {
+			k = len(st.tmp)
 		}
-	}}
+		m := st.inner.NextBatch(st.tmp[:k])
+		if m == 0 {
+			return 0
+		}
+		n := 0
+		for _, t := range st.tmp[:m] {
+			if st.keep(t) {
+				out[n] = t
+				n++
+			}
+		}
+		if n > 0 {
+			return n
+		}
+	}
 }
 
 // Filter yields only the triples of inner satisfying keep.
 func Filter(inner *Iterator, keep func(Triple) bool) *Iterator {
-	return &Iterator{next: func() (Triple, bool) {
-		for {
-			t, ok := inner.next()
-			if !ok {
-				return Triple{}, false
-			}
-			if keep(t) {
-				return t, true
-			}
-		}
-	}}
+	st := &filterState{inner: inner, keep: keep}
+	st.it.src = st
+	return &st.it
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"rdfindexes/internal/seq"
+	"rdfindexes/internal/trie"
+)
+
+// VarIter iterates, in strictly increasing order and without duplicates,
+// the IDs that the single wildcard component of a pattern can take. Its
+// NextGEQ skip makes sorted merge-intersections of several such streams
+// possible, which is what turns star-shaped joins from nested loops into
+// galloping intersections (the Broccoli-style use of compressed index
+// lists, arXiv:1207.2615).
+type VarIter struct {
+	it    seq.Iterator
+	empty bool
+}
+
+// Next returns the next candidate ID.
+func (v *VarIter) Next() (ID, bool) {
+	if v.empty {
+		return 0, false
+	}
+	x, ok := v.it.Next()
+	return ID(x), ok
+}
+
+// NextGEQ skips forward to the first remaining candidate >= x, consumes
+// it and returns it.
+func (v *VarIter) NextGEQ(x ID) (ID, bool) {
+	if v.empty {
+		return 0, false
+	}
+	got, ok := v.it.NextGEQ(uint64(x))
+	return ID(got), ok
+}
+
+// emptyVarIter matches no candidate.
+func emptyVarIter() *VarIter { return &VarIter{empty: true} }
+
+// varIterOnTrie serves the sorted completions of the fixed prefix (a, b)
+// on t's third level: the values the trie's last component takes, which
+// are exactly the bindings of the pattern's single wildcard when it sits
+// in that position.
+func varIterOnTrie(t *trie.Trie, a, b ID) *VarIter {
+	b1, e1 := t.RootRange(uint32(a))
+	j := t.FindChild1(b1, e1, uint32(b))
+	if j < 0 {
+		return emptyVarIter()
+	}
+	b2, e2 := t.ChildRange(j)
+	return &VarIter{it: t.Iter2(b2, e2)}
+}
+
+// VarSelecter is implemented by indexes that can produce the sorted
+// stream of bindings for a pattern with exactly one wildcard without
+// materializing triples. ok is false when the layout cannot serve the
+// pattern natively (the executor then falls back to nested iteration).
+type VarSelecter interface {
+	SelectVarSorted(p Pattern) (*VarIter, bool)
+}
+
+// SelectVarSorted on 3T: SP? on SPO, ?PO on POS, S?O on OSP — in each
+// case the wildcard is the resolving trie's third component.
+func (x *Index3T) SelectVarSorted(p Pattern) (*VarIter, bool) {
+	switch p.Shape() {
+	case ShapeSPx:
+		return varIterOnTrie(x.spo, p.S, p.P), true
+	case ShapexPO:
+		return varIterOnTrie(x.pos, p.P, p.O), true
+	case ShapeSxO:
+		return varIterOnTrie(x.osp, p.O, p.S), true
+	}
+	return nil, false
+}
+
+// SelectVarSorted on 2Tp: SP? on SPO and ?PO on POS. S?O has no
+// third-level range here (it resolves with the enumerate algorithm).
+func (x *Index2Tp) SelectVarSorted(p Pattern) (*VarIter, bool) {
+	switch p.Shape() {
+	case ShapeSPx:
+		return varIterOnTrie(x.spo, p.S, p.P), true
+	case ShapexPO:
+		return varIterOnTrie(x.pos, p.P, p.O), true
+	}
+	return nil, false
+}
+
+// SelectVarSorted on 2To: SP? on SPO and ?PO on OPS.
+func (x *Index2To) SelectVarSorted(p Pattern) (*VarIter, bool) {
+	switch p.Shape() {
+	case ShapeSPx:
+		return varIterOnTrie(x.spo, p.S, p.P), true
+	case ShapexPO:
+		return varIterOnTrie(x.ops, p.O, p.P), true
+	}
+	return nil, false
+}
+
+// SelectVarSorted on CC: only levels that store real IDs qualify; mapped
+// third levels hold positions, whose order is not the ID order.
+func (x *IndexCC) SelectVarSorted(p Pattern) (*VarIter, bool) {
+	if x.all {
+		return nil, false
+	}
+	switch p.Shape() {
+	case ShapeSPx:
+		return varIterOnTrie(x.spo, p.S, p.P), true
+	case ShapeSxO:
+		return varIterOnTrie(x.osp, p.O, p.S), true
+	}
+	return nil, false
+}

@@ -107,17 +107,33 @@ func (s *Sequence) NextGEQ(x uint64) (pos int, val uint64, ok bool) {
 	}
 	hx := x >> s.l
 	i := 0
+	p := 0
 	if hx > 0 {
 		// Elements with high part < hx all precede the (hx-1)-th zero.
-		p := s.high.Select0(int(hx) - 1)
-		i = p - (int(hx) - 1) // number of ones before position p
+		p = s.high.Select0(int(hx)-1) + 1
+		i = p - int(hx) // number of ones before position p
 	}
-	// The first candidate is the first element of bucket hx; at most one
-	// bucket needs to be scanned before values exceed x.
-	for ; i < s.n; i++ {
-		if v := s.Access(i); v >= x {
+	// Scan the candidates by streaming over the upper-bits words from
+	// position p instead of paying one Select1 per candidate; at most one
+	// bucket is traversed before values reach x.
+	words := s.high.Vector().Words()
+	w := p >> 6
+	cur := words[w] &^ (1<<(uint(p)&63) - 1)
+	l := s.l
+	lowPos := i * int(l)
+	for i < s.n {
+		for cur == 0 {
+			w++
+			cur = words[w]
+		}
+		bitPos := w<<6 + bits.TrailingZeros64(cur)
+		cur &= cur - 1
+		v := uint64(bitPos-i)<<l | s.low.Get(lowPos, l)
+		if v >= x {
 			return i, v, true
 		}
+		i++
+		lowPos += int(l)
 	}
 	return s.n, 0, false
 }
@@ -133,15 +149,41 @@ type Iterator struct {
 
 // Iterator returns an iterator positioned at index from.
 func (s *Sequence) Iterator(from int) *Iterator {
-	it := &Iterator{s: s, i: from}
+	it := s.MakeIterator(from)
+	return &it
+}
+
+// MakeIterator returns an iterator value positioned at index from, for
+// callers that embed it without a separate allocation.
+func (s *Sequence) MakeIterator(from int) Iterator {
+	it := Iterator{s: s}
+	it.Reset(from)
+	return it
+}
+
+// MakeIteratorBase returns an iterator positioned at index from together
+// with the value at from-1, sharing the positioning work instead of
+// paying a separate random access for the predecessor. from must be in
+// [1, Len()].
+func (s *Sequence) MakeIteratorBase(from int) (Iterator, uint64) {
+	it := Iterator{s: s}
+	it.Reset(from - 1)
+	base, _ := it.Next()
+	return it, base
+}
+
+// Reset repositions the iterator at index from.
+func (it *Iterator) Reset(from int) {
+	s := it.s
 	if from >= s.n {
 		it.i = s.n
-		return it
+		it.word = 0
+		return
 	}
+	it.i = from
 	p := s.high.Select1(from)
 	it.wordIdx = p >> 6
 	it.word = s.high.Vector().Words()[it.wordIdx] &^ (1<<(uint(p)&63) - 1)
-	return it
 }
 
 // Next returns the next value, or ok=false at the end.
@@ -160,6 +202,78 @@ func (it *Iterator) Next() (uint64, bool) {
 	v := uint64(p-it.i)<<s.l | s.low.Get(it.i*int(s.l), s.l)
 	it.i++
 	return v, true
+}
+
+// NextBatch decodes up to len(buf) consecutive values into buf and
+// returns how many were written (0 iff the sequence is exhausted). The
+// upper-bits vector is consumed by word-level trailing-zero scans and the
+// low-bits cursor advances sequentially, so the per-element cost is a few
+// instructions instead of a Select1.
+func (it *Iterator) NextBatch(buf []uint64) int {
+	s := it.s
+	m := s.n - it.i
+	if m <= 0 {
+		return 0
+	}
+	if m > len(buf) {
+		m = len(buf)
+	}
+	words := s.high.Vector().Words()
+	l := s.l
+	lowPos := it.i * int(l)
+	i, wordIdx, word := it.i, it.wordIdx, it.word
+	for j := 0; j < m; j++ {
+		for word == 0 {
+			wordIdx++
+			word = words[wordIdx]
+		}
+		p := wordIdx<<6 + bits.TrailingZeros64(word)
+		word &= word - 1
+		buf[j] = uint64(p-i)<<l | s.low.Get(lowPos, l)
+		lowPos += int(l)
+		i++
+	}
+	it.i, it.wordIdx, it.word = i, wordIdx, word
+	return m
+}
+
+// SkipTo advances the iterator to the first element at or after the
+// current position whose value is >= x, consumes it, and returns its
+// index and value. ok is false when no remaining element qualifies, in
+// which case the iterator is exhausted.
+func (it *Iterator) SkipTo(x uint64) (int, uint64, bool) {
+	s := it.s
+	if it.i >= s.n {
+		return s.n, 0, false
+	}
+	// Close targets are cheaper to reach by scanning the upper-bits words
+	// ahead of the cursor than by a directory jump: the target's bucket
+	// starts at bit position (x>>l)+i, so the distance is known up front.
+	if targetBit := int(x>>s.l) + it.i; targetBit-(it.wordIdx<<6) <= 4*64 {
+		for {
+			v, ok := it.Next()
+			if !ok {
+				return s.n, 0, false
+			}
+			if v >= x {
+				return it.i - 1, v, true
+			}
+		}
+	}
+	pos, val, ok := s.NextGEQ(x)
+	if !ok {
+		it.i = s.n
+		it.word = 0
+		return s.n, 0, false
+	}
+	if pos <= it.i {
+		// The sequence is monotone, so the next element already
+		// qualifies; consume it in place.
+		v, _ := it.Next()
+		return it.i - 1, v, true
+	}
+	it.Reset(pos + 1)
+	return pos, val, true
 }
 
 // SizeBits returns the storage footprint in bits.

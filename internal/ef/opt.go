@@ -228,6 +228,29 @@ func (p *OptPartitioned) Iterator(from int) *OptIterator {
 	return &OptIterator{p: p, i: from, k: -1}
 }
 
+// MakeIterator returns an iterator value positioned at index from, for
+// callers that embed it without a separate allocation.
+func (p *OptPartitioned) MakeIterator(from int) OptIterator {
+	return OptIterator{p: p, i: from, k: -1}
+}
+
+// MakeIteratorBase returns an iterator positioned at index from together
+// with the value at from-1, decoding the predecessor on the way instead
+// of paying a separate random access. from must be in [1, Len()].
+func (p *OptPartitioned) MakeIteratorBase(from int) (OptIterator, uint64) {
+	it := OptIterator{p: p, i: from - 1, k: -1}
+	base, _ := it.Next()
+	return it, base
+}
+
+// Reset repositions the iterator at index from. The partition cursor is
+// re-established lazily on the next read.
+func (it *OptIterator) Reset(from int) {
+	it.i = from
+	it.k = -1
+	it.partEnd = 0
+}
+
 func (it *OptIterator) enter(k, j int) {
 	it.k = k
 	_, it.partEnd = it.p.partBounds(k)
@@ -296,6 +319,107 @@ func (it *OptIterator) Next() (uint64, bool) {
 	it.inPart++
 	it.i++
 	return v, true
+}
+
+// NextBatch decodes up to len(buf) consecutive values into buf and
+// returns how many were written (0 iff the sequence is exhausted),
+// dispatching on the encoding kind once per partition.
+func (it *OptIterator) NextBatch(buf []uint64) int {
+	p := it.p
+	n := 0
+	for n < len(buf) && it.i < p.n {
+		if it.k < 0 || it.i >= it.partEnd {
+			k := it.k + 1
+			if it.k < 0 {
+				k = p.partOf(it.i)
+			}
+			start, _ := p.partBounds(k)
+			it.enter(k, it.i-start)
+		}
+		m := it.partEnd - it.i
+		if m > len(buf)-n {
+			m = len(buf) - n
+		}
+		out := buf[n : n+m]
+		switch it.pv.kind {
+		case kindAllOnes:
+			v := it.pv.base + uint64(it.inPart)
+			for j := range out {
+				v++
+				out[j] = v
+			}
+		case kindBitmap:
+			base := it.pv.base + 1
+			for j := range out {
+				out[j] = base + uint64(it.nextBit())
+			}
+		default:
+			l := it.l
+			inPart := it.inPart
+			lowPos := it.lowOff + inPart*int(l)
+			payload := it.pv.payload
+			base := it.pv.base
+			for j := range out {
+				pos := it.nextBit()
+				hi := uint64(pos - inPart - j)
+				out[j] = base + (hi<<l | payload.Get(lowPos, l))
+				lowPos += int(l)
+			}
+		}
+		it.inPart += m
+		it.i += m
+		n += m
+	}
+	return n
+}
+
+// SkipTo advances the iterator to the first element at or after the
+// current position whose value is >= x, consumes it, and returns its
+// index and value. Partitions whose upper bound is below x are skipped
+// through the upper-bound directory.
+func (it *OptIterator) SkipTo(x uint64) (int, uint64, bool) {
+	p := it.p
+	if it.i >= p.n {
+		return p.n, 0, false
+	}
+	if x > p.universe {
+		it.i = p.n
+		return p.n, 0, false
+	}
+	// Locate the target with partition metadata only; the bit cursor is
+	// positioned once, at the end, when the target is known.
+	inCursor := it.k >= 0 && it.i < it.partEnd
+	k := it.k
+	pv := it.pv
+	if !inCursor {
+		k = p.partOf(it.i)
+		pv = p.part(k)
+	}
+	if x > pv.base+pv.span {
+		kk, _, ok := p.upper.NextGEQ(x)
+		if !ok {
+			it.i = p.n
+			return p.n, 0, false
+		}
+		k = kk
+		pv = p.part(k)
+		inCursor = false
+	}
+	j, _, ok := pv.nextGEQ(x)
+	if !ok {
+		it.i = p.n
+		return p.n, 0, false
+	}
+	if !inCursor || j > it.inPart {
+		start, _ := p.partBounds(k)
+		it.enter(k, j)
+		it.i = start + j
+	}
+	v, ok := it.Next()
+	if !ok {
+		return p.n, 0, false
+	}
+	return it.i - 1, v, true
 }
 
 // SizeBits returns the storage footprint in bits.

@@ -351,6 +351,28 @@ func (p *Partitioned) Iterator(from int) *PartIterator {
 	return &PartIterator{p: p, i: from, k: -1}
 }
 
+// MakeIterator returns an iterator value positioned at index from, for
+// callers that embed it without a separate allocation.
+func (p *Partitioned) MakeIterator(from int) PartIterator {
+	return PartIterator{p: p, i: from, k: -1}
+}
+
+// MakeIteratorBase returns an iterator positioned at index from together
+// with the value at from-1, decoding the predecessor on the way instead
+// of paying a separate random access. from must be in [1, Len()].
+func (p *Partitioned) MakeIteratorBase(from int) (PartIterator, uint64) {
+	it := PartIterator{p: p, i: from - 1, k: -1}
+	base, _ := it.Next()
+	return it, base
+}
+
+// Reset repositions the iterator at index from. The partition cursor is
+// re-established lazily on the next read.
+func (it *PartIterator) Reset(from int) {
+	it.i = from
+	it.k = -1
+}
+
 // enterPartition initializes the cursor at element j of partition k.
 func (it *PartIterator) enterPartition(k, j int) {
 	it.k = k
@@ -417,6 +439,109 @@ func (it *PartIterator) Next() (uint64, bool) {
 	it.inPart++
 	it.i++
 	return v, true
+}
+
+// NextBatch decodes up to len(buf) consecutive values into buf and
+// returns how many were written (0 iff the sequence is exhausted). The
+// encoding kind is dispatched once per partition instead of once per
+// element, and within a partition the bit region is consumed by
+// word-level scans.
+func (it *PartIterator) NextBatch(buf []uint64) int {
+	p := it.p
+	n := 0
+	for n < len(buf) && it.i < p.n {
+		k := it.i >> p.partLog
+		if k != it.k {
+			it.enterPartition(k, it.i-k<<p.partLog)
+		}
+		partEnd := (k + 1) << p.partLog
+		if partEnd > p.n {
+			partEnd = p.n
+		}
+		m := partEnd - it.i
+		if m > len(buf)-n {
+			m = len(buf) - n
+		}
+		out := buf[n : n+m]
+		switch it.pv.kind {
+		case kindAllOnes:
+			v := it.pv.base + uint64(it.inPart)
+			for j := range out {
+				v++
+				out[j] = v
+			}
+		case kindBitmap:
+			base := it.pv.base + 1
+			for j := range out {
+				out[j] = base + uint64(it.nextBit())
+			}
+		default:
+			l := it.l
+			inPart := it.inPart
+			lowPos := it.lowOff + inPart*int(l)
+			payload := it.pv.payload
+			base := it.pv.base
+			for j := range out {
+				pos := it.nextBit()
+				hi := uint64(pos - inPart - j)
+				out[j] = base + (hi<<l | payload.Get(lowPos, l))
+				lowPos += int(l)
+			}
+		}
+		it.inPart += m
+		it.i += m
+		n += m
+	}
+	return n
+}
+
+// SkipTo advances the iterator to the first element at or after the
+// current position whose value is >= x, consumes it, and returns its
+// index and value. Partitions whose upper bound is below x are skipped
+// through the upper-bound directory without touching their payload.
+func (it *PartIterator) SkipTo(x uint64) (int, uint64, bool) {
+	p := it.p
+	if it.i >= p.n {
+		return p.n, 0, false
+	}
+	if x > p.universe {
+		it.i = p.n
+		return p.n, 0, false
+	}
+	// Locate the target with partition metadata only; the bit cursor is
+	// positioned once, at the end, when the target is known.
+	k := it.i >> p.partLog
+	pv := it.pv
+	if k != it.k {
+		pv = p.part(k)
+	}
+	if x > pv.base+pv.span {
+		// Beyond this partition: jump to the first partition whose upper
+		// bound reaches x.
+		kk, _, ok := p.upper.NextGEQ(x)
+		if !ok {
+			it.i = p.n
+			return p.n, 0, false
+		}
+		k = kk
+		pv = p.part(k)
+	}
+	j, _, ok := pv.nextGEQ(x)
+	if !ok {
+		it.i = p.n
+		return p.n, 0, false
+	}
+	if k != it.k || j > it.inPart {
+		it.enterPartition(k, j)
+		it.i = k<<p.partLog + j
+	}
+	// The element at the cursor now satisfies >= x (by monotonicity when
+	// it was already at or past position j); consume it.
+	v, ok := it.Next()
+	if !ok {
+		return p.n, 0, false
+	}
+	return it.i - 1, v, true
 }
 
 // SizeBits returns the storage footprint in bits.

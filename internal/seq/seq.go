@@ -64,10 +64,31 @@ func ParseKind(s string) (Kind, error) {
 	return 0, fmt.Errorf("seq: unknown kind %q", s)
 }
 
-// Iterator yields consecutive original values of one range.
+// Iterator yields consecutive original values of one range. Beyond
+// per-element Next, every implementation supports block decoding
+// (NextBatch), forward skips for merge-intersections (NextGEQ) and
+// in-place repositioning (Reset), so hot loops pay neither an interface
+// dispatch per element nor an allocation per sibling range.
 type Iterator interface {
 	// Next returns the next value, or ok=false at the end of the range.
 	Next() (uint64, bool)
+	// NextBatch decodes up to len(buf) next values into buf and returns
+	// how many were written; 0 iff the range is exhausted.
+	// Implementations may return short (non-zero) counts at internal
+	// block boundaries, so callers must loop.
+	NextBatch(buf []uint64) int
+	// NextGEQ skips forward to the first remaining value >= x, consumes
+	// it and returns it. ok is false when no remaining value qualifies,
+	// in which case the iterator is exhausted.
+	NextGEQ(x uint64) (uint64, bool)
+	// Reset repositions the iterator to positions [from, end) of the
+	// sorted range starting at rangeBegin of the same sequence, reusing
+	// its state instead of allocating a fresh iterator. When the new
+	// range starts exactly where the previous one ended (the common case
+	// when scanning consecutive sibling ranges), the prefix-sum base is
+	// carried over from the last decoded value instead of being fetched
+	// with a random access.
+	Reset(rangeBegin, from, end int)
 }
 
 // Sequence is an immutable compressed integer sequence whose values are
@@ -214,31 +235,210 @@ func monoFind(m monotone, begin, end int, x uint64) int {
 	return pos
 }
 
-// monoIter adapts a raw iterator over stored values into original values.
+// storedIter is the cursor over stored (prefix-summed) values that each
+// monotone encoder provides: ef.Iterator, ef.PartIterator, ef.OptIterator
+// and vbyte.Iterator all satisfy it.
+type storedIter interface {
+	Next() (uint64, bool)
+	NextBatch(buf []uint64) int
+	// SkipTo consumes elements up to and including the first one at or
+	// after the cursor with value >= x, returning its index and value.
+	SkipTo(x uint64) (int, uint64, bool)
+	Reset(from int)
+}
+
+// monoIter adapts a stored-value cursor into original values of one
+// sorted range by subtracting the range's prefix-sum base. It tracks the
+// last stored value it decoded so that Reset to a contiguous next range
+// can reuse it as the new base without a random access.
 type monoIter struct {
-	next func() (uint64, bool)
-	base uint64
-	left int
+	m        monotone
+	inner    storedIter
+	base     uint64
+	pos, end int // absolute position of the next element, range end
+	last     uint64
+	haveLast bool // last == stored value at pos-1
 }
 
 func (it *monoIter) Next() (uint64, bool) {
-	if it.left <= 0 {
+	if it.pos >= it.end {
 		return 0, false
 	}
-	v, ok := it.next()
+	v, ok := it.inner.Next()
 	if !ok {
+		it.pos = it.end
+		it.haveLast = false
 		return 0, false
 	}
-	it.left--
+	it.pos++
+	it.last = v
+	it.haveLast = true
 	return v - it.base, true
 }
 
-func newMonoIter(m monotone, raw func() (uint64, bool), rangeBegin, from, end int) Iterator {
-	var base uint64
-	if rangeBegin > 0 {
-		base = m.Access(rangeBegin - 1)
+func (it *monoIter) NextBatch(buf []uint64) int {
+	k := it.end - it.pos
+	if k <= 0 || len(buf) == 0 {
+		// An empty buffer must not disturb the cursor or the base
+		// bookkeeping below.
+		return 0
 	}
-	return &monoIter{next: raw, base: base, left: end - from}
+	if k > len(buf) {
+		k = len(buf)
+	}
+	n := it.inner.NextBatch(buf[:k])
+	if n == 0 {
+		it.pos = it.end
+		return 0
+	}
+	it.pos += n
+	it.last = buf[n-1]
+	it.haveLast = true
+	if base := it.base; base != 0 {
+		for i := range buf[:n] {
+			buf[i] -= base
+		}
+	}
+	return n
+}
+
+func (it *monoIter) NextGEQ(x uint64) (uint64, bool) {
+	if it.pos >= it.end {
+		return 0, false
+	}
+	p, v, ok := it.inner.SkipTo(it.base + x)
+	if !ok {
+		// The cursor sits at the sequence end; keep pos in sync with it.
+		it.pos = p
+		it.haveLast = false
+		return 0, false
+	}
+	it.pos = p + 1
+	it.last = v
+	it.haveLast = true
+	if p >= it.end {
+		return 0, false
+	}
+	return v - it.base, true
+}
+
+func (it *monoIter) Reset(rangeBegin, from, end int) {
+	it.end = end
+	if from != it.pos {
+		it.inner.Reset(from)
+		it.pos = from
+		it.haveLast = false
+	} else if from == rangeBegin && from > 0 && it.haveLast {
+		// Contiguous advance: the base of the new range is the stored
+		// value just before it, which is the last one decoded.
+		it.base = it.last
+		return
+	}
+	if rangeBegin > 0 {
+		it.base = it.m.Access(rangeBegin - 1)
+	} else {
+		it.base = 0
+	}
+}
+
+// The per-kind iterator wrappers embed their concrete stored-value
+// cursor so that one allocation covers the whole iterator; the embedded
+// monoIter reaches the cursor through its interface field, which points
+// back into the same object.
+
+type efIter struct {
+	monoIter
+	cur ef.Iterator
+}
+
+func newEFIter(s *ef.Sequence, rangeBegin, from, end int) Iterator {
+	it := &efIter{}
+	if rangeBegin == from && from > 0 && from <= s.Len() {
+		var base uint64
+		it.cur, base = s.MakeIteratorBase(from)
+		it.initMonoBase(s, &it.cur, base, from, end)
+		return it
+	}
+	it.cur = s.MakeIterator(from)
+	it.initMono(s, &it.cur, rangeBegin, from, end)
+	return it
+}
+
+type pefIter struct {
+	monoIter
+	cur ef.PartIterator
+}
+
+func newPEFIter(s *ef.Partitioned, rangeBegin, from, end int) Iterator {
+	it := &pefIter{}
+	if rangeBegin == from && from > 0 && from <= s.Len() {
+		var base uint64
+		it.cur, base = s.MakeIteratorBase(from)
+		it.initMonoBase(s, &it.cur, base, from, end)
+		return it
+	}
+	it.cur = s.MakeIterator(from)
+	it.initMono(s, &it.cur, rangeBegin, from, end)
+	return it
+}
+
+type pefOptIter struct {
+	monoIter
+	cur ef.OptIterator
+}
+
+func newPEFOptIter(s *ef.OptPartitioned, rangeBegin, from, end int) Iterator {
+	it := &pefOptIter{}
+	if rangeBegin == from && from > 0 && from <= s.Len() {
+		var base uint64
+		it.cur, base = s.MakeIteratorBase(from)
+		it.initMonoBase(s, &it.cur, base, from, end)
+		return it
+	}
+	it.cur = s.MakeIterator(from)
+	it.initMono(s, &it.cur, rangeBegin, from, end)
+	return it
+}
+
+type vbyteIter struct {
+	monoIter
+	cur vbyte.Iterator
+}
+
+func newVByteIter(s *vbyte.Blocked, rangeBegin, from, end int) Iterator {
+	it := &vbyteIter{}
+	if rangeBegin == from && from > 0 && from <= s.Len() {
+		var base uint64
+		it.cur, base = s.MakeIteratorBase(from)
+		it.initMonoBase(s, &it.cur, base, from, end)
+		return it
+	}
+	it.cur = s.MakeIterator(from)
+	it.initMono(s, &it.cur, rangeBegin, from, end)
+	return it
+}
+
+func (it *monoIter) initMono(m monotone, inner storedIter, rangeBegin, from, end int) {
+	it.m = m
+	it.inner = inner
+	it.pos = from
+	it.end = end
+	if rangeBegin > 0 {
+		it.base = m.Access(rangeBegin - 1)
+	}
+}
+
+// initMonoBase initializes with a base already decoded by the inner
+// cursor's fused positioning; the base doubles as the last stored value,
+// so a later contiguous Reset needs no random access either.
+func (it *monoIter) initMonoBase(m monotone, inner storedIter, base uint64, from, end int) {
+	it.m = m
+	it.inner = inner
+	it.pos = from
+	it.end = end
+	it.base = base
+	it.last = base
+	it.haveLast = true
 }
 
 // compactSeq is the fixed-width representation; values are stored as-is.
@@ -289,6 +489,41 @@ func (it *compactIter) Next() (uint64, bool) {
 	return v, true
 }
 
+func (it *compactIter) NextBatch(buf []uint64) int {
+	m := it.end - it.i
+	if m <= 0 {
+		return 0
+	}
+	if m > len(buf) {
+		m = len(buf)
+	}
+	it.v.Fill(it.i, buf[:m])
+	it.i += m
+	return m
+}
+
+func (it *compactIter) NextGEQ(x uint64) (uint64, bool) {
+	lo, hi := it.i, it.end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.v.At(mid) >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= it.end {
+		it.i = it.end
+		return 0, false
+	}
+	it.i = lo + 1
+	return it.v.At(lo), true
+}
+
+func (it *compactIter) Reset(_, from, end int) {
+	it.i, it.end = from, end
+}
+
 func (c *compactSeq) Iter(begin, end int) Iterator {
 	return &compactIter{v: c.v, i: begin, end: end}
 }
@@ -326,10 +561,10 @@ func (e *efSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
 	return monoFindGEQ(e.s, begin, end, x)
 }
 func (e *efSeq) Iter(begin, end int) Iterator {
-	return newMonoIter(e.s, e.s.Iterator(begin).Next, begin, begin, end)
+	return newEFIter(e.s, begin, begin, end)
 }
 func (e *efSeq) IterFrom(rangeBegin, from, end int) Iterator {
-	return newMonoIter(e.s, e.s.Iterator(from).Next, rangeBegin, from, end)
+	return newEFIter(e.s, rangeBegin, from, end)
 }
 func (e *efSeq) encode(w *codec.Writer) { e.s.Encode(w) }
 
@@ -354,10 +589,10 @@ func (p *pefSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
 	return monoFindGEQ(p.s, begin, end, x)
 }
 func (p *pefSeq) Iter(begin, end int) Iterator {
-	return newMonoIter(p.s, p.s.Iterator(begin).Next, begin, begin, end)
+	return newPEFIter(p.s, begin, begin, end)
 }
 func (p *pefSeq) IterFrom(rangeBegin, from, end int) Iterator {
-	return newMonoIter(p.s, p.s.Iterator(from).Next, rangeBegin, from, end)
+	return newPEFIter(p.s, rangeBegin, from, end)
 }
 func (p *pefSeq) encode(w *codec.Writer) { p.s.Encode(w) }
 
@@ -382,10 +617,10 @@ func (v *vbyteSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
 	return monoFindGEQ(v.s, begin, end, x)
 }
 func (v *vbyteSeq) Iter(begin, end int) Iterator {
-	return newMonoIter(v.s, v.s.Iterator(begin).Next, begin, begin, end)
+	return newVByteIter(v.s, begin, begin, end)
 }
 func (v *vbyteSeq) IterFrom(rangeBegin, from, end int) Iterator {
-	return newMonoIter(v.s, v.s.Iterator(from).Next, rangeBegin, from, end)
+	return newVByteIter(v.s, rangeBegin, from, end)
 }
 func (v *vbyteSeq) encode(w *codec.Writer) { v.s.Encode(w) }
 
@@ -410,10 +645,10 @@ func (p *pefOptSeq) FindGEQ(begin, end int, x uint64) (int, uint64, bool) {
 	return monoFindGEQ(p.s, begin, end, x)
 }
 func (p *pefOptSeq) Iter(begin, end int) Iterator {
-	return newMonoIter(p.s, p.s.Iterator(begin).Next, begin, begin, end)
+	return newPEFOptIter(p.s, begin, begin, end)
 }
 func (p *pefOptSeq) IterFrom(rangeBegin, from, end int) Iterator {
-	return newMonoIter(p.s, p.s.Iterator(from).Next, rangeBegin, from, end)
+	return newPEFOptIter(p.s, rangeBegin, from, end)
 }
 func (p *pefOptSeq) encode(w *codec.Writer) { p.s.Encode(w) }
 

@@ -17,7 +17,10 @@ type Bindings map[string]core.ID
 // ExecStats reports the work done by an execution: the serial
 // decomposition length (number of atomic triple selection patterns
 // issued) and the number of triples they matched. Table 6 of the paper
-// measures exactly this decomposition's raw index speed.
+// measures exactly this decomposition's raw index speed. When a group of
+// patterns is resolved by a merge-intersection instead of nested
+// iteration, TriplesMatched counts only the intersected matches — the
+// skipped candidates are exactly the work the join optimization saves.
 type ExecStats struct {
 	PatternsIssued int
 	TriplesMatched int
@@ -199,10 +202,39 @@ func Execute(q Query, st Store, emit func(Bindings)) (ExecStats, error) {
 	return executeOrdered(q, st, Plan(q), emit)
 }
 
-// executeOrdered is the nested-loop join over an explicit pattern order.
+// singleFreeVar reports the variable of tp that is still unbound under
+// b, provided it occupies exactly one component slot and no other slot
+// is free.
+func singleFreeVar(tp TriplePattern, b Bindings) (string, bool) {
+	name := ""
+	slots := 0
+	for _, t := range []Term{tp.S, tp.P, tp.O} {
+		if !t.IsVar() {
+			continue
+		}
+		if _, bound := b[t.Var]; bound {
+			continue
+		}
+		slots++
+		if name == "" {
+			name = t.Var
+		} else if name != t.Var {
+			return "", false
+		}
+	}
+	return name, slots == 1
+}
+
+// executeOrdered evaluates the BGP over an explicit pattern order:
+// nested-loop joins, except that maximal runs of consecutive patterns
+// sharing their single free variable are resolved with a leapfrog
+// merge-intersection of the sorted binding streams the index serves
+// natively (core.VarSelecter), skipping over non-joining candidates with
+// NextGEQ instead of enumerating them.
 func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
 	var stats ExecStats
 	bindings := Bindings{}
+	vs, hasVS := st.(core.VarSelecter)
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(order) {
@@ -220,6 +252,27 @@ func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecSt
 		}
 		tp := q.Patterns[order[step]]
 		pat := substitute(tp, bindings)
+		// A gallop group needs at least two patterns, so the innermost
+		// step (the hot path of the recursion) skips detection entirely.
+		if hasVS && step+1 < len(order) {
+			if v, ok := singleFreeVar(tp, bindings); ok {
+				group := []core.Pattern{pat}
+				for g := step + 1; g < len(order); g++ {
+					tp2 := q.Patterns[order[g]]
+					if v2, ok2 := singleFreeVar(tp2, bindings); !ok2 || v2 != v {
+						break
+					}
+					group = append(group, substitute(tp2, bindings))
+				}
+				if len(group) >= 2 {
+					if done, err := execGallop(vs, group, v, bindings, &stats, func() error {
+						return rec(step + len(group))
+					}); done {
+						return err
+					}
+				}
+			}
+		}
 		stats.PatternsIssued++
 		it := st.Select(pat)
 		for {
@@ -262,6 +315,71 @@ func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecSt
 		return stats, err
 	}
 	return stats, nil
+}
+
+// execGallop intersects the sorted binding streams of a group of
+// patterns that share their single free variable v, invoking found for
+// every common value with v bound. done is false when the store cannot
+// serve one of the streams (the caller falls back to nested iteration).
+func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
+	bindings Bindings, stats *ExecStats, found func() error) (done bool, err error) {
+	its := make([]*core.VarIter, len(group))
+	for i, p := range group {
+		it, ok := vs.SelectVarSorted(p)
+		if !ok {
+			return false, nil
+		}
+		its[i] = it
+	}
+	stats.PatternsIssued += len(group)
+	// Leapfrog: keep one candidate per stream; advance every stream below
+	// the maximum with a NextGEQ skip, and report when all candidates
+	// agree. Values are distinct within a stream, so each agreement is
+	// exactly one solution.
+	cand := make([]core.ID, len(its))
+	for i, it := range its {
+		c, ok := it.Next()
+		if !ok {
+			return true, nil
+		}
+		cand[i] = c
+	}
+	for {
+		maxv := cand[0]
+		for _, c := range cand[1:] {
+			if c > maxv {
+				maxv = c
+			}
+		}
+		agree := true
+		for i, it := range its {
+			if cand[i] < maxv {
+				c, ok := it.NextGEQ(maxv)
+				if !ok {
+					return true, nil
+				}
+				cand[i] = c
+				if c != maxv {
+					agree = false
+				}
+			}
+		}
+		if !agree {
+			continue
+		}
+		stats.TriplesMatched += len(group)
+		bindings[v] = maxv
+		err := found()
+		delete(bindings, v)
+		if err != nil {
+			return true, err
+		}
+		c, ok := its[0].Next()
+		if !ok {
+			return true, nil
+		}
+		cand[0] = c
+	}
 }
 
 // Decompose runs the query and returns the sequence of atomic selection

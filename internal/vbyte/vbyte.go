@@ -160,11 +160,37 @@ type Iterator struct {
 
 // Iterator returns an iterator positioned at index from.
 func (b *Blocked) Iterator(from int) *Iterator {
-	it := &Iterator{b: b, i: from}
+	it := b.MakeIterator(from)
+	return &it
+}
+
+// MakeIterator returns an iterator value positioned at index from, for
+// callers that embed it without a separate allocation.
+func (b *Blocked) MakeIterator(from int) Iterator {
+	it := Iterator{b: b}
+	it.Reset(from)
+	return it
+}
+
+// MakeIteratorBase returns an iterator positioned at index from together
+// with the value at from-1, decoding the predecessor on the way instead
+// of paying a separate random access. from must be in [1, Len()].
+func (b *Blocked) MakeIteratorBase(from int) (Iterator, uint64) {
+	it := Iterator{b: b}
+	it.Reset(from - 1)
+	base, _ := it.Next()
+	return it, base
+}
+
+// Reset repositions the iterator at index from, decoding the block prefix
+// in front of from.
+func (it *Iterator) Reset(from int) {
+	b := it.b
 	if from >= b.n {
 		it.i = b.n
-		return it
+		return
 	}
+	it.i = from
 	// Position the cursor so that v holds the value at from-1 and pos
 	// points at the gap for from; Next advances into position from.
 	k := from / BlockLen
@@ -175,7 +201,6 @@ func (b *Blocked) Iterator(from int) *Iterator {
 		gap, it.pos = Get(b.data, it.pos)
 		it.v += gap
 	}
-	return it
 }
 
 // Next returns the next value, or ok=false at the end.
@@ -194,6 +219,98 @@ func (it *Iterator) Next() (uint64, bool) {
 	}
 	it.i++
 	return it.v, true
+}
+
+// NextBatch decodes up to len(buf) consecutive values into buf and
+// returns how many were written (0 iff the sequence is exhausted). Gap
+// decoding runs in a tight loop over the byte stream with the prefix-sum
+// accumulator kept in a register.
+func (it *Iterator) NextBatch(buf []uint64) int {
+	b := it.b
+	n := 0
+	data := b.data
+	for n < len(buf) && it.i < b.n {
+		if it.i%BlockLen == 0 {
+			k := it.i / BlockLen
+			it.v = b.firsts.At(k)
+			it.pos = int(b.offsets.At(k))
+			buf[n] = it.v
+			n++
+			it.i++
+			continue
+		}
+		blockEnd := (it.i/BlockLen + 1) * BlockLen
+		if blockEnd > b.n {
+			blockEnd = b.n
+		}
+		m := blockEnd - it.i
+		if m > len(buf)-n {
+			m = len(buf) - n
+		}
+		v, pos := it.v, it.pos
+		out := buf[n : n+m]
+		for j := range out {
+			var gap uint64
+			var shift uint
+			for {
+				byt := data[pos]
+				pos++
+				gap |= uint64(byt&0x7f) << shift
+				if byt < 0x80 {
+					break
+				}
+				shift += 7
+			}
+			v += gap
+			out[j] = v
+		}
+		it.v, it.pos = v, pos
+		n += m
+		it.i += m
+	}
+	return n
+}
+
+// SkipTo advances the iterator to the first element at or after the
+// current position whose value is >= x, consumes it, and returns its
+// index and value. Whole blocks are skipped through the block-leading
+// directory before the final block is scanned.
+func (it *Iterator) SkipTo(x uint64) (int, uint64, bool) {
+	b := it.b
+	if it.i >= b.n {
+		return b.n, 0, false
+	}
+	if x > b.universe {
+		it.i = b.n
+		return b.n, 0, false
+	}
+	curK := it.i / BlockLen
+	if b.firsts.At(curK) < x {
+		// Binary search the last block at or after curK whose leading
+		// value is still below x; the answer lies in it or at the next
+		// block's leading value.
+		lo, hi := curK, b.firsts.Len()-1
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if b.firsts.At(mid) < x {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if lo > curK {
+			it.i = lo * BlockLen // Next reloads the block directory here
+		}
+	}
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return b.n, 0, false
+		}
+		if v >= x {
+			return it.i - 1, v, true
+		}
+	}
 }
 
 // SizeBits returns the storage footprint in bits.

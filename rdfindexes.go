@@ -14,8 +14,22 @@
 //	it := x.Select(rdfindexes.NewPattern(12, -1, 7)) // S?O
 //	for t, ok := it.Next(); ok; t, ok = it.Next() { ... }
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// Iterators produce results in blocks; hot consumers should drain
+// through NextBatch with a reusable buffer, which performs zero
+// allocations per triple:
+//
+//	var buf [512]rdfindexes.Triple
+//	for {
+//		n := it.NextBatch(buf[:])
+//		if n == 0 {
+//			break
+//		}
+//		// process buf[:n]
+//	}
+//
+// See DESIGN.md for the layer inventory and the batched-iteration
+// contract, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
 package rdfindexes
 
 import (
