@@ -43,19 +43,22 @@ var experiments = []struct {
 	{"range", "range-constrained patterns via the R structure", bench.RangeQueries},
 	{"breakdown", "per-level space shares of the 3T index (Section 3.1)", bench.Breakdown},
 	{"ablation", "encoder choices and cross-compression variants", bench.Ablation},
+	{"parallel", "concurrent query throughput on one shared index (1/4/16 goroutines)", bench.ServeParallel},
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (or 'all')")
-		triples = flag.Int("triples", 300000, "synthetic dataset size")
-		queries = flag.Int("queries", 2000, "sampled queries per pattern")
-		runs    = flag.Int("runs", 3, "measurement repetitions (best is kept)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.Bool("json", false, "emit BENCH_<preset>.json files instead of tables")
-		presets = flag.String("preset", "dblp", "comma-separated dataset presets for -json")
-		outDir  = flag.String("out", ".", "output directory for -json files")
+		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
+		triples  = flag.Int("triples", 300000, "synthetic dataset size")
+		queries  = flag.Int("queries", 2000, "sampled queries per pattern")
+		runs     = flag.Int("runs", 3, "measurement repetitions (best is kept)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit BENCH_<preset>.json files instead of tables")
+		presets  = flag.String("preset", "dblp", "comma-separated dataset presets for -json")
+		outDir   = flag.String("out", ".", "output directory for -json files")
+		baseline = flag.String("baseline", "", "directory holding committed BENCH_<preset>.json baselines to gate against (with -json)")
+		tol      = flag.Float64("tolerance", 0.25, "ns/triple regression tolerance for -baseline (0.25 = fail at >25% slower)")
 	)
 	flag.Parse()
 
@@ -69,10 +72,32 @@ func main() {
 	cfg := bench.Config{Triples: *triples, Queries: *queries, Runs: *runs, Seed: *seed}
 
 	if *jsonOut {
+		regressed := false
 		for _, preset := range strings.Split(*presets, ",") {
 			preset = strings.TrimSpace(preset)
 			if preset == "" {
 				continue
+			}
+			// Load the baseline before anything is written: with -out and
+			// -baseline pointing at the same directory the report below
+			// overwrites the baseline file, and a gate comparing the fresh
+			// report against itself would always pass.
+			var base *bench.JSONReport
+			if *baseline != "" {
+				basePath := filepath.Join(*baseline, "BENCH_"+preset+".json")
+				bf, err := os.Open(basePath)
+				if err != nil {
+					// A missing baseline is not a regression: new presets
+					// gate from their next commit on.
+					fmt.Fprintf(os.Stderr, "rdfbench: no baseline %s, skipping gate\n", basePath)
+				} else {
+					base, err = bench.ReadJSON(bf)
+					bf.Close()
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "rdfbench: %s: %v\n", basePath, err)
+						os.Exit(1)
+					}
+				}
 			}
 			rep, err := bench.MeasureJSON(cfg, preset)
 			if err != nil {
@@ -95,6 +120,22 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s (%d triples, %d measurements)\n", path, rep.Triples, len(rep.Patterns))
+
+			if base != nil {
+				regs := bench.Compare(base, rep, *tol)
+				if len(regs) == 0 {
+					fmt.Printf("baseline BENCH_%s.json: ok (tolerance %.0f%%)\n", preset, *tol*100)
+					continue
+				}
+				regressed = true
+				fmt.Fprintf(os.Stderr, "rdfbench: %d regression(s) vs baseline BENCH_%s.json:\n", len(regs), preset)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+			}
+		}
+		if regressed {
+			os.Exit(1)
 		}
 		return
 	}

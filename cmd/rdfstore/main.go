@@ -1,218 +1,173 @@
 // Command rdfstore is the end-to-end store: it builds a compressed index
 // from N-Triples or binary dataset files, saves it to disk with its
-// dictionaries, and answers triple selection patterns and SPARQL basic
-// graph patterns against it.
+// dictionaries, answers triple selection patterns and SPARQL basic graph
+// patterns against it, and serves it over HTTP to concurrent clients.
 //
 // Usage:
 //
 //	rdfstore build -in data.nt -layout 2Tp -out store.idx
 //	rdfstore query -store store.idx -s '<http://ex/alice>' -p '?' -o '?'
+//	rdfstore sparql -store store.idx -q 'SELECT ?x WHERE { ?x <http://ex/knows> ?y . }'
 //	rdfstore stats -store store.idx
+//	rdfstore serve -store store.idx -addr :8080 -workers 8
 package main
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
-	"rdfindexes/internal/dict"
 	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/server"
 	"rdfindexes/internal/sparql"
+	"rdfindexes/internal/store"
 )
 
-const storeMagic = "RDFSTORE1"
-
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|stats|serve [flags]")
+			os.Exit(2)
+		}
+		if err == errParse {
+			// The FlagSet already printed the error and usage.
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rdfstore: %v\n", err)
+		os.Exit(1)
 	}
-	switch os.Args[1] {
-	case "build":
-		buildCmd(os.Args[2:])
-	case "query":
-		queryCmd(os.Args[2:])
-	case "sparql":
-		sparqlCmd(os.Args[2:])
-	case "stats":
-		statsCmd(os.Args[2:])
+}
+
+var (
+	errUsage = fmt.Errorf("usage")
+	// errParse marks a flag parse failure whose diagnostics the FlagSet
+	// has already written to stderr.
+	errParse = fmt.Errorf("flag parse error")
+)
+
+// parseFlags runs fs.Parse, folding its already-printed errors into the
+// sentinels main knows not to re-print.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
 	default:
-		usage()
+		return errParse
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|stats [flags]")
-	os.Exit(2)
+// run dispatches a subcommand, writing results to out; it is the
+// testable entry point behind main.
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return errUsage
+	}
+	var err error
+	switch args[0] {
+	case "build":
+		err = buildCmd(args[1:], out)
+	case "query":
+		err = queryCmd(args[1:], out)
+	case "sparql":
+		err = sparqlCmd(args[1:], out)
+	case "stats":
+		err = statsCmd(args[1:], out)
+	case "serve":
+		err = serveCmd(args[1:], out)
+	default:
+		return errUsage
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		// -h/-help printed the flag defaults; that is a successful run.
+		return nil
+	}
+	return err
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rdfstore: %v\n", err)
-	os.Exit(1)
-}
-
-// store bundles the index with its dictionaries (nil dictionaries for
-// integer-only datasets).
-type store struct {
-	index core.Index
-	dicts *rdf.Dicts
-}
-
-func writeStore(path string, st store) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := codec.NewWriter(f)
-	w.String(storeMagic)
-	if st.dicts != nil {
-		w.Byte(1)
-		st.dicts.SO.Encode(w)
-		st.dicts.P.Encode(w)
-	} else {
-		w.Byte(0)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	return core.WriteIndex(f, st.index)
-}
-
-func readStore(path string) (store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return store{}, err
-	}
-	defer f.Close()
-	// One buffered stream shared by the header decoder and ReadIndex.
-	br := bufio.NewReader(f)
-	r := codec.NewReader(br)
-	if magic := r.String(); magic != storeMagic {
-		return store{}, fmt.Errorf("not an rdfstore file (magic %q)", magic)
-	}
-	var st store
-	if r.Byte() == 1 {
-		so, err := dict.Decode(r)
-		if err != nil {
-			return store{}, err
-		}
-		p, err := dict.Decode(r)
-		if err != nil {
-			return store{}, err
-		}
-		st.dicts = &rdf.Dicts{SO: so, P: p}
-	}
-	if err := r.Err(); err != nil {
-		return store{}, err
-	}
-	st.index, err = core.ReadIndex(br)
-	return st, err
-}
-
-func buildCmd(args []string) {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+func buildCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	in := fs.String("in", "", "input file (.nt N-Triples or .bin dataset)")
 	layout := fs.String("layout", "2Tp", "index layout: 3T|CC|2Tp|2To")
-	out := fs.String("out", "store.idx", "output store file")
-	fs.Parse(args)
+	outPath := fs.String("out", "store.idx", "output store file")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" {
-		fatal(fmt.Errorf("build needs -in"))
+		return fmt.Errorf("build needs -in")
 	}
 	l, err := core.ParseLayout(*layout)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	var st store
+	st := &store.Store{}
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	var d *core.Dataset
 	if strings.HasSuffix(*in, ".nt") {
 		statements, err := rdf.ParseAll(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		d, st.dicts, err = rdf.Encode(statements)
+		d, st.Dicts, err = rdf.Encode(statements)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		d, err = core.ReadDataset(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	st.index, err = core.Build(d, l)
+	st.Index, err = core.Build(d, l)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := writeStore(*out, st); err != nil {
-		fatal(err)
+	if err := store.Write(*outPath, st); err != nil {
+		return err
 	}
-	fmt.Printf("indexed %d triples as %v: %.2f bits/triple -> %s\n",
-		st.index.NumTriples(), l, core.BitsPerTriple(st.index), *out)
+	fmt.Fprintf(out, "indexed %d triples as %v: %.2f bits/triple -> %s\n",
+		st.Index.NumTriples(), l, core.BitsPerTriple(st.Index), *outPath)
+	return nil
 }
 
-// parseTerm interprets a query term: "?" is a wildcard, <...> and quoted
-// literals go through the dictionary, bare integers are raw IDs.
-func parseTerm(s string, d *dict.Dict) (core.ID, error) {
-	if s == "?" || s == "" {
-		return core.Wildcard, nil
-	}
-	if strings.HasPrefix(s, "<") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "_:") {
-		if d == nil {
-			return 0, fmt.Errorf("store has no dictionary; use integer IDs")
-		}
-		id, ok := d.Locate(s)
-		if !ok {
-			return 0, fmt.Errorf("term %s not in dictionary", s)
-		}
-		return core.ID(id), nil
-	}
-	v, err := strconv.ParseUint(s, 10, 32)
-	if err != nil {
-		return 0, fmt.Errorf("term %q is neither ?, a <uri>, a literal, nor an integer ID", s)
-	}
-	return core.ID(v), nil
-}
-
-func queryCmd(args []string) {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+func queryCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	path := fs.String("store", "store.idx", "store file")
 	s := fs.String("s", "?", "subject term")
 	p := fs.String("p", "?", "predicate term")
 	o := fs.String("o", "?", "object term")
 	limit := fs.Int("limit", 20, "max results to print (-1 for all)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
-	st, err := readStore(*path)
+	st, err := store.Read(*path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	var soDict, pDict *dict.Dict
-	if st.dicts != nil {
-		soDict, pDict = st.dicts.SO, st.dicts.P
-	}
-	pat := core.Pattern{}
-	if pat.S, err = parseTerm(*s, soDict); err != nil {
-		fatal(err)
-	}
-	if pat.P, err = parseTerm(*p, pDict); err != nil {
-		fatal(err)
-	}
-	if pat.O, err = parseTerm(*o, soDict); err != nil {
-		fatal(err)
+	pat, err := st.ParsePattern(*s, *p, *o)
+	if err != nil {
+		return err
 	}
 
-	it := st.index.Select(pat)
+	qc := core.AcquireQueryCtx()
+	defer qc.Release()
+	it := core.SelectWithCtx(st.Index, pat, qc)
 	count := 0
 	for {
 		t, ok := it.Next()
@@ -221,153 +176,127 @@ func queryCmd(args []string) {
 		}
 		count++
 		if *limit < 0 || count <= *limit {
-			if st.dicts != nil {
-				line, err := st.dicts.DecodeTriple(t)
+			if st.Dicts != nil {
+				line, err := st.Dicts.DecodeTriple(t)
 				if err != nil {
-					fatal(err)
+					return err
 				}
-				fmt.Println(line)
+				fmt.Fprintln(out, line)
 			} else {
-				fmt.Println(t)
+				fmt.Fprintln(out, t)
 			}
 		}
 	}
-	fmt.Printf("-- %d matches (pattern %v)\n", count, pat.Shape())
+	fmt.Fprintf(out, "-- %d matches (pattern %v)\n", count, pat.Shape())
+	return nil
 }
 
-// translateQuery rewrites URI/literal constants of a BGP query into
-// dictionary IDs so the integer-level parser can handle it. Constants in
-// predicate position use the predicate dictionary; subject/object
-// positions use the shared SO dictionary.
-func translateQuery(qs string, dicts *rdf.Dicts) (string, error) {
-	open := strings.IndexByte(qs, '{')
-	close := strings.LastIndexByte(qs, '}')
-	if open < 0 || close < open {
-		return "", fmt.Errorf("query has no { ... } block")
-	}
-	head := qs[:open+1]
-	body := qs[open+1 : close]
-	var out strings.Builder
-	out.WriteString(head)
-	for _, patStr := range strings.Split(body, ".") {
-		fields := strings.Fields(patStr)
-		if len(fields) == 0 {
-			continue
-		}
-		if len(fields) != 3 {
-			return "", fmt.Errorf("triple pattern %q does not have 3 terms", strings.TrimSpace(patStr))
-		}
-		for pos, f := range fields {
-			out.WriteByte(' ')
-			if strings.HasPrefix(f, "?") || isNumericIRI(f) {
-				out.WriteString(f)
-				continue
-			}
-			if dicts == nil {
-				return "", fmt.Errorf("store has no dictionary; use <id> constants")
-			}
-			d := dicts.SO
-			if pos == 1 {
-				d = dicts.P
-			}
-			id, ok := d.Locate(f)
-			if !ok {
-				return "", fmt.Errorf("term %s not in dictionary", f)
-			}
-			fmt.Fprintf(&out, "<%d>", id)
-		}
-		out.WriteString(" .")
-	}
-	out.WriteString(" }")
-	return out.String(), nil
-}
-
-func isNumericIRI(s string) bool {
-	if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
-		return false
-	}
-	body := s[1 : len(s)-1]
-	if body == "" {
-		return false
-	}
-	for _, c := range body {
-		if c < '0' || c > '9' {
-			return false
-		}
-	}
-	return true
-}
-
-func sparqlCmd(args []string) {
-	fs := flag.NewFlagSet("sparql", flag.ExitOnError)
+func sparqlCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sparql", flag.ContinueOnError)
 	path := fs.String("store", "store.idx", "store file")
 	qs := fs.String("q", "", "SELECT query, e.g. 'SELECT ?x WHERE { ?x <http://ex/knows> ?y . }'")
 	limit := fs.Int("limit", 20, "max solutions to print (-1 for all)")
 	stats := fs.Bool("plan-stats", false, "use measured-cardinality planning")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *qs == "" {
-		fatal(fmt.Errorf("sparql needs -q"))
+		return fmt.Errorf("sparql needs -q")
 	}
-	st, err := readStore(*path)
+	st, err := store.Read(*path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	translated, err := translateQuery(*qs, st.dicts)
+	translated, err := st.TranslateQuery(*qs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	q, err := sparql.Parse(translated)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	order := sparql.Plan(q)
 	if *stats {
-		order = sparql.PlanWithStats(q, st.index)
+		order = sparql.PlanWithStats(q, st.Index)
 	}
 	printed := 0
-	render := func(id core.ID) string {
-		if st.dicts != nil {
-			if s, ok := st.dicts.SO.Extract(int(id)); ok {
-				return s
-			}
-		}
-		return fmt.Sprintf("<%d>", id)
-	}
-	execStats, err := sparql.ExecuteWithOrder(q, st.index, order, func(b sparql.Bindings) {
+	execStats, err := sparql.ExecuteWithOrder(q, st.Index, order, func(b sparql.Bindings) {
 		if *limit >= 0 && printed >= *limit {
 			return
 		}
 		printed++
 		for i, v := range q.Vars {
 			if i > 0 {
-				fmt.Print("\t")
+				fmt.Fprint(out, "\t")
 			}
-			fmt.Printf("?%s=%s", v, render(b[v]))
+			fmt.Fprintf(out, "?%s=%s", v, st.Render(b[v]))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("-- %d solutions; %d atomic patterns issued; %d triples matched\n",
+	fmt.Fprintf(out, "-- %d solutions; %d atomic patterns issued; %d triples matched\n",
 		execStats.Results, execStats.PatternsIssued, execStats.TriplesMatched)
+	return nil
 }
 
-func statsCmd(args []string) {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func statsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	path := fs.String("store", "store.idx", "store file")
-	fs.Parse(args)
-	st, err := readStore(*path)
-	if err != nil {
-		fatal(err)
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	fmt.Printf("layout:       %v\n", st.index.Layout())
-	fmt.Printf("triples:      %d\n", st.index.NumTriples())
-	fmt.Printf("index space:  %.2f bits/triple (%.2f MiB)\n",
-		core.BitsPerTriple(st.index), float64(st.index.SizeBits())/8/1024/1024)
-	if st.dicts != nil {
-		fmt.Printf("dictionaries: %d SO terms, %d predicates (%.2f MiB)\n",
-			st.dicts.SO.Len(), st.dicts.P.Len(),
-			float64(st.dicts.SO.SizeBits()+st.dicts.P.SizeBits())/8/1024/1024)
+	st, err := store.Read(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "layout:       %v\n", st.Index.Layout())
+	fmt.Fprintf(out, "triples:      %d\n", st.Index.NumTriples())
+	fmt.Fprintf(out, "index space:  %.2f bits/triple (%.2f MiB)\n",
+		core.BitsPerTriple(st.Index), float64(st.Index.SizeBits())/8/1024/1024)
+	if st.Dicts != nil {
+		fmt.Fprintf(out, "dictionaries: %d SO terms, %d predicates (%.2f MiB)\n",
+			st.Dicts.SO.Len(), st.Dicts.P.Len(),
+			float64(st.Dicts.SO.SizeBits()+st.Dicts.P.SizeBits())/8/1024/1024)
+	}
+	return nil
+}
+
+func serveCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	path := fs.String("store", "store.idx", "store file")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution deadline")
+	cache := fs.Int("cache", 256, "result cache entries (-1 disables)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	st, err := store.Read(*path)
+	if err != nil {
+		return err
+	}
+	srv := server.New(st, server.Config{
+		Workers:      *workers,
+		Timeout:      *timeout,
+		CacheEntries: *cache,
+	})
+	fmt.Fprintf(out, "serving %d triples (%v, %.2f bits/triple) on %s\n",
+		st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
 	}
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/bob> <http://ex/knows> <http://ex/carol> .
+<http://ex/carol> <http://ex/knows> <http://ex/alice> .
+<http://ex/alice> <http://ex/likes> <http://ex/pizza> .
+<http://ex/bob> <http://ex/likes> <http://ex/pizza> .
+<http://ex/carol> <http://ex/likes> <http://ex/pasta> .
+`
+
+// runOK invokes a subcommand in-process and returns its stdout.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("rdfstore %s: %v\noutput:\n%s", strings.Join(args, " "), err, sb.String())
+	}
+	return sb.String()
+}
+
+// TestEndToEnd drives the full CLI round trip — build an index from
+// N-Triples, inspect it, resolve a pattern, execute a BGP join — against
+// a store file in a temp dir, for every layout.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	nt := filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(nt, []byte(sampleNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, layout := range []string{"3T", "CC", "2Tp", "2To"} {
+		t.Run(layout, func(t *testing.T) {
+			idx := filepath.Join(dir, "store-"+layout+".idx")
+
+			out := runOK(t, "build", "-in", nt, "-layout", layout, "-out", idx)
+			if !strings.Contains(out, "indexed 6 triples as "+layout) {
+				t.Fatalf("build output: %q", out)
+			}
+
+			out = runOK(t, "stats", "-store", idx)
+			if !strings.Contains(out, "layout:       "+layout) ||
+				!strings.Contains(out, "triples:      6") ||
+				!strings.Contains(out, "dictionaries: 5 SO terms, 2 predicates") {
+				t.Fatalf("stats output: %q", out)
+			}
+
+			// S?? round trip: alice's two triples come back as N-Triples.
+			out = runOK(t, "query", "-store", idx, "-s", "<http://ex/alice>")
+			if !strings.Contains(out, "<http://ex/alice> <http://ex/knows> <http://ex/bob> .") ||
+				!strings.Contains(out, "<http://ex/alice> <http://ex/likes> <http://ex/pizza> .") ||
+				!strings.Contains(out, "-- 2 matches") {
+				t.Fatalf("query output: %q", out)
+			}
+
+			// ?P? with a term constant.
+			out = runOK(t, "query", "-store", idx, "-p", "<http://ex/likes>")
+			if !strings.Contains(out, "-- 3 matches") {
+				t.Fatalf("likes query output: %q", out)
+			}
+
+			// BGP join: who does alice know that likes pizza?
+			out = runOK(t, "sparql", "-store", idx,
+				"-q", "SELECT ?x WHERE { <http://ex/alice> <http://ex/knows> ?x . ?x <http://ex/likes> <http://ex/pizza> . }")
+			if !strings.Contains(out, "?x=<http://ex/bob>") || !strings.Contains(out, "-- 1 solutions") {
+				t.Fatalf("sparql output: %q", out)
+			}
+
+			// Measured-cardinality planning gives the same answer.
+			out = runOK(t, "sparql", "-store", idx, "-plan-stats",
+				"-q", "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }")
+			if !strings.Contains(out, "-- 3 solutions") {
+				t.Fatalf("plan-stats sparql output: %q", out)
+			}
+		})
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"bogus"}, os.Stdout); err != errUsage {
+		t.Fatalf("unknown subcommand: %v", err)
+	}
+	if err := run(nil, os.Stdout); err != errUsage {
+		t.Fatalf("no subcommand: %v", err)
+	}
+	if err := run([]string{"build"}, io_discard()); err == nil {
+		t.Fatal("build without -in accepted")
+	}
+	if err := run([]string{"stats", "-store", filepath.Join(dir, "missing.idx")}, io_discard()); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	// Unknown dictionary term surfaces as an error, not a crash.
+	nt := filepath.Join(dir, "d.nt")
+	idx := filepath.Join(dir, "d.idx")
+	if err := os.WriteFile(nt, []byte(sampleNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOK(t, "build", "-in", nt, "-out", idx)
+	if err := run([]string{"query", "-store", idx, "-s", "<http://ex/nobody>"}, io_discard()); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+}
+
+func io_discard() *strings.Builder { return &strings.Builder{} }

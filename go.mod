@@ -1,3 +1,3 @@
 module rdfindexes
 
-go 1.24
+go 1.22

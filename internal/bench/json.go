@@ -80,3 +80,81 @@ func (r *JSONReport) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
+
+// ReadJSON parses a report written by WriteJSON.
+func ReadJSON(rd io.Reader) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Regression is one baseline comparison failure.
+type Regression struct {
+	Layout, Shape string
+	Metric        string  // "ns/triple", "bits/triple" or "matches"
+	Base, Current float64 // baseline and current values
+}
+
+func (r Regression) String() string {
+	if r.Base == 0 {
+		return fmt.Sprintf("%s %s: %s %.2f -> %.2f",
+			r.Layout, r.Shape, r.Metric, r.Base, r.Current)
+	}
+	return fmt.Sprintf("%s %s: %s %.2f -> %.2f (%+.0f%%)",
+		r.Layout, r.Shape, r.Metric, r.Base, r.Current, 100*(r.Current/r.Base-1))
+}
+
+// regressionNsFloor is the absolute ns/triple slack below which relative
+// changes are treated as timer noise: sub-nanosecond measurements
+// flicker by large ratios without meaning anything.
+const regressionNsFloor = 2.0
+
+// Compare checks cur against a committed baseline and returns the
+// regressions: ns/triple worse than tolerance (a ratio, e.g. 0.25 fails
+// at >25% slower, subject to an absolute noise floor), bits/triple worse
+// than 2% (space is deterministic, so the tolerance is tight), and any
+// change in match counts (the workload is seeded, so counts must be
+// identical — a mismatch means the measurement is not comparable).
+// Pairs present in only one report are ignored, so adding layouts or
+// shapes does not break older baselines.
+func Compare(base, cur *JSONReport, tolerance float64) []Regression {
+	var regs []Regression
+	type key struct{ layout, shape string }
+	baseline := map[key]ShapeResult{}
+	for _, p := range base.Patterns {
+		baseline[key{p.Layout, p.Shape}] = p
+	}
+	for _, p := range cur.Patterns {
+		b, ok := baseline[key{p.Layout, p.Shape}]
+		if !ok {
+			continue
+		}
+		if b.Matches != p.Matches {
+			regs = append(regs, Regression{
+				Layout: p.Layout, Shape: p.Shape, Metric: "matches",
+				Base: float64(b.Matches), Current: float64(p.Matches),
+			})
+			continue
+		}
+		if p.NsPerTriple > b.NsPerTriple*(1+tolerance) && p.NsPerTriple-b.NsPerTriple > regressionNsFloor {
+			regs = append(regs, Regression{
+				Layout: p.Layout, Shape: p.Shape, Metric: "ns/triple",
+				Base: b.NsPerTriple, Current: p.NsPerTriple,
+			})
+		}
+	}
+	for layout, b := range base.BitsPerTriple {
+		c, ok := cur.BitsPerTriple[layout]
+		if !ok {
+			continue
+		}
+		if c > b*1.02 {
+			regs = append(regs, Regression{
+				Layout: layout, Shape: "-", Metric: "bits/triple", Base: b, Current: c,
+			})
+		}
+	}
+	return regs
+}

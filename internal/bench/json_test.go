@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(ns map[string]float64, matches map[string]int, bits map[string]float64) *JSONReport {
+	rep := &JSONReport{Preset: "t", BitsPerTriple: bits}
+	for k, v := range ns {
+		parts := strings.SplitN(k, "/", 2)
+		rep.Patterns = append(rep.Patterns, ShapeResult{
+			Layout: parts[0], Shape: parts[1], NsPerTriple: v, Matches: matches[k],
+		})
+	}
+	return rep
+}
+
+func TestCompare(t *testing.T) {
+	base := report(
+		map[string]float64{"2Tp/S??": 100, "2Tp/?P?": 0.5, "3T/??O": 40},
+		map[string]int{"2Tp/S??": 10, "2Tp/?P?": 10, "3T/??O": 10},
+		map[string]float64{"2Tp": 60},
+	)
+
+	t.Run("identical passes", func(t *testing.T) {
+		if regs := Compare(base, base, 0.25); len(regs) != 0 {
+			t.Fatalf("self-compare regressed: %v", regs)
+		}
+	})
+
+	t.Run("slower fails", func(t *testing.T) {
+		cur := report(
+			map[string]float64{"2Tp/S??": 150, "2Tp/?P?": 0.5, "3T/??O": 40},
+			map[string]int{"2Tp/S??": 10, "2Tp/?P?": 10, "3T/??O": 10},
+			map[string]float64{"2Tp": 60},
+		)
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "ns/triple" || regs[0].Shape != "S??" {
+			t.Fatalf("expected one S?? ns regression, got %v", regs)
+		}
+	})
+
+	t.Run("noise floor absorbs tiny times", func(t *testing.T) {
+		// 0.5 -> 1.5 ns is 3x but under the absolute floor.
+		cur := report(
+			map[string]float64{"2Tp/S??": 100, "2Tp/?P?": 1.5, "3T/??O": 40},
+			map[string]int{"2Tp/S??": 10, "2Tp/?P?": 10, "3T/??O": 10},
+			map[string]float64{"2Tp": 60},
+		)
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("noise flagged as regression: %v", regs)
+		}
+	})
+
+	t.Run("match count drift fails", func(t *testing.T) {
+		cur := report(
+			map[string]float64{"2Tp/S??": 100, "2Tp/?P?": 0.5, "3T/??O": 40},
+			map[string]int{"2Tp/S??": 11, "2Tp/?P?": 10, "3T/??O": 10},
+			map[string]float64{"2Tp": 60},
+		)
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "matches" {
+			t.Fatalf("expected a matches regression, got %v", regs)
+		}
+	})
+
+	t.Run("space regression fails", func(t *testing.T) {
+		cur := report(
+			map[string]float64{"2Tp/S??": 100, "2Tp/?P?": 0.5, "3T/??O": 40},
+			map[string]int{"2Tp/S??": 10, "2Tp/?P?": 10, "3T/??O": 10},
+			map[string]float64{"2Tp": 70},
+		)
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "bits/triple" {
+			t.Fatalf("expected a bits/triple regression, got %v", regs)
+		}
+	})
+
+	t.Run("zero baseline renders without Inf", func(t *testing.T) {
+		s := Regression{Layout: "2Tp", Shape: "S??", Metric: "matches", Base: 0, Current: 5}.String()
+		if strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+			t.Fatalf("zero-base regression renders %q", s)
+		}
+	})
+
+	t.Run("new pairs are ignored", func(t *testing.T) {
+		cur := report(
+			map[string]float64{"2Tp/S??": 100, "2Tp/?P?": 0.5, "3T/??O": 40, "NEW/S??": 9999},
+			map[string]int{"2Tp/S??": 10, "2Tp/?P?": 10, "3T/??O": 10, "NEW/S??": 3},
+			map[string]float64{"2Tp": 60, "NEW": 500},
+		)
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("new layout flagged: %v", regs)
+		}
+	})
+}

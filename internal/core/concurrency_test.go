@@ -15,8 +15,8 @@ func TestConcurrentReaders(t *testing.T) {
 		x := x
 		t.Run(name, func(t *testing.T) {
 			var wg sync.WaitGroup
-			errs := make(chan string, 8)
-			for g := 0; g < 8; g++ {
+			errs := make(chan string, 16)
+			for g := 0; g < 16; g++ {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()

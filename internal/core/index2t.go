@@ -49,24 +49,28 @@ func (x *Index2Tp) Trie(p Perm) *trie.Trie {
 }
 
 // Select resolves a pattern per the 2Tp dispatch of Section 3.3.
-func (x *Index2Tp) Select(p Pattern) *Iterator {
+func (x *Index2Tp) Select(p Pattern) *Iterator { return x.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select, drawing per-query scratch
+// from c (which may be nil).
+func (x *Index2Tp) SelectCtx(p Pattern, c *QueryCtx) *Iterator {
 	switch p.Shape() {
 	case ShapeSPO:
-		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+		return lookupSPO(c, x.spo, PermSPO, Triple{p.S, p.P, p.O})
 	case ShapeSPx:
-		return selectTwo(x.spo, PermSPO, p.S, p.P)
+		return selectTwo(c, x.spo, PermSPO, p.S, p.P)
 	case ShapeSxx:
-		return selectOne(x.spo, PermSPO, p.S)
+		return selectOne(c, x.spo, PermSPO, p.S)
 	case ShapeSxO:
-		return enumerate(x.spo, p.S, p.O)
+		return enumerate(c, x.spo, p.S, p.O)
 	case ShapexPO:
-		return selectTwo(x.pos, PermPOS, p.P, p.O)
+		return selectTwo(c, x.pos, PermPOS, p.P, p.O)
 	case ShapexPx:
-		return selectOne(x.pos, PermPOS, p.P)
+		return selectOne(c, x.pos, PermPOS, p.P)
 	case ShapexxO:
-		return invertedOnPOS(x.pos, p.O)
+		return invertedOnPOS(c, x.pos, p.O)
 	default:
-		return scanAll(x.spo, PermSPO)
+		return scanAll(c, x.spo, PermSPO)
 	}
 }
 
@@ -144,24 +148,28 @@ func (x *Index2To) Trie(p Perm) *trie.Trie {
 func (x *Index2To) PSStructure() *PS { return x.ps }
 
 // Select resolves a pattern per the 2To dispatch of Section 3.3.
-func (x *Index2To) Select(p Pattern) *Iterator {
+func (x *Index2To) Select(p Pattern) *Iterator { return x.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select, drawing per-query scratch
+// from c (which may be nil).
+func (x *Index2To) SelectCtx(p Pattern, c *QueryCtx) *Iterator {
 	switch p.Shape() {
 	case ShapeSPO:
-		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+		return lookupSPO(c, x.spo, PermSPO, Triple{p.S, p.P, p.O})
 	case ShapeSPx:
-		return selectTwo(x.spo, PermSPO, p.S, p.P)
+		return selectTwo(c, x.spo, PermSPO, p.S, p.P)
 	case ShapeSxx:
-		return selectOne(x.spo, PermSPO, p.S)
+		return selectOne(c, x.spo, PermSPO, p.S)
 	case ShapeSxO:
-		return enumerate(x.spo, p.S, p.O)
+		return enumerate(c, x.spo, p.S, p.O)
 	case ShapexPO:
-		return selectTwo(x.ops, PermOPS, p.O, p.P)
+		return selectTwo(c, x.ops, PermOPS, p.O, p.P)
 	case ShapexPx:
-		return invertedOnPS(x.ps, x.spo, p.P)
+		return invertedOnPS(c, x.ps, x.spo, p.P)
 	case ShapexxO:
-		return selectOne(x.ops, PermOPS, p.O)
+		return selectOne(c, x.ops, PermOPS, p.O)
 	default:
-		return scanAll(x.spo, PermSPO)
+		return scanAll(c, x.spo, PermSPO)
 	}
 }
 

@@ -58,24 +58,28 @@ func (x *Index3T) Trie(p Perm) *trie.Trie {
 
 // Select resolves a pattern per the dispatch of Section 3.1: SP? and S??
 // on SPO; ?PO and ?P? on POS; S?O and ??O on OSP; SPO and ??? on SPO.
-func (x *Index3T) Select(p Pattern) *Iterator {
+func (x *Index3T) Select(p Pattern) *Iterator { return x.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select, drawing per-query scratch
+// from c (which may be nil).
+func (x *Index3T) SelectCtx(p Pattern, c *QueryCtx) *Iterator {
 	switch p.Shape() {
 	case ShapeSPO:
-		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+		return lookupSPO(c, x.spo, PermSPO, Triple{p.S, p.P, p.O})
 	case ShapeSPx:
-		return selectTwo(x.spo, PermSPO, p.S, p.P)
+		return selectTwo(c, x.spo, PermSPO, p.S, p.P)
 	case ShapeSxx:
-		return selectOne(x.spo, PermSPO, p.S)
+		return selectOne(c, x.spo, PermSPO, p.S)
 	case ShapeSxO:
-		return selectTwo(x.osp, PermOSP, p.O, p.S)
+		return selectTwo(c, x.osp, PermOSP, p.O, p.S)
 	case ShapexPO:
-		return selectTwo(x.pos, PermPOS, p.P, p.O)
+		return selectTwo(c, x.pos, PermPOS, p.P, p.O)
 	case ShapexPx:
-		return selectOne(x.pos, PermPOS, p.P)
+		return selectOne(c, x.pos, PermPOS, p.P)
 	case ShapexxO:
-		return selectOne(x.osp, PermOSP, p.O)
+		return selectOne(c, x.osp, PermOSP, p.O)
 	default:
-		return scanAll(x.spo, PermSPO)
+		return scanAll(c, x.spo, PermSPO)
 	}
 }
 

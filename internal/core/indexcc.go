@@ -163,42 +163,46 @@ func (x *IndexCC) Trie(p Perm) *trie.Trie {
 
 // Select resolves a pattern with the same dispatch as 3T, applying unmap
 // to the third component of every match produced by a mapped trie.
-func (x *IndexCC) Select(p Pattern) *Iterator {
+func (x *IndexCC) Select(p Pattern) *Iterator { return x.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select, drawing per-query scratch
+// from c (which may be nil).
+func (x *IndexCC) SelectCtx(p Pattern, c *QueryCtx) *Iterator {
 	switch p.Shape() {
 	case ShapeSPO:
 		if x.all {
-			return lookupMapped(x.spo, PermSPO, Triple{p.S, p.P, p.O}, x.mapSPO)
+			return lookupMapped(c, x.spo, PermSPO, Triple{p.S, p.P, p.O}, x.mapSPO)
 		}
-		return lookupSPO(x.spo, PermSPO, Triple{p.S, p.P, p.O})
+		return lookupSPO(c, x.spo, PermSPO, Triple{p.S, p.P, p.O})
 	case ShapeSPx:
 		if x.all {
-			return selectTwoMapped(x.spo, PermSPO, p.S, p.P, x.unmapSPO)
+			return selectTwoMapped(c, x.spo, PermSPO, p.S, p.P, x.unmapSPO)
 		}
-		return selectTwo(x.spo, PermSPO, p.S, p.P)
+		return selectTwo(c, x.spo, PermSPO, p.S, p.P)
 	case ShapeSxx:
 		if x.all {
-			return selectOneMapped(x.spo, PermSPO, p.S, x.unmapSPO)
+			return selectOneMapped(c, x.spo, PermSPO, p.S, x.unmapSPO)
 		}
-		return selectOne(x.spo, PermSPO, p.S)
+		return selectOne(c, x.spo, PermSPO, p.S)
 	case ShapeSxO:
 		if x.all {
-			return selectTwoMapped(x.osp, PermOSP, p.O, p.S, x.unmapOSP)
+			return selectTwoMapped(c, x.osp, PermOSP, p.O, p.S, x.unmapOSP)
 		}
-		return selectTwo(x.osp, PermOSP, p.O, p.S)
+		return selectTwo(c, x.osp, PermOSP, p.O, p.S)
 	case ShapexPO:
-		return selectTwoMapped(x.pos, PermPOS, p.P, p.O, x.unmapPOS)
+		return selectTwoMapped(c, x.pos, PermPOS, p.P, p.O, x.unmapPOS)
 	case ShapexPx:
-		return selectOneMapped(x.pos, PermPOS, p.P, x.unmapPOS)
+		return selectOneMapped(c, x.pos, PermPOS, p.P, x.unmapPOS)
 	case ShapexxO:
 		if x.all {
-			return selectOneMapped(x.osp, PermOSP, p.O, x.unmapOSP)
+			return selectOneMapped(c, x.osp, PermOSP, p.O, x.unmapOSP)
 		}
-		return selectOne(x.osp, PermOSP, p.O)
+		return selectOne(c, x.osp, PermOSP, p.O)
 	default:
 		if x.all {
-			return scanAllMapped(x.spo, PermSPO, x.unmapSPO)
+			return scanAllMapped(c, x.spo, PermSPO, x.unmapSPO)
 		}
-		return scanAll(x.spo, PermSPO)
+		return scanAll(c, x.spo, PermSPO)
 	}
 }
 
@@ -236,38 +240,38 @@ func decodeCC(r *codec.Reader) (*IndexCC, error) {
 
 // lookupMapped is lookupSPO on a trie with a mapped third level: the
 // target child is first rewritten with the map function of Fig. 4.
-func lookupMapped(t *trie.Trie, perm Perm, tr Triple,
+func lookupMapped(qc *QueryCtx, t *trie.Trie, perm Perm, tr Triple,
 	mapChild func(ID, ID) (uint64, bool)) *Iterator {
 	a, b, c := perm.Apply(tr)
 	b1, e1 := t.RootRange(uint32(a))
 	j := t.FindChild1(b1, e1, uint32(b))
 	if j < 0 {
-		return emptyIterator()
+		return emptyIteratorCtx(qc)
 	}
 	m, ok := mapChild(b, c)
 	if !ok {
-		return emptyIterator()
+		return emptyIteratorCtx(qc)
 	}
 	b2, e2 := t.ChildRange(j)
 	if t.FindChild2(b2, e2, uint32(m)) < 0 {
-		return emptyIterator()
+		return emptyIteratorCtx(qc)
 	}
-	return singleIterator(tr)
+	return singleIteratorCtx(qc, tr)
 }
 
 // selectTwoMapped is selectTwo with unmap applied to each completion.
-func selectTwoMapped(t *trie.Trie, perm Perm, a, b ID,
+func selectTwoMapped(c *QueryCtx, t *trie.Trie, perm Perm, a, b ID,
 	unmap func(ID, uint64) ID) *Iterator {
-	return selectTwoUnmap(t, perm, a, b, unmap)
+	return selectTwoUnmap(c, t, perm, a, b, unmap)
 }
 
 // selectOneMapped is selectOne with unmap applied to each completion.
-func selectOneMapped(t *trie.Trie, perm Perm, a ID,
+func selectOneMapped(c *QueryCtx, t *trie.Trie, perm Perm, a ID,
 	unmap func(ID, uint64) ID) *Iterator {
-	return selectOneUnmap(t, perm, a, unmap)
+	return selectOneUnmap(c, t, perm, a, unmap)
 }
 
 // scanAllMapped is scanAll with unmap applied to each completion.
-func scanAllMapped(t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
-	return scanAllUnmap(t, perm, unmap)
+func scanAllMapped(c *QueryCtx, t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
+	return scanAllUnmap(c, t, perm, unmap)
 }

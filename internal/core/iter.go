@@ -22,6 +22,7 @@ type Iterator struct {
 	done   bool
 	src    blockSource           // block source; fill returning 0 means exhausted
 	scalar func() (Triple, bool) // legacy per-triple source
+	owner  recycler              // QueryCtx hook, run once on exhaustion
 }
 
 // blockSource produces result blocks; the selection algorithm states
@@ -40,6 +41,29 @@ func EmptyIterator() *Iterator { return emptyIterator() }
 // SingleIterator returns an iterator yielding exactly t.
 func SingleIterator(t Triple) *Iterator { return singleIterator(t) }
 
+// reinit prepares an embedded Iterator for a fresh query, keeping its
+// grown buffer across reuses.
+func (it *Iterator) reinit(src blockSource, owner recycler) {
+	it.pos, it.n = 0, 0
+	it.done = false
+	it.src = src
+	it.scalar = nil
+	it.owner = owner
+}
+
+// drop runs the exhaustion hook once: the backing state returns to its
+// QueryCtx free list and the source is detached so no further call can
+// reach recycled state.
+func (it *Iterator) drop() {
+	if it.owner == nil {
+		return
+	}
+	o := it.owner
+	it.owner = nil
+	it.src = nil
+	o.recycle()
+}
+
 // Next returns the next matching triple, or ok=false when exhausted.
 func (it *Iterator) Next() (Triple, bool) {
 	if it.pos < it.n {
@@ -54,6 +78,9 @@ func (it *Iterator) Next() (Triple, bool) {
 // the fast path in Next misses.
 func (it *Iterator) nextSlow() (Triple, bool) {
 	if it.done {
+		// Literal iterators are born done with buffered content; their
+		// state recycles once that content is drained.
+		it.drop()
 		return Triple{}, false
 	}
 	if it.src == nil {
@@ -67,6 +94,7 @@ func (it *Iterator) nextSlow() (Triple, bool) {
 	}
 	if it.refill() == 0 {
 		it.done = true
+		it.drop()
 		return Triple{}, false
 	}
 	it.pos = 1
@@ -105,12 +133,14 @@ func (it *Iterator) NextBatch(out []Triple) int {
 			continue
 		}
 		if it.done {
+			it.drop()
 			break
 		}
 		if it.src != nil {
 			k := it.src.fill(out[n:])
 			if k == 0 {
 				it.done = true
+				it.drop()
 				break
 			}
 			n += k
@@ -136,6 +166,7 @@ func (it *Iterator) Count() int {
 	n := it.n - it.pos
 	it.pos = it.n
 	if it.done {
+		it.drop()
 		return n
 	}
 	if it.src != nil {
@@ -148,6 +179,7 @@ func (it *Iterator) Count() int {
 		}
 		it.pos = it.n
 		it.done = true
+		it.drop()
 		return n
 	}
 	if it.scalar != nil {
@@ -187,6 +219,24 @@ func emptyIterator() *Iterator {
 
 func singleIterator(t Triple) *Iterator {
 	return &Iterator{buf: []Triple{t}, n: 1, done: true}
+}
+
+// emptyIteratorCtx and singleIteratorCtx draw the literal-result
+// iterator from the ctx pool when one is available.
+func emptyIteratorCtx(c *QueryCtx) *Iterator {
+	if c == nil {
+		return emptyIterator()
+	}
+	return &c.getLit(0).it
+}
+
+func singleIteratorCtx(c *QueryCtx, t Triple) *Iterator {
+	if c == nil {
+		return singleIterator(t)
+	}
+	st := c.getLit(1)
+	st.t[0] = t
+	return &st.it
 }
 
 // restoreBatch writes perm.Restore(a, b, vals[i]) into out[i], hoisting
@@ -239,18 +289,18 @@ func valBuf(p *[]uint64, k int) []uint64 {
 
 // lookupSPO resolves the fully-specified pattern on any trie: two find
 // operations (Section 3.1).
-func lookupSPO(t *trie.Trie, perm Perm, tr Triple) *Iterator {
+func lookupSPO(qc *QueryCtx, t *trie.Trie, perm Perm, tr Triple) *Iterator {
 	a, b, c := perm.Apply(tr)
 	b1, e1 := t.RootRange(uint32(a))
 	j := t.FindChild1(b1, e1, uint32(b))
 	if j < 0 {
-		return emptyIterator()
+		return emptyIteratorCtx(qc)
 	}
 	b2, e2 := t.ChildRange(j)
 	if t.FindChild2(b2, e2, uint32(c)) < 0 {
-		return emptyIterator()
+		return emptyIteratorCtx(qc)
 	}
-	return singleIterator(tr)
+	return singleIteratorCtx(qc, tr)
 }
 
 // selectTwoState resolves a pattern with the first two components fixed:
@@ -258,9 +308,11 @@ func lookupSPO(t *trie.Trie, perm Perm, tr Triple) *Iterator {
 type selectTwoState struct {
 	perm  Perm
 	a, b  ID
-	left  int // elements remaining in the range
+	left  int        // elements remaining in the range
+	t     *trie.Trie // trie the cursor below belongs to
 	it2   seq.Iterator
 	unmap func(ID, uint64) ID // nil unless cross-compressed
+	c     *QueryCtx
 	it    Iterator
 	vals  []uint64
 	vals0 [8]uint64
@@ -285,21 +337,28 @@ func (st *selectTwoState) fill(out []Triple) int {
 
 // selectTwo implements the select algorithm of Fig. 2 with the first two
 // components fixed: one find on the second level, then a block-decoded
-// scan of the completions on the third.
-func selectTwo(t *trie.Trie, perm Perm, a, b ID) *Iterator {
-	return selectTwoUnmap(t, perm, a, b, nil)
+// scan of the completions on the third. A recycled state whose cursor
+// already belongs to t is repositioned with Reset instead of allocating
+// a fresh compressed-sequence iterator.
+func selectTwo(c *QueryCtx, t *trie.Trie, perm Perm, a, b ID) *Iterator {
+	return selectTwoUnmap(c, t, perm, a, b, nil)
 }
 
-func selectTwoUnmap(t *trie.Trie, perm Perm, a, b ID, unmap func(ID, uint64) ID) *Iterator {
+func selectTwoUnmap(c *QueryCtx, t *trie.Trie, perm Perm, a, b ID, unmap func(ID, uint64) ID) *Iterator {
 	b1, e1 := t.RootRange(uint32(a))
 	j := t.FindChild1(b1, e1, uint32(b))
 	if j < 0 {
-		return emptyIterator()
+		return emptyIteratorCtx(c)
 	}
 	b2, e2 := t.ChildRange(j)
-	st := &selectTwoState{perm: perm, a: a, b: b, left: e2 - b2, it2: t.Iter2(b2, e2), unmap: unmap}
-	st.vals = st.vals0[:]
-	st.it.src = st
+	st := c.getSelectTwo(t)
+	st.perm, st.a, st.b, st.left, st.unmap = perm, a, b, e2-b2, unmap
+	if st.t == t && st.it2 != nil {
+		st.it2.Reset(b2, b2, e2)
+	} else {
+		st.t = t
+		st.it2 = t.Iter2(b2, e2)
+	}
 	return &st.it
 }
 
@@ -318,6 +377,7 @@ type selectOneState struct {
 	prev      int
 	left      int
 	unmap     func(ID, uint64) ID
+	c         *QueryCtx
 	it        Iterator
 	vals      []uint64
 	vals0     [8]uint64
@@ -368,22 +428,28 @@ func (st *selectOneState) fill(out []Triple) int {
 // selectOne implements the select algorithm of Fig. 2 with only the first
 // component fixed: scan the children and their completions. Sibling
 // ranges are delimited by a sequential pointer iterator.
-func selectOne(t *trie.Trie, perm Perm, a ID) *Iterator {
-	return selectOneUnmap(t, perm, a, nil)
+func selectOne(c *QueryCtx, t *trie.Trie, perm Perm, a ID) *Iterator {
+	return selectOneUnmap(c, t, perm, a, nil)
 }
 
-func selectOneUnmap(t *trie.Trie, perm Perm, a ID, unmap func(ID, uint64) ID) *Iterator {
+func selectOneUnmap(c *QueryCtx, t *trie.Trie, perm Perm, a ID, unmap func(ID, uint64) ID) *Iterator {
 	b1, e1 := t.RootRange(uint32(a))
 	if b1 >= e1 {
-		return emptyIterator()
+		return emptyIteratorCtx(c)
 	}
-	st := &selectOneState{perm: perm, a: a, t: t, unmap: unmap}
-	st.it1 = t.Iter1(b1, e1)
-	st.ptrIt = t.Ptr1Iter(b1, e1+1)
+	st := c.getSelectOne(t)
+	st.perm, st.a, st.unmap = perm, a, unmap
+	if st.t == t && st.it1 != nil {
+		st.it1.Reset(b1, b1, e1)
+		st.ptrIt.Reset(0, b1, e1+1)
+	} else {
+		st.t = t
+		st.it1 = t.Iter1(b1, e1)
+		st.ptrIt = t.Ptr1Iter(b1, e1+1)
+		st.it2 = nil
+	}
 	first, _ := st.ptrIt.Next()
 	st.prev = int(first)
-	st.vals = st.vals0[:]
-	st.it.src = st
 	return &st.it
 }
 
@@ -405,6 +471,7 @@ type scanAllState struct {
 	it2Active bool
 	left      int
 	unmap     func(ID, uint64) ID
+	c         *QueryCtx
 	it        Iterator
 	vals      []uint64
 	vals0     [8]uint64
@@ -479,14 +546,17 @@ func (st *scanAllState) fill(out []Triple) int {
 }
 
 // scanAll enumerates the whole trie (the ??? pattern).
-func scanAll(t *trie.Trie, perm Perm) *Iterator {
-	return scanAllUnmap(t, perm, nil)
+func scanAll(c *QueryCtx, t *trie.Trie, perm Perm) *Iterator {
+	return scanAllUnmap(c, t, perm, nil)
 }
 
-func scanAllUnmap(t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
-	st := &scanAllState{perm: perm, t: t, root: -1, unmap: unmap}
-	st.vals = st.vals0[:]
-	st.it.src = st
+func scanAllUnmap(c *QueryCtx, t *trie.Trie, perm Perm, unmap func(ID, uint64) ID) *Iterator {
+	st := c.getScanAll()
+	if st.t != t {
+		st.t = t
+		st.it2 = nil
+	}
+	st.perm, st.root, st.unmap = perm, -1, unmap
 	return &st.it
 }
 
@@ -501,6 +571,7 @@ type enumerateState struct {
 	ptrIt        seq.Iterator
 	prev         int
 	pos1, b1, e1 int
+	c            *QueryCtx
 	it           Iterator
 }
 
@@ -524,16 +595,21 @@ func (st *enumerateState) fill(out []Triple) int {
 	return n
 }
 
-func enumerate(spo *trie.Trie, s, o ID) *Iterator {
+func enumerate(c *QueryCtx, spo *trie.Trie, s, o ID) *Iterator {
 	b1, e1 := spo.RootRange(uint32(s))
 	if b1 >= e1 {
-		return emptyIterator()
+		return emptyIteratorCtx(c)
 	}
-	st := &enumerateState{spo: spo, s: s, o: o, b1: b1, e1: e1, pos1: b1}
-	st.ptrIt = spo.Ptr1Iter(b1, e1+1)
+	st := c.getEnumerate()
+	st.s, st.o, st.b1, st.e1, st.pos1 = s, o, b1, e1, b1
+	if st.spo == spo && st.ptrIt != nil {
+		st.ptrIt.Reset(0, b1, e1+1)
+	} else {
+		st.spo = spo
+		st.ptrIt = spo.Ptr1Iter(b1, e1+1)
+	}
 	first, _ := st.ptrIt.Next()
 	st.prev = int(first)
-	st.it.src = st
 	return &st.it
 }
 
@@ -547,6 +623,7 @@ type invertedPOSState struct {
 	it2       seq.Iterator
 	it2Active bool
 	left      int
+	c         *QueryCtx
 	it        Iterator
 	vals      []uint64
 	vals0     [8]uint64
@@ -592,10 +669,13 @@ func (st *invertedPOSState) fill(out []Triple) int {
 	return n
 }
 
-func invertedOnPOS(pos *trie.Trie, o ID) *Iterator {
-	st := &invertedPOSState{pos: pos, o: o, p: -1}
-	st.vals = st.vals0[:]
-	st.it.src = st
+func invertedOnPOS(c *QueryCtx, pos *trie.Trie, o ID) *Iterator {
+	st := c.getInvertedPOS()
+	if st.pos != pos {
+		st.pos = pos
+		st.it2 = nil
+	}
+	st.o, st.p = o, -1
 	return &st.it
 }
 
@@ -603,12 +683,14 @@ func invertedOnPOS(pos *trie.Trie, o ID) *Iterator {
 // structure's subject list of p and pattern match (s, p, ?) on SPO for
 // each subject.
 type invertedPSState struct {
+	ps        *PS
 	spo       *trie.Trie
 	p, curS   ID
 	subjects  seq.Iterator
 	it2       seq.Iterator
 	it2Active bool
 	left      int
+	c         *QueryCtx
 	it        Iterator
 	vals      []uint64
 	vals0     [8]uint64
@@ -656,14 +738,23 @@ func (st *invertedPSState) fill(out []Triple) int {
 	return n
 }
 
-func invertedOnPS(ps *PS, spo *trie.Trie, p ID) *Iterator {
+func invertedOnPS(c *QueryCtx, ps *PS, spo *trie.Trie, p ID) *Iterator {
 	b, e := ps.Range(p)
 	if b >= e {
-		return emptyIterator()
+		return emptyIteratorCtx(c)
 	}
-	st := &invertedPSState{spo: spo, p: p, subjects: ps.Iter(b, e)}
-	st.vals = st.vals0[:]
-	st.it.src = st
+	st := c.getInvertedPS()
+	st.p = p
+	if st.ps == ps && st.subjects != nil {
+		st.subjects.Reset(b, b, e)
+	} else {
+		st.ps = ps
+		st.subjects = ps.Iter(b, e)
+	}
+	if st.spo != spo {
+		st.spo = spo
+		st.it2 = nil
+	}
 	return &st.it
 }
 

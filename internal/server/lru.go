@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map used for both the result cache
+// (normalized query text -> serialized NDJSON response) and the plan
+// cache (normalized BGP text -> evaluation order). Entries are evicted
+// least-recently-used once cap is exceeded; a zero or negative cap
+// disables the cache entirely (every Get misses, every Put is dropped).
+type lruCache[V any] struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	m            map[string]*list.Element
+	hits, misses uint64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c == nil || c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Put inserts or refreshes a value, evicting the LRU entry when full.
+func (c *lruCache[V]) Put(key string, val V) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[V]) Len() int {
+	if c == nil || c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the hit/miss totals.
+func (c *lruCache[V]) Counters() (hits, misses uint64) {
+	if c == nil || c.cap <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,482 @@
+// Package server exposes a loaded store over HTTP for concurrent query
+// serving. The index is immutable after construction (see the
+// concurrency contract in internal/core), so the server shares one store
+// across all requests with no locking on the read path: each request
+// draws a pooled core.QueryCtx for its scratch, executes under a
+// deadline, and streams results as NDJSON.
+//
+// Endpoints:
+//
+//	GET /query?s=&p=&o=&limit=   triple selection pattern -> NDJSON triples
+//	GET /sparql?q=&limit=        BGP query -> NDJSON solutions (POST form works too)
+//	GET /stats                   store + server statistics as JSON
+//	GET /healthz                 liveness probe
+//
+// Admission is a bounded worker pool: at most Config.Workers queries
+// execute at once, later arrivals queue on their request context and are
+// rejected with 503 when it expires before a slot frees. Repeated
+// queries are answered from an LRU result cache keyed on the normalized
+// (dictionary-resolved) query text without touching the index; BGP
+// evaluation orders are cached in a separate plan cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/sparql"
+	"rdfindexes/internal/store"
+)
+
+// Config tunes the server; zero fields take the documented defaults.
+type Config struct {
+	// Workers bounds the number of concurrently executing queries
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Timeout is the per-request execution deadline, covering both queue
+	// wait and evaluation (default 30s). Cancellation is observed at
+	// batch-refill granularity, never per triple.
+	Timeout time.Duration
+	// CacheEntries is the result cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// CacheMaxBytes is the largest serialized response the result cache
+	// stores (default 1 MiB); larger responses stream uncached.
+	CacheMaxBytes int
+	// PlanEntries is the BGP plan cache capacity (default 1024).
+	PlanEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheMaxBytes <= 0 {
+		c.CacheMaxBytes = 1 << 20
+	}
+	if c.PlanEntries == 0 {
+		c.PlanEntries = 1024
+	}
+	return c
+}
+
+// Server answers pattern and BGP queries over one shared immutable store.
+type Server struct {
+	st  *store.Store
+	cfg Config
+	mux *http.ServeMux
+
+	sem     chan struct{} // bounded worker pool
+	results *lruCache[[]byte]
+	plans   *lruCache[[]int]
+
+	start    time.Time
+	queries  atomic.Uint64 // pattern queries accepted
+	sparqls  atomic.Uint64 // BGP queries accepted
+	rejected atomic.Uint64 // 503s (pool saturated past deadline)
+	failed   atomic.Uint64 // requests ending in an error
+}
+
+// New builds a server over a loaded store.
+func New(st *store.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		st:      st,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		results: newLRU[[]byte](cfg.CacheEntries),
+		plans:   newLRU[[]int](cfg.PlanEntries),
+		start:   time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+const ndjsonType = "application/x-ndjson"
+
+// errBusy is returned when the worker pool stays saturated past the
+// request's deadline.
+var errBusy = errors.New("server busy: no worker available before the deadline")
+
+// acquire claims a worker slot, waiting on ctx when the pool is full.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return errBusy
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// httpError answers a pre-stream failure as a JSON error document.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// parseLimit reads the limit form value; absent means unlimited (-1).
+func parseLimit(r *http.Request) (int, error) {
+	v := r.FormValue("limit")
+	if v == "" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("limit %q is not an integer", v)
+	}
+	return n, nil
+}
+
+// capture tees the streamed response into a bounded buffer so complete,
+// small responses can enter the result cache after the stream ends.
+type capture struct {
+	w        http.ResponseWriter
+	buf      []byte
+	max      int
+	overflow bool
+	poisoned bool // incomplete stream (error or cancellation): never cache
+}
+
+func (c *capture) Write(p []byte) (int, error) {
+	if !c.overflow && !c.poisoned {
+		if len(c.buf)+len(p) <= c.max {
+			c.buf = append(c.buf, p...)
+		} else {
+			c.overflow = true
+			c.buf = nil
+		}
+	}
+	return c.w.Write(p)
+}
+
+func (c *capture) cacheable() ([]byte, bool) {
+	if c.overflow || c.poisoned || c.buf == nil {
+		return nil, false
+	}
+	return c.buf, true
+}
+
+// serveCached writes a previously captured response.
+func serveCached(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", ndjsonType)
+	w.Header().Set("X-Cache", "hit")
+	w.Write(body)
+}
+
+// handleQuery resolves one triple selection pattern and streams matches
+// as NDJSON, one {"s":…,"p":…,"o":…} object per line, terminated by a
+// {"matches":n} summary line.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	pat, err := s.st.ParsePattern(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The cache key is the normalized pattern: dictionary terms are
+	// already resolved to IDs, so lexically different spellings of the
+	// same pattern share an entry.
+	key := fmt.Sprintf("q|%d,%d,%d|%d", pat.S, pat.P, pat.O, limit)
+	if body, ok := s.results.Get(key); ok {
+		serveCached(w, body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	qc := core.AcquireQueryCtx()
+	defer qc.Release()
+
+	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
+	w.Header().Set("Content-Type", ndjsonType)
+	w.Header().Set("X-Cache", "miss")
+	enc := json.NewEncoder(cw)
+
+	it := core.SelectWithCtx(s.st.Index, pat, qc)
+	buf := qc.Batch()
+	matches, truncated := 0, false
+	var row tripleRow
+	for limit < 0 || matches < limit {
+		// Cancellation is observed here, once per batch refill. An
+		// expired deadline ends the stream with an error line in place
+		// of the summary.
+		if ctx.Err() != nil {
+			cw.poisoned = true
+			s.failed.Add(1)
+			enc.Encode(map[string]string{"error": "deadline exceeded"})
+			return
+		}
+		want := buf
+		if limit >= 0 && limit-matches < len(buf) {
+			want = buf[:limit-matches]
+		}
+		k := it.NextBatch(want)
+		if k == 0 {
+			break
+		}
+		for _, t := range want[:k] {
+			row.set(s.st, t)
+			enc.Encode(&row)
+		}
+		matches += k
+	}
+	if limit >= 0 && matches >= limit {
+		// The stream stopped at the limit. Probe for one more match so
+		// an exactly-limit-sized result is not reported as truncated;
+		// anything beyond the probe stays unproduced and uncounted.
+		var probe [1]core.Triple
+		truncated = it.NextBatch(probe[:]) > 0
+	}
+	enc.Encode(querySummary{Matches: matches, Truncated: truncated})
+	if body, ok := cw.cacheable(); ok {
+		s.results.Put(key, body)
+	}
+}
+
+// tripleRow is one /query result line; the fields hold rendered terms
+// when the store has dictionaries, raw IDs otherwise.
+type tripleRow struct {
+	S any `json:"s"`
+	P any `json:"p"`
+	O any `json:"o"`
+}
+
+func (t *tripleRow) set(st *store.Store, tr core.Triple) {
+	if st.Dicts != nil {
+		t.S, t.P, t.O = st.Render(tr.S), st.RenderPredicate(tr.P), st.Render(tr.O)
+	} else {
+		t.S, t.P, t.O = tr.S, tr.P, tr.O
+	}
+}
+
+type querySummary struct {
+	Matches   int  `json:"matches"`
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// handleSparql executes a BGP query and streams solutions as NDJSON, one
+// {var: term, …} object per line, terminated by a summary line with the
+// executor statistics.
+func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	s.sparqls.Add(1)
+	qs := r.FormValue("q")
+	if qs == "" {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	translated, err := s.st.TranslateQuery(qs)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := sparql.Parse(translated)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// q.String() renders the dictionary-resolved BGP canonically, so it
+	// normalizes whitespace and spelling for both caches.
+	norm := q.String()
+	key := "s|" + norm + "|" + strconv.Itoa(limit)
+	if body, ok := s.results.Get(key); ok {
+		serveCached(w, body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	order, planCached := s.plans.Get(norm)
+	if !planCached {
+		order = sparql.Plan(q)
+		s.plans.Put(norm, order)
+	}
+
+	qc := core.AcquireQueryCtx()
+	defer qc.Release()
+
+	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
+	w.Header().Set("Content-Type", ndjsonType)
+	w.Header().Set("X-Cache", "miss")
+	enc := json.NewEncoder(cw)
+
+	// Reaching the row limit cancels the execution context: the executor
+	// aborts within one cancellation stride instead of computing
+	// solutions nobody will see.
+	execCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	rows, truncated := 0, false
+	stats, err := sparql.ExecuteWithOrderContext(execCtx, q, ctxStore{x: s.st.Index, qc: qc}, order, func(b sparql.Bindings) {
+		if limit >= 0 && rows >= limit {
+			if !truncated {
+				truncated = true
+				stop()
+			}
+			return
+		}
+		out := make(map[string]string, len(q.Vars))
+		for _, v := range q.Vars {
+			if id, ok := b[v]; ok {
+				out[v] = s.st.Render(id)
+			}
+		}
+		enc.Encode(out)
+		rows++
+	})
+	if err != nil && !truncated {
+		cw.poisoned = true
+		s.failed.Add(1)
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(sparqlSummary{
+		Results:    rows,
+		Patterns:   stats.PatternsIssued,
+		Matched:    stats.TriplesMatched,
+		Truncated:  truncated,
+		PlanCached: planCached,
+	})
+	if body, ok := cw.cacheable(); ok {
+		s.results.Put(key, body)
+	}
+}
+
+type sparqlSummary struct {
+	Results    int  `json:"results"`
+	Patterns   int  `json:"patterns"`
+	Matched    int  `json:"matched"`
+	Truncated  bool `json:"truncated,omitempty"`
+	PlanCached bool `json:"plan_cached"`
+}
+
+// ctxStore adapts the shared index to the executor's Store interface,
+// routing every Select through the request's QueryCtx. SelectVarSorted
+// forwards to the index so merge-intersection joins keep working.
+type ctxStore struct {
+	x  core.Index
+	qc *core.QueryCtx
+}
+
+func (s ctxStore) Select(p core.Pattern) *core.Iterator {
+	return core.SelectWithCtx(s.x, p, s.qc)
+}
+
+func (s ctxStore) NumTriples() int { return s.x.NumTriples() }
+
+func (s ctxStore) SelectVarSorted(p core.Pattern) (*core.VarIter, bool) {
+	if vs, ok := s.x.(core.VarSelecter); ok {
+		return vs.SelectVarSorted(p)
+	}
+	return nil, false
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	Layout        string  `json:"layout"`
+	Triples       int     `json:"triples"`
+	BitsPerTriple float64 `json:"bits_per_triple"`
+	Dictionary    bool    `json:"dictionary"`
+	Workers       int     `json:"workers"`
+	InFlight      int     `json:"in_flight"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       uint64  `json:"queries"`
+	SparqlQueries uint64  `json:"sparql_queries"`
+	Rejected      uint64  `json:"rejected"`
+	Failed        uint64  `json:"failed"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	PlanEntries   int     `json:"plan_entries"`
+}
+
+// Snapshot returns the current statistics.
+func (s *Server) Snapshot() Stats {
+	hits, misses := s.results.Counters()
+	return Stats{
+		Layout:        s.st.Index.Layout().String(),
+		Triples:       s.st.Index.NumTriples(),
+		BitsPerTriple: core.BitsPerTriple(s.st.Index),
+		Dictionary:    s.st.Dicts != nil,
+		Workers:       s.cfg.Workers,
+		InFlight:      len(s.sem),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		SparqlQueries: s.sparqls.Load(),
+		Rejected:      s.rejected.Load(),
+		Failed:        s.failed.Load(),
+		CacheEntries:  s.results.Len(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		PlanEntries:   s.plans.Len(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

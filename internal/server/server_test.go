@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/store"
+)
+
+// testStore builds an in-memory dictionary store over a small social
+// graph: people know each other and like items.
+func testStore(t testing.TB, people, likesPer int) *store.Store {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < people; i++ {
+		fmt.Fprintf(&sb, "<http://ex/p%d> <http://ex/knows> <http://ex/p%d> .\n", i, (i+1)%people)
+		for j := 0; j < likesPer; j++ {
+			fmt.Fprintf(&sb, "<http://ex/p%d> <http://ex/likes> <http://ex/item%d> .\n", i, (i+j)%(people/2+1))
+		}
+	}
+	statements, err := rdf.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := core.Build(d, core.Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store.Store{Index: x, Dicts: dicts}
+}
+
+// ndjsonLines splits a response body into decoded JSON lines.
+func ndjsonLines(t *testing.T, body string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return resp, sb.String()
+}
+
+func TestServerEndpoints(t *testing.T) {
+	st := testStore(t, 40, 3)
+	srv := New(st, Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	t.Run("healthz", func(t *testing.T) {
+		resp, body := get(t, ts, "/healthz")
+		if resp.StatusCode != 200 || !strings.Contains(body, "ok") {
+			t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("query", func(t *testing.T) {
+		resp, body := get(t, ts, "/query?s="+url.QueryEscape("<http://ex/p0>"))
+		if resp.StatusCode != 200 {
+			t.Fatalf("query: status %d body %q", resp.StatusCode, body)
+		}
+		lines := ndjsonLines(t, body)
+		last := lines[len(lines)-1]
+		matches := int(last["matches"].(float64))
+		if matches != len(lines)-1 {
+			t.Fatalf("summary says %d matches, stream has %d rows", matches, len(lines)-1)
+		}
+		// p0 knows p1 and likes 3 items.
+		if matches != 4 {
+			t.Fatalf("expected 4 matches for S??, got %d", matches)
+		}
+		for _, row := range lines[:len(lines)-1] {
+			if row["s"] != "<http://ex/p0>" {
+				t.Fatalf("row subject %v, want <http://ex/p0>", row["s"])
+			}
+		}
+	})
+
+	t.Run("query limit truncates", func(t *testing.T) {
+		_, body := get(t, ts, "/query?s="+url.QueryEscape("<http://ex/p0>")+"&limit=2")
+		lines := ndjsonLines(t, body)
+		last := lines[len(lines)-1]
+		if int(last["matches"].(float64)) != 2 || last["truncated"] != true {
+			t.Fatalf("limit summary wrong: %v", last)
+		}
+	})
+
+	t.Run("query exact limit is not truncated", func(t *testing.T) {
+		// p0 has exactly 4 triples; limit=4 returns the complete result.
+		_, body := get(t, ts, "/query?s="+url.QueryEscape("<http://ex/p0>")+"&limit=4")
+		lines := ndjsonLines(t, body)
+		last := lines[len(lines)-1]
+		if int(last["matches"].(float64)) != 4 || last["truncated"] == true {
+			t.Fatalf("exact-limit summary wrong: %v", last)
+		}
+	})
+
+	t.Run("query cache", func(t *testing.T) {
+		path := "/query?p=" + url.QueryEscape("<http://ex/knows>")
+		resp1, body1 := get(t, ts, path)
+		resp2, body2 := get(t, ts, path)
+		if resp1.Header.Get("X-Cache") != "miss" && resp1.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("missing X-Cache header")
+		}
+		if resp2.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("second identical query not served from cache (X-Cache=%q)", resp2.Header.Get("X-Cache"))
+		}
+		if body1 != body2 {
+			t.Fatalf("cached body differs from computed body")
+		}
+	})
+
+	t.Run("query bad term", func(t *testing.T) {
+		resp, _ := get(t, ts, "/query?s="+url.QueryEscape("<http://ex/nobody>"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unknown term: status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("sparql", func(t *testing.T) {
+		q := "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"
+		resp, body := get(t, ts, "/sparql?q="+url.QueryEscape(q))
+		if resp.StatusCode != 200 {
+			t.Fatalf("sparql: status %d body %q", resp.StatusCode, body)
+		}
+		lines := ndjsonLines(t, body)
+		last := lines[len(lines)-1]
+		if int(last["results"].(float64)) != 40 {
+			t.Fatalf("expected 40 knows-solutions, summary %v", last)
+		}
+		if last["plan_cached"] != false {
+			t.Fatalf("first execution should not have a cached plan")
+		}
+		// Different spelling of the same BGP: plan cache hit, result
+		// cache keyed on normalized text serves it without execution.
+		q2 := "SELECT ?x ?y WHERE   {   ?x   <http://ex/knows>   ?y   . }"
+		resp2, body2 := get(t, ts, "/sparql?q="+url.QueryEscape(q2))
+		if resp2.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("normalized respelling not served from result cache")
+		}
+		if body2 != body {
+			t.Fatalf("cached sparql body differs")
+		}
+	})
+
+	t.Run("sparql join", func(t *testing.T) {
+		q := "SELECT ?x WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> <http://ex/item1> . }"
+		resp, body := get(t, ts, "/sparql?q="+url.QueryEscape(q))
+		if resp.StatusCode != 200 {
+			t.Fatalf("sparql join: status %d", resp.StatusCode)
+		}
+		lines := ndjsonLines(t, body)
+		// p0 knows p1; p1 likes item1..item3, so one solution.
+		if n := int(lines[len(lines)-1]["results"].(float64)); n != 1 {
+			t.Fatalf("join solutions = %d, want 1: %s", n, body)
+		}
+		if lines[0]["x"] != "<http://ex/p1>" {
+			t.Fatalf("join solution %v, want <http://ex/p1>", lines[0]["x"])
+		}
+	})
+
+	t.Run("sparql parse error", func(t *testing.T) {
+		resp, _ := get(t, ts, "/sparql?q="+url.QueryEscape("SELECT WHERE"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("parse error: status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		resp, body := get(t, ts, "/stats")
+		if resp.StatusCode != 200 {
+			t.Fatalf("stats: %d", resp.StatusCode)
+		}
+		var s Stats
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatal(err)
+		}
+		if s.Layout != "2Tp" || s.Triples != st.Index.NumTriples() || s.Workers != 4 {
+			t.Fatalf("stats document wrong: %+v", s)
+		}
+		if s.Queries == 0 || s.CacheHits == 0 {
+			t.Fatalf("counters not advancing: %+v", s)
+		}
+	})
+}
+
+// TestServerSharedStoreStress fires 16 concurrent clients mixing triple
+// pattern and BGP queries at one shared store; run with -race to enforce
+// the shared-store concurrency contract end to end (HTTP handler,
+// worker pool, result cache, QueryCtx pooling, executor).
+func TestServerSharedStoreStress(t *testing.T) {
+	st := testStore(t, 60, 4)
+	srv := New(st, Config{Workers: 8, CacheEntries: 32})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	queries := []string{
+		"/query?s=" + url.QueryEscape("<http://ex/p1>"),
+		"/query?p=" + url.QueryEscape("<http://ex/knows>"),
+		"/query?o=" + url.QueryEscape("<http://ex/item2>"),
+		"/query?s=" + url.QueryEscape("<http://ex/p3>") + "&o=" + url.QueryEscape("<http://ex/p4>"),
+		"/query",
+		"/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+		"/sparql?q=" + url.QueryEscape("SELECT ?x WHERE { ?x <http://ex/likes> <http://ex/item1> . ?x <http://ex/likes> <http://ex/item2> . }"),
+		"/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
+		"/stats",
+		"/healthz",
+	}
+
+	// Reference bodies computed sequentially before the storm; dynamic
+	// endpoints (stats) are checked for status only.
+	want := map[string]string{}
+	for _, qp := range queries {
+		if strings.HasPrefix(qp, "/stats") || strings.HasPrefix(qp, "/healthz") {
+			continue
+		}
+		resp, body := get(t, ts, qp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("reference %s: status %d", qp, resp.StatusCode)
+		}
+		want[qp] = body
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				qp := queries[rng.Intn(len(queries))]
+				resp, err := http.Get(ts.URL + qp)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var sb strings.Builder
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<24)
+				for sc.Scan() {
+					sb.WriteString(sc.Text())
+					sb.WriteByte('\n')
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Sprintf("%s: status %d", qp, resp.StatusCode)
+					return
+				}
+				if ref, ok := want[qp]; ok && sb.String() != ref {
+					errs <- fmt.Sprintf("%s: concurrent body differs from sequential reference", qp)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	s := srv.Snapshot()
+	if s.CacheHits == 0 {
+		t.Fatalf("stress run produced no cache hits: %+v", s)
+	}
+}
+
+// TestServerDeadline forces a tiny timeout on an expensive full-scan
+// query and expects the stream to stop with an error line instead of
+// running away.
+func TestServerDeadline(t *testing.T) {
+	st := testStore(t, 300, 30)
+	srv := New(st, Config{Workers: 2, Timeout: 1 * time.Nanosecond, CacheEntries: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/query")
+	// The deadline may fire while queued (503) or mid-stream (error
+	// line); both are acceptable, a complete result is not.
+	if resp.StatusCode == 200 {
+		lines := ndjsonLines(t, body)
+		last := lines[len(lines)-1]
+		if _, ok := last["error"]; !ok {
+			t.Fatalf("nanosecond deadline produced a complete stream: %v", last)
+		}
+	} else if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unexpected status %d", resp.StatusCode)
+	}
+}
+
+// TestWorkerPoolBounds floods a single-worker server and checks that the
+// pool never runs more than one query at once.
+func TestWorkerPoolBounds(t *testing.T) {
+	st := testStore(t, 50, 3)
+	srv := New(st, Config{Workers: 1, CacheEntries: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?p=" + url.QueryEscape("<http://ex/likes>"))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := srv.Snapshot().InFlight; got != 0 {
+		t.Fatalf("in-flight count %d after drain, want 0", got)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	var disabled *lruCache[int]
+	if _, ok := disabled.Get("x"); ok {
+		t.Fatal("nil cache returned a value")
+	}
+	disabled.Put("x", 1) // must not panic
+	zero := newLRU[int](-1)
+	zero.Put("x", 1)
+	if _, ok := zero.Get("x"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}

@@ -1,6 +1,8 @@
 package sparql
 
 import (
+	"context"
+
 	"rdfindexes/internal/core"
 )
 
@@ -146,7 +148,43 @@ func countUpTo(st Store, p core.Pattern, limit int) int {
 
 // ExecuteWithOrder runs the query with an explicit evaluation order.
 func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(q, st, order, emit)
+	return executeOrdered(nil, q, st, order, emit)
+}
+
+// ExecuteContext runs the query like Execute but aborts with ctx.Err()
+// when the context is cancelled or its deadline passes. Cancellation is
+// checked once per iteration batch (every cancelStride candidate
+// triples), not per triple, so the hot loops stay branch-cheap; a runaway
+// query therefore overshoots its deadline by at most one stride.
+func ExecuteContext(ctx context.Context, q Query, st Store, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(ctx, q, st, Plan(q), emit)
+}
+
+// ExecuteWithOrderContext is ExecuteWithOrder with cancellation.
+func ExecuteWithOrderContext(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(ctx, q, st, order, emit)
+}
+
+// cancelStride is the number of candidate triples examined between two
+// context checks.
+const cancelStride = 1024
+
+// canceller polls a context every cancelStride ticks; a nil canceller or
+// a nil context never fires.
+type canceller struct {
+	ctx context.Context
+	n   uint32
+}
+
+func (c *canceller) check() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	c.n++
+	if c.n%cancelStride != 0 {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // Plan orders the BGP's patterns greedily: at each step, pick the pattern
@@ -199,7 +237,7 @@ func Plan(q Query) []int {
 // the planned order and invokes emit for every solution. It returns the
 // execution statistics.
 func Execute(q Query, st Store, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(q, st, Plan(q), emit)
+	return executeOrdered(nil, q, st, Plan(q), emit)
 }
 
 // singleFreeVar reports the variable of tp that is still unbound under
@@ -231,10 +269,14 @@ func singleFreeVar(tp TriplePattern, b Bindings) (string, bool) {
 // merge-intersection of the sorted binding streams the index serves
 // natively (core.VarSelecter), skipping over non-joining candidates with
 // NextGEQ instead of enumerating them.
-func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
 	var stats ExecStats
 	bindings := Bindings{}
 	vs, hasVS := st.(core.VarSelecter)
+	var cancel *canceller
+	if ctx != nil {
+		cancel = &canceller{ctx: ctx}
+	}
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(order) {
@@ -265,7 +307,7 @@ func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecSt
 					group = append(group, substitute(tp2, bindings))
 				}
 				if len(group) >= 2 {
-					if done, err := execGallop(vs, group, v, bindings, &stats, func() error {
+					if done, err := execGallop(vs, group, v, bindings, &stats, cancel, func() error {
 						return rec(step + len(group))
 					}); done {
 						return err
@@ -281,6 +323,9 @@ func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecSt
 				return nil
 			}
 			stats.TriplesMatched++
+			if err := cancel.check(); err != nil {
+				return err
+			}
 			// Bind free variables; consistent duplicates in the same
 			// pattern (e.g. ?x <p> ?x) must agree.
 			newVars := make([]string, 0, 3)
@@ -322,7 +367,7 @@ func executeOrdered(q Query, st Store, order []int, emit func(Bindings)) (ExecSt
 // every common value with v bound. done is false when the store cannot
 // serve one of the streams (the caller falls back to nested iteration).
 func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
-	bindings Bindings, stats *ExecStats, found func() error) (done bool, err error) {
+	bindings Bindings, stats *ExecStats, cancel *canceller, found func() error) (done bool, err error) {
 	its := make([]*core.VarIter, len(group))
 	for i, p := range group {
 		it, ok := vs.SelectVarSorted(p)
@@ -345,6 +390,9 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 		cand[i] = c
 	}
 	for {
+		if err := cancel.check(); err != nil {
+			return true, err
+		}
 		maxv := cand[0]
 		for _, c := range cand[1:] {
 			if c > maxv {

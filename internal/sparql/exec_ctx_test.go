@@ -1,0 +1,85 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rdfindexes/internal/core"
+)
+
+// TestExecuteContextCompletes checks the context path returns the same
+// results as the plain path when nothing cancels.
+func TestExecuteContextCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ts := randomTriples(rng, 600)
+	st := sliceStore(ts)
+	q, err := Parse("SELECT ?x ?y WHERE { ?x <1> ?y . ?y <1> ?z . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Execute(q, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := ExecuteContext(context.Background(), q, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Results != withCtx.Results || plain.TriplesMatched != withCtx.TriplesMatched {
+		t.Fatalf("context path diverged: %+v vs %+v", plain, withCtx)
+	}
+}
+
+// TestExecuteContextCancellation runs a cross-product-heavy query under
+// an already-cancelled context and expects a prompt abort with the
+// context's error, with at most one cancellation stride of extra work.
+func TestExecuteContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ts := randomTriples(rng, 1200)
+	st := sliceStore(ts)
+	// Two unrelated pattern pairs force a large intermediate product.
+	q, err := Parse("SELECT ?a ?b WHERE { ?a <1> ?x . ?b <2> ?y . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := ExecuteContext(ctx, q, st, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled execution returned %v, want context.Canceled", err)
+	}
+	// The check fires every cancelStride candidates; a run that examined
+	// many strides past cancellation would mean the check is not wired
+	// into the hot loop.
+	if stats.TriplesMatched > 2*cancelStride {
+		t.Fatalf("cancelled execution still matched %d triples (> 2 strides)", stats.TriplesMatched)
+	}
+}
+
+// TestExecuteContextDeadlineGallop cancels inside the merge-intersection
+// path: patterns sharing their single free variable gallop, and the
+// canceller must fire there too.
+func TestExecuteContextDeadlineGallop(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ts := randomTriples(rng, 1200)
+	d := core.NewDataset(append([]core.Triple(nil), ts...))
+	x, err := core.Build3T(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT ?x WHERE { ?x <1> <2> . ?x <2> <3> . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, q, x, nil); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// A nil-emit complete run on the same store for comparison.
+	if _, err := ExecuteContext(context.Background(), q, x, nil); err != nil {
+		t.Fatalf("uncancelled run failed: %v", err)
+	}
+}

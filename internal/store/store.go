@@ -1,0 +1,307 @@
+// Package store bundles a compressed index with its string dictionaries
+// into the on-disk store the rdfstore CLI and the query server share. A
+// loaded Store is immutable: the index, the front-coded dictionaries and
+// the lookup helpers below are all read-only, so one Store may serve any
+// number of goroutines concurrently (the "one index, N goroutines"
+// contract of internal/core).
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/dict"
+	"rdfindexes/internal/rdf"
+)
+
+// Magic is the store file signature.
+const Magic = "RDFSTORE1"
+
+// Store is an index plus its dictionaries (nil Dicts for integer-only
+// datasets that were built from binary triple files).
+type Store struct {
+	Index core.Index
+	Dicts *rdf.Dicts
+}
+
+// Write serializes the store to path: magic, optional dictionaries, then
+// the index.
+func Write(path string, st *Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := codec.NewWriter(f)
+	w.String(Magic)
+	if st.Dicts != nil {
+		w.Byte(1)
+		st.Dicts.SO.Encode(w)
+		st.Dicts.P.Encode(w)
+	} else {
+		w.Byte(0)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return core.WriteIndex(f, st.Index)
+}
+
+// Read loads a store written by Write.
+func Read(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// One buffered stream shared by the header decoder and ReadIndex.
+	br := bufio.NewReader(f)
+	r := codec.NewReader(br)
+	if magic := r.String(); magic != Magic {
+		return nil, fmt.Errorf("not an rdfstore file (magic %q)", magic)
+	}
+	st := &Store{}
+	if r.Byte() == 1 {
+		so, err := dict.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		p, err := dict.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		st.Dicts = &rdf.Dicts{SO: so, P: p}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	st.Index, err = core.ReadIndex(br)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ParseTerm interprets a query term: "?" (or empty) is a wildcard, <...>
+// and quoted literals go through the dictionary (the predicate
+// dictionary when predicate is true), bare integers are raw IDs.
+func (st *Store) ParseTerm(s string, predicate bool) (core.ID, error) {
+	if s == "?" || s == "" {
+		return core.Wildcard, nil
+	}
+	if strings.HasPrefix(s, "<") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "_:") {
+		if st.Dicts == nil {
+			return 0, fmt.Errorf("store has no dictionary; use integer IDs")
+		}
+		d := st.Dicts.SO
+		if predicate {
+			d = st.Dicts.P
+		}
+		id, ok := d.Locate(s)
+		if !ok {
+			return 0, fmt.Errorf("term %s not in dictionary", s)
+		}
+		return core.ID(id), nil
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("term %q is neither ?, a <uri>, a literal, nor an integer ID", s)
+	}
+	return core.ID(v), nil
+}
+
+// ParsePattern resolves the three term strings of a selection pattern.
+func (st *Store) ParsePattern(s, p, o string) (core.Pattern, error) {
+	var pat core.Pattern
+	var err error
+	if pat.S, err = st.ParseTerm(s, false); err != nil {
+		return pat, err
+	}
+	if pat.P, err = st.ParseTerm(p, true); err != nil {
+		return pat, err
+	}
+	if pat.O, err = st.ParseTerm(o, false); err != nil {
+		return pat, err
+	}
+	return pat, nil
+}
+
+// Render maps a subject/object ID back to its term, falling back to
+// <id> notation for integer-only stores.
+func (st *Store) Render(id core.ID) string {
+	if st.Dicts != nil {
+		if s, ok := st.Dicts.SO.Extract(int(id)); ok {
+			return s
+		}
+	}
+	return fmt.Sprintf("<%d>", id)
+}
+
+// RenderPredicate maps a predicate ID back to its term.
+func (st *Store) RenderPredicate(id core.ID) string {
+	if st.Dicts != nil {
+		if s, ok := st.Dicts.P.Extract(int(id)); ok {
+			return s
+		}
+	}
+	return fmt.Sprintf("<%d>", id)
+}
+
+// TranslateQuery rewrites URI/literal constants of a BGP query into
+// dictionary IDs so the integer-level sparql parser can handle it.
+// Constants in predicate position use the predicate dictionary;
+// subject/object positions use the shared SO dictionary. The body is
+// tokenized term-aware — dots inside <IRI>s and "literal"s (near
+// universal in real RDF) are not pattern separators.
+func (st *Store) TranslateQuery(qs string) (string, error) {
+	open := strings.IndexByte(qs, '{')
+	close := strings.LastIndexByte(qs, '}')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("query has no { ... } block")
+	}
+	head := qs[:open+1]
+	toks, err := tokenizeBGPBody(qs[open+1 : close])
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	out.WriteString(head)
+	for len(toks) > 0 {
+		if len(toks) < 3 {
+			return "", fmt.Errorf("triple pattern %q does not have 3 terms", strings.Join(toks, " "))
+		}
+		for pos, f := range toks[:3] {
+			if f == "." {
+				return "", fmt.Errorf("triple pattern ends after %d terms", pos)
+			}
+			out.WriteByte(' ')
+			if strings.HasPrefix(f, "?") || isNumericIRI(f) {
+				out.WriteString(f)
+				continue
+			}
+			if st.Dicts == nil {
+				return "", fmt.Errorf("store has no dictionary; use <id> constants")
+			}
+			d := st.Dicts.SO
+			if pos == 1 {
+				d = st.Dicts.P
+			}
+			id, ok := d.Locate(f)
+			if !ok {
+				return "", fmt.Errorf("term %s not in dictionary", f)
+			}
+			fmt.Fprintf(&out, "<%d>", id)
+		}
+		toks = toks[3:]
+		// The separating dot is mandatory between patterns, optional
+		// after the last one.
+		if len(toks) > 0 {
+			if toks[0] != "." {
+				return "", fmt.Errorf("expected '.' after triple pattern, got %q", toks[0])
+			}
+			toks = toks[1:]
+		}
+		out.WriteString(" .")
+	}
+	out.WriteString(" }")
+	return out.String(), nil
+}
+
+// tokenizeBGPBody splits a BGP body into terms and "." separators. A
+// dot is a separator only outside <...> and "..." spans; literals keep
+// any @lang or ^^<datatype> suffix attached.
+func tokenizeBGPBody(body string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.':
+			toks = append(toks, ".")
+			i++
+		case c == '<':
+			j := strings.IndexByte(body[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated <...> in BGP")
+			}
+			toks = append(toks, body[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(body) {
+				if body[j] == '\\' {
+					j += 2
+					continue
+				}
+				if body[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(body) {
+				return nil, fmt.Errorf("unterminated string literal in BGP")
+			}
+			j++ // closing quote
+			// Attached @lang or ^^<datatype> suffix; a bare '.' after
+			// the quote stays a pattern separator.
+			if j < len(body) && body[j] == '@' {
+				j++
+				for j < len(body) && (isNameByte(body[j]) || body[j] == '-') {
+					j++
+				}
+			} else if j+1 < len(body) && body[j] == '^' && body[j+1] == '^' {
+				j += 2
+				if j < len(body) && body[j] == '<' {
+					k := strings.IndexByte(body[j:], '>')
+					if k < 0 {
+						return nil, fmt.Errorf("unterminated datatype IRI in BGP")
+					}
+					j += k + 1
+				}
+			}
+			toks = append(toks, body[i:j])
+			i = j
+		default:
+			// Bare token (?var, _:blank, keyword): runs to whitespace or
+			// a separating dot.
+			j := i
+			for j < len(body) && !isSpaceByte(body[j]) && body[j] != '.' {
+				j++
+			}
+			toks = append(toks, body[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isNumericIRI(s string) bool {
+	if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
+		return false
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return false
+	}
+	for _, c := range body {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/rdf"
+)
+
+const sampleNT = `<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/bob> <http://ex/knows> <http://ex/carol> .
+<http://ex/alice> <http://ex/age> "30" .
+<http://ex/carol> <http://ex/knows> <http://ex/alice> .
+`
+
+func buildSample(t *testing.T, layout core.Layout) *Store {
+	t.Helper()
+	statements, err := rdf.ParseAll(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := core.Build(d, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Store{Index: x, Dicts: dicts}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for _, layout := range []core.Layout{core.Layout3T, core.LayoutCC, core.Layout2Tp, core.Layout2To} {
+		t.Run(layout.String(), func(t *testing.T) {
+			st := buildSample(t, layout)
+			path := filepath.Join(t.TempDir(), "store.idx")
+			if err := Write(path, st); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Index.Layout() != layout || got.Index.NumTriples() != st.Index.NumTriples() {
+				t.Fatalf("round trip changed the index: %v/%d", got.Index.Layout(), got.Index.NumTriples())
+			}
+			pat, err := got.ParsePattern("<http://ex/alice>", "?", "?")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := got.Index.Select(pat).Count(); n != 2 {
+				t.Fatalf("alice has %d triples, want 2", n)
+			}
+		})
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	st := buildSample(t, core.Layout2Tp)
+	if id, err := st.ParseTerm("?", false); err != nil || id != core.Wildcard {
+		t.Fatalf("wildcard: %v %v", id, err)
+	}
+	if id, err := st.ParseTerm("", false); err != nil || id != core.Wildcard {
+		t.Fatalf("empty: %v %v", id, err)
+	}
+	if _, err := st.ParseTerm("<http://ex/nobody>", false); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+	if id, err := st.ParseTerm("3", false); err != nil || id != 3 {
+		t.Fatalf("integer ID: %v %v", id, err)
+	}
+	if _, err := st.ParseTerm("bogus term", false); err == nil {
+		t.Fatal("garbage term accepted")
+	}
+	// Predicate terms resolve through the predicate dictionary.
+	pid, err := st.ParseTerm("<http://ex/knows>", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RenderPredicate(pid); got != "<http://ex/knows>" {
+		t.Fatalf("predicate render: %q", got)
+	}
+	// Literals resolve through the SO dictionary.
+	if _, err := st.ParseTerm("\"30\"", false); err != nil {
+		t.Fatalf("literal: %v", err)
+	}
+}
+
+func TestTranslateQuery(t *testing.T) {
+	st := buildSample(t, core.Layout2Tp)
+	out, err := st.TranslateQuery("SELECT ?x WHERE { ?x <http://ex/knows> <http://ex/bob> . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "http://") {
+		t.Fatalf("translation left URIs behind: %s", out)
+	}
+	if _, err := st.TranslateQuery("SELECT ?x WHERE { ?x <http://ex/knows> . }"); err == nil {
+		t.Fatal("2-term pattern accepted")
+	}
+	if _, err := st.TranslateQuery("no braces"); err == nil {
+		t.Fatal("query without block accepted")
+	}
+	if _, err := st.TranslateQuery("SELECT ?x WHERE { ?x <http://ex/missing> ?y . }"); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}
+
+// TestTranslateQueryDottedTerms covers real-world RDF spellings: IRIs
+// with dots (virtually all of them), literals with dots, datatype and
+// language suffixes, and a separator dot glued to a term.
+func TestTranslateQueryDottedTerms(t *testing.T) {
+	nt := `<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+<http://example.org/alice> <http://example.org/version> "v1.0" .
+`
+	statements, err := rdf.ParseAll(strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := core.Build(d, core.Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Index: x, Dicts: dicts}
+
+	for _, q := range []string{
+		"SELECT ?x WHERE { ?x <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> . }",
+		"SELECT ?x WHERE { ?x <http://example.org/version> \"v1.0\" . }",
+		// Two patterns, separator dot between them, none at the end.
+		"SELECT ?x ?y WHERE { ?x <http://xmlns.com/foaf/0.1/knows> ?y . ?x <http://example.org/version> \"v1.0\" }",
+		// Separator dot glued to the closing term.
+		"SELECT ?x WHERE { ?x <http://example.org/version> \"v1.0\". }",
+	} {
+		out, err := st.TranslateQuery(q)
+		if err != nil {
+			t.Errorf("TranslateQuery(%q): %v", q, err)
+			continue
+		}
+		if strings.Contains(out, "http") {
+			t.Errorf("TranslateQuery(%q) left terms untranslated: %s", q, out)
+		}
+	}
+
+	if _, err := st.TranslateQuery("SELECT ?x WHERE { ?x <http://unterminated }"); err == nil {
+		t.Error("unterminated IRI accepted")
+	}
+	if _, err := st.TranslateQuery("SELECT ?x WHERE { ?x <http://example.org/version> \"unterminated }"); err == nil {
+		t.Error("unterminated literal accepted")
+	}
+	if _, err := st.TranslateQuery("SELECT ?x WHERE { ?x ?y . }"); err == nil {
+		t.Error("2-term pattern accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.idx")
+	if err := os.WriteFile(path, []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
