@@ -44,6 +44,7 @@ var experiments = []struct {
 	{"breakdown", "per-level space shares of the 3T index (Section 3.1)", bench.Breakdown},
 	{"ablation", "encoder choices and cross-compression variants", bench.Ablation},
 	{"parallel", "concurrent query throughput on one shared index (1/4/16 goroutines)", bench.ServeParallel},
+	{"update", "amortized-update throughput and read interference by merge threshold", bench.UpdateThroughput},
 }
 
 func main() {

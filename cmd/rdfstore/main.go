@@ -8,8 +8,17 @@
 //	rdfstore build -in data.nt -layout 2Tp -out store.idx
 //	rdfstore query -store store.idx -s '<http://ex/alice>' -p '?' -o '?'
 //	rdfstore sparql -store store.idx -q 'SELECT ?x WHERE { ?x <http://ex/knows> ?y . }'
+//	rdfstore insert -store store.idx -s '<http://ex/alice>' -p '<http://ex/knows>' -o '<http://ex/carol>'
+//	rdfstore delete -store store.idx -s '<http://ex/alice>' -p '<http://ex/knows>' -o '<http://ex/carol>'
+//	rdfstore merge -store store.idx
 //	rdfstore stats -store store.idx
 //	rdfstore serve -store store.idx -addr :8080 -workers 8
+//
+// insert and delete append to a write-ahead log (store.idx.wal) and keep
+// the static index untouched until the pending log reaches the merge
+// threshold (or merge is run), at which point the store file is rewritten
+// atomically. serve recovers the pending log on startup and accepts
+// writes on /insert and /delete.
 package main
 
 import (
@@ -35,7 +44,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if err == errUsage {
-			fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|stats|serve [flags]")
+			fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|insert|delete|merge|stats|serve [flags]")
 			os.Exit(2)
 		}
 		if err == errParse {
@@ -81,6 +90,12 @@ func run(args []string, out io.Writer) error {
 		err = queryCmd(args[1:], out)
 	case "sparql":
 		err = sparqlCmd(args[1:], out)
+	case "insert":
+		err = writeCmd("insert", args[1:], out)
+	case "delete":
+		err = writeCmd("delete", args[1:], out)
+	case "merge":
+		err = mergeCmd(args[1:], out)
 	case "stats":
 		err = statsCmd(args[1:], out)
 	case "serve":
@@ -156,7 +171,7 @@ func queryCmd(args []string, out io.Writer) error {
 		return err
 	}
 
-	st, err := store.Read(*path)
+	st, err := store.ReadView(*path)
 	if err != nil {
 		return err
 	}
@@ -203,7 +218,7 @@ func sparqlCmd(args []string, out io.Writer) error {
 	if *qs == "" {
 		return fmt.Errorf("sparql needs -q")
 	}
-	st, err := store.Read(*path)
+	st, err := store.ReadView(*path)
 	if err != nil {
 		return err
 	}
@@ -241,13 +256,71 @@ func sparqlCmd(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeCmd applies one insert or delete through the mutable store: the
+// write lands in the WAL immediately and folds into the static index at
+// the merge threshold.
+func writeCmd(name string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	path := fs.String("store", "store.idx", "store file")
+	s := fs.String("s", "", "subject term")
+	p := fs.String("p", "", "predicate term")
+	o := fs.String("o", "", "object term")
+	threshold := fs.Int("threshold", 0, "merge threshold (0 = default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	m, err := store.OpenMutable(*path, *threshold)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	var res store.WriteResult
+	if name == "insert" {
+		res, err = m.Insert(*s, *p, *o)
+	} else {
+		res, err = m.Delete(*s, *p, *o)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: changed=%v merged=%v triples=%d pending=%d\n",
+		name, res.Changed, res.Merged, res.Triples, res.LogSize)
+	return nil
+}
+
+// mergeCmd forces the pending log to fold into a rebuilt store file.
+func mergeCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	path := fs.String("store", "store.idx", "store file")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	m, err := store.OpenMutable(*path, 0)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	st := m.View()
+	pending := 0
+	if dyn, ok := st.Index.(*core.DynamicSnapshot); ok {
+		pending = dyn.LogSize()
+	}
+	if err := m.Merge(); err != nil {
+		return err
+	}
+	st = m.View()
+	fmt.Fprintf(out, "merged %d pending updates: %d triples, %.2f bits/triple -> %s\n",
+		pending, st.Index.NumTriples(), core.BitsPerTriple(st.Index), *path)
+	return nil
+}
+
 func statsCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	path := fs.String("store", "store.idx", "store file")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	st, err := store.Read(*path)
+	st, err := store.ReadView(*path)
 	if err != nil {
 		return err
 	}
@@ -270,18 +343,36 @@ func serveCmd(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution deadline")
 	cache := fs.Int("cache", 256, "result cache entries (-1 disables)")
+	readonly := fs.Bool("readonly", false, "serve the store immutably (no /insert, /delete, WAL)")
+	threshold := fs.Int("threshold", 0, "pending-update merge threshold (0 = default)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	st, err := store.Read(*path)
-	if err != nil {
-		return err
-	}
-	srv := server.New(st, server.Config{
+	cfg := server.Config{
 		Workers:      *workers,
 		Timeout:      *timeout,
 		CacheEntries: *cache,
-	})
+	}
+	var srv *server.Server
+	var st *store.Store
+	if *readonly {
+		// ReadView folds in any pending WAL without locking or touching
+		// it, so a read-only replica can serve next to a writing process.
+		var err error
+		st, err = store.ReadView(*path)
+		if err != nil {
+			return err
+		}
+		srv = server.New(st, cfg)
+	} else {
+		m, err := store.OpenMutable(*path, *threshold)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		st = m.View()
+		srv = server.NewMutable(m, cfg)
+	}
 	fmt.Fprintf(out, "serving %d triples (%v, %.2f bits/triple) on %s\n",
 		st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), *addr)
 

@@ -25,6 +25,53 @@ func runOK(t *testing.T, args ...string) string {
 	return sb.String()
 }
 
+// TestInsertDeleteMergeCLI drives the update subcommands: insert a
+// triple with a brand-new term, query it back, restart-style reopen (a
+// separate subcommand invocation recovers the WAL), delete it, and fold
+// the log with merge.
+func TestInsertDeleteMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	nt := filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(nt, []byte(sampleNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx := filepath.Join(dir, "store.idx")
+	runOK(t, "build", "-in", nt, "-layout", "2Tp", "-out", idx)
+
+	out := runOK(t, "insert", "-store", idx,
+		"-s", "<http://ex/dave>", "-p", "<http://ex/likes>", "-o", "<http://ex/pizza>")
+	if !strings.Contains(out, "changed=true") || !strings.Contains(out, "triples=7") {
+		t.Fatalf("insert output: %q", out)
+	}
+	// Each subcommand reopens the store: query must incorporate the
+	// pending WAL (ReadView), since the store file itself is untouched
+	// until merge.
+	out = runOK(t, "query", "-store", idx, "-s", "<http://ex/dave>")
+	if !strings.Contains(out, "<http://ex/dave> <http://ex/likes> <http://ex/pizza> .") ||
+		!strings.Contains(out, "-- 1 matches") {
+		t.Fatalf("query after insert: %q", out)
+	}
+
+	out = runOK(t, "merge", "-store", idx)
+	if !strings.Contains(out, "merged") {
+		t.Fatalf("merge output: %q", out)
+	}
+	out = runOK(t, "stats", "-store", idx)
+	if !strings.Contains(out, "triples:      7") {
+		t.Fatalf("stats after merge: %q", out)
+	}
+	out = runOK(t, "delete", "-store", idx,
+		"-s", "<http://ex/dave>", "-p", "<http://ex/likes>", "-o", "<http://ex/pizza>")
+	if !strings.Contains(out, "changed=true") || !strings.Contains(out, "triples=6") {
+		t.Fatalf("delete output: %q", out)
+	}
+	runOK(t, "merge", "-store", idx)
+	out = runOK(t, "query", "-store", idx, "-s", "<http://ex/dave>")
+	if !strings.Contains(out, "-- 0 matches") {
+		t.Fatalf("query after delete+merge: %q", out)
+	}
+}
+
 // TestEndToEnd drives the full CLI round trip — build an index from
 // N-Triples, inspect it, resolve a pattern, execute a BGP join — against
 // a store file in a temp dir, for every layout.

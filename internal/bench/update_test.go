@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestUpdateThroughput runs the amortized-update experiment at unit-test
+// scale and sanity-checks the table: one row per threshold, positive
+// insert throughput, and merges occurring once the write stream exceeds
+// the smallest threshold.
+func TestUpdateThroughput(t *testing.T) {
+	cfg := Config{Triples: 6000, Queries: 300, Runs: 1, Seed: 1}
+	tables, err := UpdateThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Rows) != len(updateThresholds) {
+		t.Fatalf("want %d rows, got %d", len(updateThresholds), len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tb.Header))
+		}
+		ips, err := strconv.ParseFloat(delimitedToPlain(row[1]), 64)
+		if err != nil || ips <= 0 {
+			t.Fatalf("row %d: inserts/sec %q not positive", i, row[1])
+		}
+	}
+	// 4*Queries = 1200 inserts exceed the smallest threshold (1024), so
+	// the first row must report at least one merge.
+	merges, err := strconv.Atoi(delimitedToPlain(tb.Rows[0][2]))
+	if err != nil || merges < 1 {
+		t.Fatalf("smallest threshold reported %q merges, want >= 1", tb.Rows[0][2])
+	}
+}
+
+// delimitedToPlain strips the thousands separators the table formatter
+// may add to numeric cells.
+func delimitedToPlain(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -13,8 +13,10 @@ import (
 // concurrently without synchronization. All mutable query state lives in
 // the *Iterator values those calls return and in QueryCtx; both are
 // single-goroutine objects. DynamicIndex is the exception: its update log
-// is mutable, so Insert/Delete need external synchronization against
-// readers.
+// is mutable, so Insert/Delete need external synchronization, and
+// concurrent readers must query an immutable DynamicSnapshot (which
+// implements Index and this file's CtxSelecter) rather than the live
+// DynamicIndex — the RCU pattern internal/store publishes views with.
 //
 // QueryCtx is the pooled per-query scratch arena of that contract. A
 // query (an HTTP request, one benchmark probe, one BGP execution)

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"rdfindexes/internal/codec"
+	"rdfindexes/internal/trie"
 )
 
 // DynamicIndex implements the amortized update strategy sketched in
@@ -10,36 +13,59 @@ import (
 // in-memory log of insertions and deletions; queries consult both and
 // merge, and when the log reaches a threshold it is merged into a freshly
 // rebuilt static index.
+//
+// A DynamicIndex is single-writer: Insert, Delete and Merge need external
+// synchronization. Concurrent readers must not call Select on the index
+// directly while writes are possible; they take an immutable Snapshot
+// (O(1): the copy-on-write log slices are shared) and query that. The
+// serving stack in internal/store publishes snapshots through an atomic
+// pointer so the read path stays lock-free.
 type DynamicIndex struct {
 	layout    Layout
 	opts      []Option
 	threshold int
 
 	base    Index
-	added   []Triple // sorted, distinct, disjoint from base
-	deleted []Triple // sorted, distinct, all present in base
+	added   []Triple // SPO-sorted, distinct, disjoint from base
+	deleted []Triple // SPO-sorted, distinct, all present in base
 }
 
 // DefaultMergeThreshold is the default log size triggering a merge.
 const DefaultMergeThreshold = 1 << 16
 
 // NewDynamic builds a dynamic index over an initial dataset. threshold
-// <= 0 selects DefaultMergeThreshold.
+// == 0 selects DefaultMergeThreshold; threshold < 0 disables automatic
+// merging entirely (the caller drives Merge, as the persistent store
+// does to fold dictionaries and rewrite files atomically).
 func NewDynamic(d *Dataset, layout Layout, threshold int, opts ...Option) (*DynamicIndex, error) {
-	if threshold <= 0 {
-		threshold = DefaultMergeThreshold
-	}
 	base, err := Build(d, layout, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{layout: layout, opts: opts, threshold: threshold, base: base}, nil
+	return NewDynamicFromIndex(base, threshold, opts...), nil
+}
+
+// NewDynamicFromIndex wraps an already-built static index (e.g. one
+// loaded from disk) with an empty update log. Threshold semantics match
+// NewDynamic.
+func NewDynamicFromIndex(base Index, threshold int, opts ...Option) *DynamicIndex {
+	if threshold == 0 {
+		threshold = DefaultMergeThreshold
+	}
+	return &DynamicIndex{layout: base.Layout(), opts: opts, threshold: threshold, base: base}
 }
 
 // Layout returns the layout of the underlying static index.
 func (x *DynamicIndex) Layout() Layout { return x.layout }
 
+// Base returns the current static index. It is replaced wholesale by
+// Merge, never mutated.
+func (x *DynamicIndex) Base() Index { return x.base }
+
 // NumTriples returns the logical triple count (base + inserted - deleted).
+// The Insert/Delete invariants — added is disjoint from the base, deleted
+// is a subset of the base, and the two logs are disjoint — make the sum
+// exact.
 func (x *DynamicIndex) NumTriples() int {
 	return x.base.NumTriples() + len(x.added) - len(x.deleted)
 }
@@ -47,9 +73,16 @@ func (x *DynamicIndex) NumTriples() int {
 // LogSize returns the number of pending updates.
 func (x *DynamicIndex) LogSize() int { return len(x.added) + len(x.deleted) }
 
-// SizeBits returns the static index footprint plus the log.
+// logBits is the in-memory charge per pending log entry: one Triple
+// (3 x 32 bits).
+const logBits = 96
+
+// SizeBits returns the static index footprint plus the log: every pending
+// insertion and deletion is charged at logBits, so /stats and the
+// bits/triple gate see the update log the moment dynamic indexes are
+// served.
 func (x *DynamicIndex) SizeBits() uint64 {
-	return x.base.SizeBits() + uint64(len(x.added)+len(x.deleted))*96
+	return x.base.SizeBits() + uint64(len(x.added)+len(x.deleted))*logBits
 }
 
 func searchTriple(ts []Triple, t Triple) (int, bool) {
@@ -57,16 +90,23 @@ func searchTriple(ts []Triple, t Triple) (int, bool) {
 	return i, i < len(ts) && ts[i] == t
 }
 
+// insertAt and removeAt are copy-on-write: they build a fresh slice
+// instead of shifting in place (same O(n) cost), so log slices handed
+// out by Snapshot — and captured by in-flight Select iterators — are
+// never mutated by later writes. That is what makes Snapshot O(1).
+
 func insertAt(ts []Triple, i int, t Triple) []Triple {
-	ts = append(ts, Triple{})
-	copy(ts[i+1:], ts[i:])
-	ts[i] = t
-	return ts
+	out := make([]Triple, len(ts)+1)
+	copy(out, ts[:i])
+	out[i] = t
+	copy(out[i+1:], ts[i:])
+	return out
 }
 
 func removeAt(ts []Triple, i int) []Triple {
-	copy(ts[i:], ts[i+1:])
-	return ts[:len(ts)-1]
+	out := make([]Triple, 0, len(ts)-1)
+	out = append(out, ts[:i]...)
+	return append(out, ts[i+1:]...)
 }
 
 // Insert adds a triple. It returns true if the logical set changed, and
@@ -106,7 +146,7 @@ func (x *DynamicIndex) Delete(t Triple) (bool, error) {
 }
 
 func (x *DynamicIndex) maybeMerge() error {
-	if x.LogSize() < x.threshold {
+	if x.threshold < 0 || x.LogSize() < x.threshold {
 		return nil
 	}
 	return x.Merge()
@@ -119,19 +159,7 @@ func (x *DynamicIndex) Merge() error {
 	if x.LogSize() == 0 {
 		return nil
 	}
-	merged := make([]Triple, 0, x.NumTriples())
-	it := x.base.Select(Pattern{Wildcard, Wildcard, Wildcard})
-	for {
-		t, ok := it.Next()
-		if !ok {
-			break
-		}
-		if _, del := searchTriple(x.deleted, t); !del {
-			merged = append(merged, t)
-		}
-	}
-	merged = append(merged, x.added...)
-	d := NewDataset(merged)
+	d := NewDataset(x.LiveTriples())
 	base, err := Build(d, x.layout, x.opts...)
 	if err != nil {
 		return fmt.Errorf("core: merge rebuild failed: %w", err)
@@ -142,42 +170,257 @@ func (x *DynamicIndex) Merge() error {
 	return nil
 }
 
-// Select resolves a pattern against the static index and the log: base
-// matches not pending deletion, then log insertions matching the
-// pattern ("queries also need to involve both indexes and their results
-// have to be merged accordingly").
+// LiveTriples materializes the logical triple set: base matches not
+// pending deletion, plus the insertion log. The persistent store uses it
+// to rebuild the static index with remapped dictionary IDs at merge.
+func (x *DynamicIndex) LiveTriples() []Triple {
+	out := make([]Triple, 0, x.NumTriples())
+	it := x.base.Select(Pattern{Wildcard, Wildcard, Wildcard})
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if _, del := searchTriple(x.deleted, t); !del {
+			out = append(out, t)
+		}
+	}
+	return append(out, x.added...)
+}
+
+// Snapshot returns an immutable view of the current logical state, in
+// O(1): the base index is shared (it is never mutated, only replaced),
+// and the log slices are shared too, because every write replaces them
+// copy-on-write (see insertAt/removeAt) rather than shifting in place.
+func (x *DynamicIndex) Snapshot() *DynamicSnapshot {
+	return &DynamicSnapshot{
+		layout:  x.layout,
+		base:    x.base,
+		added:   x.added,
+		deleted: x.deleted,
+	}
+}
+
+// Select resolves a pattern against the static index and the log with
+// the same two-way sorted merge as DynamicSnapshot.Select. The slices
+// captured here are never mutated in place (copy-on-write writes), so
+// the iterator stays valid even if the externally synchronized writer
+// advances before it drains.
 func (x *DynamicIndex) Select(p Pattern) *Iterator {
-	baseIt := x.base.Select(p)
-	deleted := x.deleted
-	inBase := true
-	addPos := 0
-	added := x.added
-	return NewIterator(func() (Triple, bool) {
-		if inBase {
-			for {
-				t, ok := baseIt.Next()
-				if !ok {
-					inBase = false
-					break
-				}
-				if _, del := searchTriple(deleted, t); !del {
-					return t, true
-				}
-			}
-		}
-		for addPos < len(added) {
-			t := added[addPos]
-			addPos++
-			if p.Matches(t) {
-				return t, true
-			}
-		}
-		return Triple{}, false
-	})
+	return selectMerged(x.layout, x.base, x.added, x.deleted, p, nil)
 }
 
 // Lookup reports whether the dynamic index contains t.
 func (x *DynamicIndex) Lookup(t Triple) bool {
-	_, ok := x.Select(PatternOf(t)).Next()
-	return ok
+	if _, ok := searchTriple(x.added, t); ok {
+		return true
+	}
+	if _, ok := searchTriple(x.deleted, t); ok {
+		return false
+	}
+	return Lookup(x.base, t)
+}
+
+// emitPerm returns the permutation order in which the layout's Select
+// emits the triples of a pattern shape. It mirrors the SelectCtx dispatch
+// of each index: every selection algorithm walks one trie (or the PS
+// structure) in its lexicographic order, and the CC layout's
+// cross-compressed levels store sibling ranks, which are monotone in the
+// original IDs, so mapped tries emit in the same order as plain ones.
+// Fully-bound SPO lookups emit at most one triple; any perm works.
+func emitPerm(l Layout, s Shape) Perm {
+	switch l {
+	case Layout3T, LayoutCC:
+		switch s {
+		case ShapeSxO, ShapexxO:
+			return PermOSP
+		case ShapexPO, ShapexPx:
+			return PermPOS
+		default:
+			return PermSPO
+		}
+	case Layout2Tp:
+		switch s {
+		case ShapexPO, ShapexPx, ShapexxO:
+			// ??O is resolved by the inverted scan over the POS trie:
+			// ascending predicate, then subject, for the fixed object.
+			return PermPOS
+		default:
+			// S?O enumerates ascending predicates for fixed (s, o), which
+			// coincides with SPO order.
+			return PermSPO
+		}
+	default: // Layout2To
+		switch s {
+		case ShapexPO, ShapexxO:
+			return PermOPS
+		case ShapexPx:
+			// ?P? walks the PS structure: ascending subject, then object,
+			// for the fixed predicate.
+			return PermPSO
+		default:
+			return PermSPO
+		}
+	}
+}
+
+// matchingRange narrows an SPO-sorted log slice to the smallest
+// contiguous range that can contain matches of p: a (S) or (S, P)
+// prefix binary search when those components are bound, the whole slice
+// otherwise. Entries inside the range still need a Matches filter; the
+// point is that fully- and subject-bound patterns — the bulk of point
+// queries and BGP inner loops — stop paying a scan over the entire log.
+func matchingRange(ts []Triple, p Pattern) []Triple {
+	if p.S == Wildcard {
+		return ts
+	}
+	lo := sort.Search(len(ts), func(i int) bool { return ts[i].S >= p.S })
+	hi := lo + sort.Search(len(ts)-lo, func(i int) bool { return ts[lo+i].S > p.S })
+	ts = ts[lo:hi]
+	if p.P == Wildcard {
+		return ts
+	}
+	lo = sort.Search(len(ts), func(i int) bool {
+		return ts[i].P >= p.P
+	})
+	hi = lo + sort.Search(len(ts)-lo, func(i int) bool { return ts[lo+i].P > p.P })
+	return ts[lo:hi]
+}
+
+// permLess reports whether t precedes u in the permutation's
+// lexicographic order.
+func permLess(p Perm, t, u Triple) bool {
+	ta, tb, tc := p.Apply(t)
+	ua, ub, uc := p.Apply(u)
+	if ta != ua {
+		return ta < ua
+	}
+	if tb != ub {
+		return tb < ub
+	}
+	return tc < uc
+}
+
+// DynamicSnapshot is an immutable point-in-time view of a DynamicIndex.
+// It implements Index (and CtxSelecter), so the whole read stack —
+// pooled QueryCtx selection, the SPARQL executor, the HTTP server —
+// serves it exactly like a static index while a single writer keeps
+// advancing the live DynamicIndex underneath.
+type DynamicSnapshot struct {
+	layout  Layout
+	base    Index
+	added   []Triple // SPO-sorted, distinct, disjoint from base
+	deleted []Triple // SPO-sorted, distinct, all present in base
+}
+
+// Layout returns the layout of the underlying static index.
+func (x *DynamicSnapshot) Layout() Layout { return x.layout }
+
+// Base returns the shared static index of the snapshot.
+func (x *DynamicSnapshot) Base() Index { return x.base }
+
+// LogSize returns the number of pending updates in the snapshot.
+func (x *DynamicSnapshot) LogSize() int { return len(x.added) + len(x.deleted) }
+
+// NumTriples returns the logical triple count.
+func (x *DynamicSnapshot) NumTriples() int {
+	return x.base.NumTriples() + len(x.added) - len(x.deleted)
+}
+
+// SizeBits returns the static index footprint plus the log.
+func (x *DynamicSnapshot) SizeBits() uint64 {
+	return x.base.SizeBits() + uint64(len(x.added)+len(x.deleted))*logBits
+}
+
+// Trie exposes the base index's materialized permutations. The log is
+// not trie-shaped, so callers see the static core only; statistics over
+// a snapshot should prefer NumTriples/SizeBits.
+func (x *DynamicSnapshot) Trie(p Perm) *trie.Trie { return x.base.Trie(p) }
+
+// encode is deliberately unsupported: a snapshot is a serving view, not a
+// storage format. The persistent store serializes the merged base index
+// and recovers the log from its WAL.
+func (x *DynamicSnapshot) encode(*codec.Writer) {
+	panic("core: DynamicSnapshot is not serializable; merge and encode the base index")
+}
+
+// Lookup reports whether the snapshot contains t.
+func (x *DynamicSnapshot) Lookup(t Triple) bool {
+	if _, ok := searchTriple(x.added, t); ok {
+		return true
+	}
+	if _, ok := searchTriple(x.deleted, t); ok {
+		return false
+	}
+	return Lookup(x.base, t)
+}
+
+// Select resolves a pattern against the base index and the log with a
+// two-way sorted merge ("queries also need to involve both indexes and
+// their results have to be merged accordingly"): base results arrive in
+// the layout's emission order for the shape, the matching slice of the
+// SPO-sorted insertion log is re-sorted into that same order, and
+// base-side matches pending deletion are skipped.
+func (x *DynamicSnapshot) Select(p Pattern) *Iterator { return x.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select, drawing base-index scratch
+// from c (which may be nil).
+func (x *DynamicSnapshot) SelectCtx(p Pattern, c *QueryCtx) *Iterator {
+	return selectMerged(x.layout, x.base, x.added, x.deleted, p, c)
+}
+
+// selectMerged builds the merged log+base iterator shared by
+// DynamicIndex.Select and DynamicSnapshot.SelectCtx. added and deleted
+// must stay unmutated while the iterator is live.
+func selectMerged(layout Layout, base Index, added, deleted []Triple, p Pattern, c *QueryCtx) *Iterator {
+	if len(added) == 0 && len(deleted) == 0 {
+		return SelectWithCtx(base, p, c)
+	}
+	perm := emitPerm(layout, p.Shape())
+	var add []Triple
+	for _, t := range matchingRange(added, p) {
+		if p.Matches(t) {
+			add = append(add, t)
+		}
+	}
+	if len(add) > 1 {
+		sort.Slice(add, func(i, j int) bool { return permLess(perm, add[i], add[j]) })
+	}
+	baseIt := SelectWithCtx(base, p, c)
+	var pend Triple
+	havePend := false
+	baseDone := false
+	addPos := 0
+	return NewIterator(func() (Triple, bool) {
+		if !havePend && !baseDone {
+			for {
+				t, ok := baseIt.Next()
+				if !ok {
+					baseDone = true
+					break
+				}
+				if _, del := searchTriple(deleted, t); !del {
+					pend, havePend = t, true
+					break
+				}
+			}
+		}
+		if havePend {
+			// The insertion log is disjoint from the base, so the merge
+			// never sees equal keys.
+			if addPos < len(add) && permLess(perm, add[addPos], pend) {
+				t := add[addPos]
+				addPos++
+				return t, true
+			}
+			havePend = false
+			return pend, true
+		}
+		if addPos < len(add) {
+			t := add[addPos]
+			addPos++
+			return t, true
+		}
+		return Triple{}, false
+	})
 }

@@ -11,8 +11,13 @@ import (
 // format version.
 const indexMagic = "RDFIDX1"
 
-// WriteIndex serializes any index layout to w with a versioned header.
+// WriteIndex serializes any static index layout to w with a versioned
+// header. Dynamic serving snapshots are views, not storage: merge the
+// log and serialize the base index instead.
 func WriteIndex(w io.Writer, x Index) error {
+	if _, ok := x.(*DynamicSnapshot); ok {
+		return fmt.Errorf("core: a DynamicSnapshot is not serializable; merge and write the base index")
+	}
 	cw := codec.NewWriter(w)
 	cw.String(indexMagic)
 	cw.Byte(byte(x.Layout()))

@@ -22,6 +22,20 @@ import (
 // against lookup latency (a lookup scans one bucket).
 const DefaultBucketSize = 16
 
+// Reader is the read side shared by the immutable front-coded Dict and
+// the mutable Overlay: everything the query path (term resolution,
+// result rendering, statistics) needs, and nothing the write path adds.
+type Reader interface {
+	// Len returns the number of strings.
+	Len() int
+	// Locate returns the ID of s, or ok=false if absent.
+	Locate(s string) (int, bool)
+	// Extract returns the string with the given ID.
+	Extract(id int) (string, bool)
+	// SizeBits returns the storage footprint in bits.
+	SizeBits() uint64
+}
+
 // Dict is an immutable front-coded dictionary. IDs are the ranks of the
 // strings in sorted order, starting at 0.
 type Dict struct {

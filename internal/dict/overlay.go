@@ -1,0 +1,133 @@
+package dict
+
+import "sort"
+
+// Overlay extends an immutable front-coded base dictionary with a small
+// mutable set of strings added at serve time, sharing one dense ID
+// space: base strings keep their ranks [0, base.Len()) and overlay
+// strings are numbered on from base.Len() in arrival order, so IDs
+// already embedded in indexed triples and update logs stay stable until
+// the overlay is folded into a rebuilt front-coded dictionary at merge
+// (which remaps every ID; see Fold).
+//
+// Concurrency follows the RCU discipline of the serving stack: a single
+// writer calls Add, and readers work on View copies published through an
+// atomic pointer. Add never mutates state a previously published View
+// can observe — the arrival slice only grows past the view's length and
+// the sorted rank index is rebuilt copy-on-write — so views need no
+// locking.
+type Overlay struct {
+	base  *Dict
+	added []string // overlay strings in arrival order; ID = base.Len()+i
+	byStr []int32  // overlay IDs sorted by string; copied on every Add
+}
+
+// NewOverlay wraps an immutable base dictionary with an empty overlay.
+func NewOverlay(base *Dict) *Overlay {
+	return &Overlay{base: base}
+}
+
+// Base returns the immutable base dictionary.
+func (o *Overlay) Base() *Dict { return o.base }
+
+// Len returns the total number of strings (base + overlay).
+func (o *Overlay) Len() int { return o.base.Len() + len(o.added) }
+
+// AddedLen returns the number of overlay strings pending a fold.
+func (o *Overlay) AddedLen() int { return len(o.added) }
+
+// str returns the overlay string with the given overlay rank index.
+func (o *Overlay) str(i int32) string { return o.added[i] }
+
+// Locate returns the ID of s, or ok=false if absent from both the base
+// and the overlay.
+func (o *Overlay) Locate(s string) (int, bool) {
+	if id, ok := o.base.Locate(s); ok {
+		return id, true
+	}
+	i := sort.Search(len(o.byStr), func(j int) bool { return o.str(o.byStr[j]) >= s })
+	if i < len(o.byStr) && o.str(o.byStr[i]) == s {
+		return o.base.Len() + int(o.byStr[i]), true
+	}
+	return 0, false
+}
+
+// Extract returns the string with the given ID.
+func (o *Overlay) Extract(id int) (string, bool) {
+	if id < o.base.Len() {
+		return o.base.Extract(id)
+	}
+	if i := id - o.base.Len(); i < len(o.added) {
+		return o.added[i], true
+	}
+	return "", false
+}
+
+// Add returns the ID of s, assigning the next free ID when the string is
+// new. Only the single writer may call Add; published views are
+// unaffected (copy-on-write, see the type comment).
+func (o *Overlay) Add(s string) int {
+	if id, ok := o.base.Locate(s); ok {
+		return id
+	}
+	i := sort.Search(len(o.byStr), func(j int) bool { return o.str(o.byStr[j]) >= s })
+	if i < len(o.byStr) && o.str(o.byStr[i]) == s {
+		return o.base.Len() + int(o.byStr[i])
+	}
+	id := len(o.added)
+	o.added = append(o.added, s)
+	byStr := make([]int32, len(o.byStr)+1)
+	copy(byStr, o.byStr[:i])
+	byStr[i] = int32(id)
+	copy(byStr[i+1:], o.byStr[i:])
+	o.byStr = byStr
+	return o.base.Len() + id
+}
+
+// View returns an immutable snapshot of the overlay for concurrent
+// readers. The copy shares the slices; the writer's next Add will not
+// disturb them.
+func (o *Overlay) View() *Overlay {
+	v := *o
+	return &v
+}
+
+// SizeBits returns the base footprint plus the in-memory overlay charge
+// (string bytes plus the rank index entry per added string).
+func (o *Overlay) SizeBits() uint64 {
+	bits := o.base.SizeBits()
+	for _, s := range o.added {
+		bits += uint64(len(s))*8 + 32
+	}
+	return bits
+}
+
+// Fold rebuilds one front-coded dictionary over the union of base and
+// overlay strings and returns it together with the old-ID-to-new-ID
+// mapping (indexed by old ID, length Len()). The caller remaps every
+// triple that references the old ID space and starts a fresh overlay
+// over the returned dictionary.
+func (o *Overlay) Fold(bucketSize int) (*Dict, []int, error) {
+	all := make([]string, 0, o.Len())
+	for i := 0; i < o.base.Len(); i++ {
+		s, ok := o.base.Extract(i)
+		if !ok {
+			panic("dict: base dictionary ID out of range during fold")
+		}
+		all = append(all, s)
+	}
+	all = append(all, o.added...)
+	d, err := FromUnsorted(all, bucketSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapping := make([]int, len(all))
+	for oldID, s := range all {
+		newID, ok := d.Locate(s)
+		if !ok {
+			panic("dict: folded dictionary lost a string")
+		}
+		mapping[oldID] = newID
+	}
+	return d, mapping, nil
+}

@@ -42,7 +42,7 @@ func (t Term) String() string {
 	case BlankNode:
 		return "_:" + t.Value
 	default:
-		s := fmt.Sprintf("%q", t.Value)
+		s := quoteLiteral(t.Value)
 		if strings.HasPrefix(t.Qualifier, "@") {
 			return s + t.Qualifier
 		}
@@ -51,6 +51,35 @@ func (t Term) String() string {
 		}
 		return s
 	}
+}
+
+// quoteLiteral serializes a literal's lexical form using exactly the
+// escape set the parser decodes (\\ \" \n \r \t); other bytes pass
+// through raw. Emitting Go-style \x.. or \u.. escapes here would break
+// the Key round trip the write-ahead log depends on — the parser would
+// read them back as different characters.
+func quoteLiteral(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
 }
 
 // Key returns a canonical string for dictionary encoding.
@@ -192,6 +221,23 @@ func (p *lineParser) term() (Term, error) {
 	return Term{}, fmt.Errorf("rdf: unexpected character %q in %q", p.peek(), p.s)
 }
 
+// ParseTerm parses exactly one N-Triples term (IRI, blank node, or
+// literal with optional language tag or datatype), requiring the whole
+// string to be consumed. The write path uses it to canonicalize
+// user-supplied terms before dictionary lookup and WAL logging.
+func ParseTerm(s string) (Term, error) {
+	p := &lineParser{s: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipSpace()
+	if !p.done() {
+		return Term{}, fmt.Errorf("rdf: trailing input after term in %q", s)
+	}
+	return t, nil
+}
+
 // ParseAll reads N-Triples statements from r, skipping comments and blank
 // lines.
 func ParseAll(r io.Reader) ([]Statement, error) {
@@ -214,10 +260,13 @@ func ParseAll(r io.Reader) ([]Statement, error) {
 
 // Dicts holds the three component dictionaries. Subjects and objects
 // share one dictionary (entities commonly appear in both positions, and
-// joins require a shared ID space); predicates get their own.
+// joins require a shared ID space); predicates get their own. The fields
+// are dict.Reader so a serving view can substitute overlay-extended
+// dictionaries (immutable front-coded base + in-memory additions) for
+// the plain front-coded ones the build path produces.
 type Dicts struct {
-	SO *dict.Dict
-	P  *dict.Dict
+	SO dict.Reader
+	P  dict.Reader
 }
 
 // Encode dictionary-encodes statements into an integer dataset plus its

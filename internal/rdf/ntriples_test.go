@@ -93,6 +93,38 @@ func TestStatementStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTermKeyRoundTrip pins Parse(Term.Key()) = Term for literals with
+// bytes %q-style serialization would escape in ways the parser does not
+// decode — the invariant the write-ahead log's term records depend on.
+func TestTermKeyRoundTrip(t *testing.T) {
+	values := []string{
+		"plain",
+		"with \"quotes\" and \\backslash\\",
+		"tab\there\nnewline\rcr",
+		"control \x01 byte and del \x7f",
+		"utf8 héllo ✓",
+		"",
+	}
+	for _, v := range values {
+		for _, term := range []Term{
+			{Kind: Literal, Value: v},
+			{Kind: Literal, Value: v, Qualifier: "@en"},
+			{Kind: Literal, Value: v, Qualifier: "http://t"},
+		} {
+			back, err := ParseTerm(term.Key())
+			if err != nil {
+				t.Fatalf("ParseTerm(%q): %v", term.Key(), err)
+			}
+			if back != term {
+				t.Fatalf("round trip changed %+v to %+v (key %q)", term, back, term.Key())
+			}
+			if back.Key() != term.Key() {
+				t.Fatalf("key not stable: %q vs %q", term.Key(), back.Key())
+			}
+		}
+	}
+}
+
 const sampleNT = `# sample graph
 <http://ex/alice> <http://ex/knows> <http://ex/bob> .
 <http://ex/bob> <http://ex/knows> <http://ex/carol> .

@@ -65,6 +65,18 @@ func (c *lruCache[V]) Put(key string, val V) {
 	}
 }
 
+// Clear drops every cached entry (write invalidation); the hit/miss
+// counters survive.
+func (c *lruCache[V]) Clear() {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}
+
 // Len returns the number of cached entries.
 func (c *lruCache[V]) Len() int {
 	if c == nil || c.cap <= 0 {

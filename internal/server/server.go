@@ -1,23 +1,29 @@
 // Package server exposes a loaded store over HTTP for concurrent query
-// serving. The index is immutable after construction (see the
-// concurrency contract in internal/core), so the server shares one store
-// across all requests with no locking on the read path: each request
-// draws a pooled core.QueryCtx for its scratch, executes under a
-// deadline, and streams results as NDJSON.
+// serving. Every view served is immutable (see the concurrency contract
+// in internal/core), so requests share it with no locking on the read
+// path: each request draws a pooled core.QueryCtx for its scratch,
+// executes under a deadline, and streams results as NDJSON. A server
+// over a store.Mutable additionally accepts single-writer updates; reads
+// then resolve against the RCU-published snapshot view current at
+// request start.
 //
 // Endpoints:
 //
-//	GET /query?s=&p=&o=&limit=   triple selection pattern -> NDJSON triples
-//	GET /sparql?q=&limit=        BGP query -> NDJSON solutions (POST form works too)
-//	GET /stats                   store + server statistics as JSON
-//	GET /healthz                 liveness probe
+//	GET  /query?s=&p=&o=&limit=   triple selection pattern -> NDJSON triples
+//	GET  /sparql?q=&limit=        BGP query -> NDJSON solutions (POST form works too)
+//	POST /insert?s=&p=&o=         add one triple (mutable stores; new terms allowed)
+//	POST /delete?s=&p=&o=         remove one triple (mutable stores)
+//	GET  /stats                   store + server statistics as JSON
+//	GET  /healthz                 liveness probe
 //
 // Admission is a bounded worker pool: at most Config.Workers queries
 // execute at once, later arrivals queue on their request context and are
 // rejected with 503 when it expires before a slot frees. Repeated
 // queries are answered from an LRU result cache keyed on the normalized
 // (dictionary-resolved) query text without touching the index; BGP
-// evaluation orders are cached in a separate plan cache.
+// evaluation orders are cached in a separate plan cache. Both keys carry
+// the store's write generation, and every changing write flushes both
+// caches, so a write is never answered with pre-write results.
 package server
 
 import (
@@ -74,9 +80,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server answers pattern and BGP queries over one shared immutable store.
+// Server answers pattern and BGP queries over one shared store: either a
+// fixed immutable store, or a mutable store whose reads go through
+// RCU-published snapshot views and whose writes arrive on /insert and
+// /delete.
 type Server struct {
-	st  *store.Store
+	st  *store.Store   // fixed read-only store (nil when mut is set)
+	mut *store.Mutable // updatable store (nil when read-only)
 	cfg Config
 	mux *http.ServeMux
 
@@ -87,15 +97,31 @@ type Server struct {
 	start    time.Time
 	queries  atomic.Uint64 // pattern queries accepted
 	sparqls  atomic.Uint64 // BGP queries accepted
+	inserts  atomic.Uint64 // /insert requests accepted
+	deletes  atomic.Uint64 // /delete requests accepted
 	rejected atomic.Uint64 // 503s (pool saturated past deadline)
 	failed   atomic.Uint64 // requests ending in an error
 }
 
-// New builds a server over a loaded store.
+// New builds a read-only server over a loaded store.
 func New(st *store.Store, cfg Config) *Server {
+	s := newServer(cfg)
+	s.st = st
+	return s
+}
+
+// NewMutable builds a server over an updatable store: reads resolve
+// against the store's current snapshot view, and the /insert and
+// /delete endpoints accept writes.
+func NewMutable(m *store.Mutable, cfg Config) *Server {
+	s := newServer(cfg)
+	s.mut = m
+	return s
+}
+
+func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		st:      st,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.Workers),
 		results: newLRU[[]byte](cfg.CacheEntries),
@@ -105,9 +131,25 @@ func New(st *store.Store, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/insert", s.handleInsert)
+	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// view returns the store snapshot a request should serve from, plus the
+// write generation it belongs to. The generation is stamped inside the
+// atomically-published view, so the pair is read with one pointer load
+// — a concurrent write (or merge, which remaps dictionary IDs) cannot
+// tear it and make a cache key describe IDs from a different view. A
+// fixed store is its own immortal snapshot at generation 0.
+func (s *Server) view() (*store.Store, uint64) {
+	if s.mut != nil {
+		st := s.mut.View()
+		return st, st.Gen
+	}
+	return s.st, 0
 }
 
 // ServeHTTP implements http.Handler.
@@ -144,6 +186,8 @@ func httpError(w http.ResponseWriter, status int, err error) {
 }
 
 // parseLimit reads the limit form value; absent means unlimited (-1).
+// Explicit negative limits are rejected — only absence spells
+// "unlimited" — and limit=0 is valid: zero result rows, summary only.
 func parseLimit(r *http.Request) (int, error) {
 	v := r.FormValue("limit")
 	if v == "" {
@@ -152,6 +196,9 @@ func parseLimit(r *http.Request) (int, error) {
 	n, err := strconv.Atoi(v)
 	if err != nil {
 		return 0, fmt.Errorf("limit %q is not an integer", v)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("limit %d is negative; omit the parameter for unlimited", n)
 	}
 	return n, nil
 }
@@ -197,7 +244,8 @@ func serveCached(w http.ResponseWriter, body []byte) {
 // {"matches":n} summary line.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
-	pat, err := s.st.ParsePattern(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
+	st, gen := s.view()
+	pat, err := st.ParsePattern(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
 	if err != nil {
 		s.failed.Add(1)
 		httpError(w, http.StatusBadRequest, err)
@@ -211,8 +259,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The cache key is the normalized pattern: dictionary terms are
 	// already resolved to IDs, so lexically different spellings of the
-	// same pattern share an entry.
-	key := fmt.Sprintf("q|%d,%d,%d|%d", pat.S, pat.P, pat.O, limit)
+	// same pattern share an entry. The write generation prefixes the key,
+	// so entries cached before a write can never be served after it even
+	// if they race the explicit cache flush.
+	key := fmt.Sprintf("g%d|q|%d,%d,%d|%d", gen, pat.S, pat.P, pat.O, limit)
 	if body, ok := s.results.Get(key); ok {
 		serveCached(w, body)
 		return
@@ -235,7 +285,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Cache", "miss")
 	enc := json.NewEncoder(cw)
 
-	it := core.SelectWithCtx(s.st.Index, pat, qc)
+	it := core.SelectWithCtx(st.Index, pat, qc)
 	buf := qc.Batch()
 	matches, truncated := 0, false
 	var row tripleRow
@@ -258,7 +308,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		for _, t := range want[:k] {
-			row.set(s.st, t)
+			row.set(st, t)
 			enc.Encode(&row)
 		}
 		matches += k
@@ -302,6 +352,7 @@ type querySummary struct {
 // executor statistics.
 func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	s.sparqls.Add(1)
+	st, gen := s.view()
 	qs := r.FormValue("q")
 	if qs == "" {
 		s.failed.Add(1)
@@ -314,7 +365,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	translated, err := s.st.TranslateQuery(qs)
+	translated, err := st.TranslateQuery(qs)
 	if err != nil {
 		s.failed.Add(1)
 		httpError(w, http.StatusBadRequest, err)
@@ -327,8 +378,10 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// q.String() renders the dictionary-resolved BGP canonically, so it
-	// normalizes whitespace and spelling for both caches.
-	norm := q.String()
+	// normalizes whitespace and spelling for both caches. The generation
+	// prefix is load-bearing beyond staleness: a merge remaps dictionary
+	// IDs, so the same ID text means different terms across generations.
+	norm := fmt.Sprintf("g%d|%s", gen, q.String())
 	key := "s|" + norm + "|" + strconv.Itoa(limit)
 	if body, ok := s.results.Get(key); ok {
 		serveCached(w, body)
@@ -364,7 +417,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	execCtx, stop := context.WithCancel(ctx)
 	defer stop()
 	rows, truncated := 0, false
-	stats, err := sparql.ExecuteWithOrderContext(execCtx, q, ctxStore{x: s.st.Index, qc: qc}, order, func(b sparql.Bindings) {
+	stats, err := sparql.ExecuteWithOrderContext(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, func(b sparql.Bindings) {
 		if limit >= 0 && rows >= limit {
 			if !truncated {
 				truncated = true
@@ -375,7 +428,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		out := make(map[string]string, len(q.Vars))
 		for _, v := range q.Vars {
 			if id, ok := b[v]; ok {
-				out[v] = s.st.Render(id)
+				out[v] = st.Render(id)
 			}
 		}
 		enc.Encode(out)
@@ -407,6 +460,76 @@ type sparqlSummary struct {
 	PlanCached bool `json:"plan_cached"`
 }
 
+// handleInsert accepts POST /insert?s=&p=&o= with bound N-Triples terms
+// (or raw integer IDs on integer-only stores). Terms never seen before
+// are admitted via the overlay dictionaries. The response is the store's
+// WriteResult as JSON.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleWrite(w, r, true)
+}
+
+// handleDelete accepts POST /delete?s=&p=&o=. Deleting an absent triple
+// (including one with unknown terms) reports changed=false.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleWrite(w, r, false)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool) {
+	if s.mut == nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusForbidden, errors.New("store is read-only (serve a mutable store to enable writes)"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.failed.Add(1)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("writes require POST"))
+		return
+	}
+	// Writes go through the same bounded admission as reads: at most
+	// Workers requests contend for the store's writer mutex, and later
+	// arrivals 503 when their deadline passes first — a threshold merge
+	// holding the mutex for a rebuild must not pile up goroutines.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	var res store.WriteResult
+	var err error
+	if insert {
+		s.inserts.Add(1)
+		res, err = s.mut.Insert(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
+	} else {
+		s.deletes.Add(1)
+		res, err = s.mut.Delete(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
+	}
+	if err != nil {
+		s.failed.Add(1)
+		// Bad terms are the caller's fault; WAL or merge failures are
+		// server-side and must not masquerade as 400s (clients would
+		// drop instead of retry).
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrTerm) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	if res.Changed {
+		// The generation prefix already fences stale entries off the
+		// read path; flushing reclaims their memory immediately instead
+		// of waiting for LRU churn.
+		s.results.Clear()
+		s.plans.Clear()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
 // ctxStore adapts the shared index to the executor's Store interface,
 // routing every Select through the request's QueryCtx. SelectVarSorted
 // forwards to the index so merge-intersection joins keep working.
@@ -428,17 +551,25 @@ func (s ctxStore) SelectVarSorted(p core.Pattern) (*core.VarIter, bool) {
 	return nil, false
 }
 
-// Stats is the /stats document.
+// Stats is the /stats document. On a mutable store, Triples and
+// BitsPerTriple describe the current snapshot (static core plus pending
+// update log).
 type Stats struct {
 	Layout        string  `json:"layout"`
 	Triples       int     `json:"triples"`
 	BitsPerTriple float64 `json:"bits_per_triple"`
 	Dictionary    bool    `json:"dictionary"`
+	Mutable       bool    `json:"mutable"`
+	Generation    uint64  `json:"generation"`
+	LogSize       int     `json:"log_size"`
+	Merges        uint64  `json:"merges"`
 	Workers       int     `json:"workers"`
 	InFlight      int     `json:"in_flight"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Queries       uint64  `json:"queries"`
 	SparqlQueries uint64  `json:"sparql_queries"`
+	Inserts       uint64  `json:"inserts"`
+	Deletes       uint64  `json:"deletes"`
 	Rejected      uint64  `json:"rejected"`
 	Failed        uint64  `json:"failed"`
 	CacheEntries  int     `json:"cache_entries"`
@@ -450,16 +581,20 @@ type Stats struct {
 // Snapshot returns the current statistics.
 func (s *Server) Snapshot() Stats {
 	hits, misses := s.results.Counters()
-	return Stats{
-		Layout:        s.st.Index.Layout().String(),
-		Triples:       s.st.Index.NumTriples(),
-		BitsPerTriple: core.BitsPerTriple(s.st.Index),
-		Dictionary:    s.st.Dicts != nil,
+	st, gen := s.view()
+	stats := Stats{
+		Layout:        st.Index.Layout().String(),
+		Triples:       st.Index.NumTriples(),
+		BitsPerTriple: core.BitsPerTriple(st.Index),
+		Dictionary:    st.Dicts != nil,
+		Generation:    gen,
 		Workers:       s.cfg.Workers,
 		InFlight:      len(s.sem),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		SparqlQueries: s.sparqls.Load(),
+		Inserts:       s.inserts.Load(),
+		Deletes:       s.deletes.Load(),
 		Rejected:      s.rejected.Load(),
 		Failed:        s.failed.Load(),
 		CacheEntries:  s.results.Len(),
@@ -467,6 +602,14 @@ func (s *Server) Snapshot() Stats {
 		CacheMisses:   misses,
 		PlanEntries:   s.plans.Len(),
 	}
+	if s.mut != nil {
+		stats.Mutable = true
+		stats.Merges = s.mut.Merges()
+		if dyn, ok := st.Index.(*core.DynamicSnapshot); ok {
+			stats.LogSize = dyn.LogSize()
+		}
+	}
+	return stats
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -302,6 +304,329 @@ func TestServerSharedStoreStress(t *testing.T) {
 	s := srv.Snapshot()
 	if s.CacheHits == 0 {
 		t.Fatalf("stress run produced no cache hits: %+v", s)
+	}
+}
+
+// mutableStore writes the testStore dataset to disk and opens it for
+// updates.
+func mutableStore(t testing.TB, dir string, people, likesPer, threshold int) *store.Mutable {
+	t.Helper()
+	st := testStore(t, people, likesPer)
+	path := filepath.Join(dir, "srv.idx")
+	if err := store.Write(path, st); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.OpenMutable(path, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func postForm(t *testing.T, ts *httptest.Server, path string, vals url.Values) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.PostForm(ts.URL+path, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return resp, sb.String()
+}
+
+// TestServerLimitValidation pins the limit parameter contract: negative
+// limits are a 400 (only absence means unlimited), and limit=0 yields
+// zero result rows plus the summary line.
+func TestServerLimitValidation(t *testing.T) {
+	st := testStore(t, 10, 2)
+	srv := New(st, Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/query?limit=-5",
+		"/query?limit=-1",
+		"/sparql?limit=-1&q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+	} {
+		resp, _ := get(t, ts, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	resp, body := get(t, ts, "/query?limit=0&s="+url.QueryEscape("<http://ex/p0>"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("limit=0 status %d", resp.StatusCode)
+	}
+	lines := ndjsonLines(t, body)
+	if len(lines) != 1 {
+		t.Fatalf("limit=0 returned %d lines, want summary only", len(lines))
+	}
+	if int(lines[0]["matches"].(float64)) != 0 || lines[0]["truncated"] != true {
+		t.Fatalf("limit=0 summary %v, want 0 matches and truncated", lines[0])
+	}
+
+	resp, body = get(t, ts, "/sparql?limit=0&q="+url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("sparql limit=0 status %d", resp.StatusCode)
+	}
+	lines = ndjsonLines(t, body)
+	if len(lines) != 1 || int(lines[0]["results"].(float64)) != 0 {
+		t.Fatalf("sparql limit=0 lines %v", lines)
+	}
+}
+
+// TestServerReadOnlyRejectsWrites checks the fixed-store server keeps
+// its immutability contract on the write endpoints.
+func TestServerReadOnlyRejectsWrites(t *testing.T) {
+	st := testStore(t, 10, 2)
+	srv := New(st, Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, _ := postForm(t, ts, "/insert", url.Values{
+		"s": {"<http://ex/x>"}, "p": {"<http://ex/knows>"}, "o": {"<http://ex/y>"},
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("read-only insert: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestServerWriteEndpoints is the end-to-end acceptance demo: serve a
+// built store, insert a triple with a brand-new IRI over HTTP, observe
+// it immediately on /query (cache invalidated), restart from the WAL
+// and still see it, then force a merge and check query results are
+// unchanged.
+func TestServerWriteEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	m := mutableStore(t, dir, 20, 2, 0)
+	srv := NewMutable(m, Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+
+	newbie := "<http://ex/newcomer>"
+	queryPath := "/query?s=" + url.QueryEscape(newbie)
+	knowsPath := "/query?p=" + url.QueryEscape("<http://ex/knows>")
+
+	// Unknown term: 400 before the insert. Warm the predicate query into
+	// the result cache so the invalidation is observable.
+	if resp, _ := get(t, ts, queryPath); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pre-insert query: status %d, want 400", resp.StatusCode)
+	}
+	_, knowsBefore := get(t, ts, knowsPath)
+	if resp, _ := get(t, ts, knowsPath); resp.Header.Get("X-Cache") != "hit" {
+		t.Fatal("warmup query not cached")
+	}
+
+	// GET on a write endpoint is rejected; POST inserts.
+	if resp, _ := get(t, ts, "/insert?s=x"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET insert: status %d, want 405", resp.StatusCode)
+	}
+	vals := url.Values{"s": {newbie}, "p": {"<http://ex/knows>"}, "o": {"<http://ex/p0>"}}
+	resp, body := postForm(t, ts, "/insert", vals)
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert: status %d body %s", resp.StatusCode, body)
+	}
+	var wr store.WriteResult
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &wr); err != nil {
+		t.Fatal(err)
+	}
+	if !wr.Changed || wr.LogSize != 1 {
+		t.Fatalf("insert result %+v", wr)
+	}
+
+	// The new triple is visible immediately, through both endpoints.
+	resp, body = get(t, ts, queryPath)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-insert query: status %d", resp.StatusCode)
+	}
+	lines := ndjsonLines(t, body)
+	if int(lines[len(lines)-1]["matches"].(float64)) != 1 {
+		t.Fatalf("post-insert matches %v", lines[len(lines)-1])
+	}
+	if lines[0]["s"] != newbie {
+		t.Fatalf("post-insert subject %v", lines[0]["s"])
+	}
+	// The cached predicate query was invalidated: fresh body, one more row.
+	resp, knowsAfter := get(t, ts, knowsPath)
+	if resp.Header.Get("X-Cache") == "hit" {
+		t.Fatal("stale cache entry served after insert")
+	}
+	if knowsAfter == knowsBefore {
+		t.Fatal("predicate query body unchanged after insert")
+	}
+	if n := srv.Snapshot(); !n.Mutable || n.Inserts != 1 || n.LogSize != 1 {
+		t.Fatalf("stats after insert: %+v", n)
+	}
+
+	// Restart: close the server and the store, reopen from disk + WAL.
+	ts.Close()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := store.OpenMutable(filepath.Join(dir, "srv.idx"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	srv = NewMutable(m2, Config{Workers: 4})
+	ts = httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body = get(t, ts, queryPath)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-restart query: status %d", resp.StatusCode)
+	}
+	lines = ndjsonLines(t, body)
+	if int(lines[len(lines)-1]["matches"].(float64)) != 1 {
+		t.Fatalf("WAL recovery lost the insert: %v", lines[len(lines)-1])
+	}
+	// A merge remaps dictionary IDs, which legitimately permutes the
+	// emission order; compare result sets, not byte streams.
+	sortedLines := func(body string) string {
+		ls := strings.Split(strings.TrimSpace(body), "\n")
+		sort.Strings(ls)
+		return strings.Join(ls, "\n")
+	}
+	_, fullBefore := get(t, ts, knowsPath)
+
+	// Forced merge folds the log into the static index; results hold.
+	if err := m2.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Snapshot(); n.LogSize != 0 || n.Merges != 1 {
+		t.Fatalf("stats after merge: %+v", n)
+	}
+	resp, body = get(t, ts, queryPath)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-merge query: status %d", resp.StatusCode)
+	}
+	lines = ndjsonLines(t, body)
+	if int(lines[len(lines)-1]["matches"].(float64)) != 1 {
+		t.Fatalf("merge lost the insert: %v", lines[len(lines)-1])
+	}
+	if _, fullAfter := get(t, ts, knowsPath); sortedLines(fullAfter) != sortedLines(fullBefore) {
+		t.Fatalf("merge changed rendered query results:\n%s\nvs\n%s", fullBefore, fullAfter)
+	}
+
+	// Delete through the API; the triple disappears.
+	resp, _ = postForm(t, ts, "/delete", vals)
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	_, body = get(t, ts, queryPath)
+	lines = ndjsonLines(t, body)
+	if int(lines[len(lines)-1]["matches"].(float64)) != 0 {
+		t.Fatalf("delete not visible: %v", lines[len(lines)-1])
+	}
+}
+
+// TestServerWriterReaderStress fires 16 concurrent readers mixing
+// pattern and BGP queries while one writer inserts and deletes through
+// the HTTP API; run with -race to enforce the RCU snapshot discipline
+// end to end (overlay dictionaries, dynamic snapshots, generation-keyed
+// caches). Readers check internal consistency (summary line matches row
+// count) since results legitimately change under their feet.
+func TestServerWriterReaderStress(t *testing.T) {
+	dir := t.TempDir()
+	m := mutableStore(t, dir, 40, 3, 64)
+	srv := NewMutable(m, Config{Workers: 8, CacheEntries: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	reads := []string{
+		"/query?s=" + url.QueryEscape("<http://ex/p1>"),
+		"/query?p=" + url.QueryEscape("<http://ex/knows>"),
+		"/query?o=" + url.QueryEscape("<http://ex/item2>"),
+		"/query",
+		"/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+		"/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
+		"/stats",
+	}
+
+	const readers = 16
+	const writes = 120
+	var wg sync.WaitGroup
+	errs := make(chan string, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			vals := url.Values{
+				"s": {fmt.Sprintf("<http://ex/w%d>", i%17)},
+				"p": {"<http://ex/knows>"},
+				"o": {fmt.Sprintf("<http://ex/p%d>", i%40)},
+			}
+			path := "/insert"
+			if i%3 == 2 {
+				path = "/delete"
+			}
+			resp, err := http.PostForm(ts.URL+path, vals)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Sprintf("%s: status %d", path, resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				qp := reads[rng.Intn(len(reads))]
+				resp, err := http.Get(ts.URL + qp)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var sb strings.Builder
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<24)
+				for sc.Scan() {
+					sb.WriteString(sc.Text())
+					sb.WriteByte('\n')
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Sprintf("%s: status %d", qp, resp.StatusCode)
+					return
+				}
+				if strings.HasPrefix(qp, "/query") {
+					lines := ndjsonLines(t, sb.String())
+					last := lines[len(lines)-1]
+					n, ok := last["matches"]
+					if !ok {
+						errs <- fmt.Sprintf("%s: no summary line: %v", qp, last)
+						return
+					}
+					if int(n.(float64)) != len(lines)-1 {
+						errs <- fmt.Sprintf("%s: summary %v but %d rows", qp, n, len(lines)-1)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if s := srv.Snapshot(); s.Inserts == 0 || s.Generation == 0 {
+		t.Fatalf("writer made no progress: %+v", s)
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock semantics; the
+// single-writer guarantee then only holds within one process.
+func flockExclusive(*os.File) error { return nil }

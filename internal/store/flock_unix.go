@@ -1,0 +1,15 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f,
+// held until the file handle closes (including on process death, which
+// is what makes it safe as a liveness-scoped store lock).
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,638 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/dict"
+	"rdfindexes/internal/rdf"
+)
+
+// Mutable is the updatable serving store: the immutable on-disk Store
+// (static index + front-coded dictionaries) extended with the paper's
+// Section 3.1 amortized-update machinery, wired for concurrent serving.
+//
+//   - Writes go through a single-writer mutex into a core.DynamicIndex
+//     log; triples may use never-before-seen terms, which are assigned
+//     IDs by overlay dictionaries (immutable base + in-memory additions
+//     sharing one ID space).
+//   - Every accepted write is appended to a write-ahead log next to the
+//     store file, so a restarted server recovers the pending log by
+//     replaying it through the identical code path (the overlay assigns
+//     the same IDs in the same order).
+//   - Readers never lock: each write publishes a fresh immutable view —
+//     a *Store whose Index is a core.DynamicSnapshot and whose Dicts are
+//     overlay views — through an atomic pointer (RCU), so the pooled
+//     zero-allocation read path of internal/core keeps holding.
+//   - When the log reaches the merge threshold, the overlay dictionaries
+//     are folded into rebuilt front-coded ones, every live triple is
+//     remapped into the new ID space, the static index is rebuilt, the
+//     store file is rewritten atomically (temp file + rename), and the
+//     WAL is truncated.
+type Mutable struct {
+	mu        sync.Mutex // serializes writers and merges
+	path      string
+	walPath   string
+	wal       *os.File
+	threshold int
+	layout    core.Layout
+
+	dyn *core.DynamicIndex
+	so  *dict.Overlay // nil for integer-only stores
+	p   *dict.Overlay
+
+	// walRecords counts the records currently in the WAL. It can exceed
+	// LogSize when inserts and deletes cancel out, so it gets its own
+	// merge trigger: merging is the only point that truncates the WAL
+	// and folds the overlays, and a churning writer must not grow either
+	// without bound.
+	walRecords int
+
+	view   atomic.Pointer[Store]
+	gen    atomic.Uint64
+	merges atomic.Uint64
+}
+
+// walChurnFactor bounds WAL growth under cancelling writes: a merge is
+// forced once the WAL holds walChurnFactor*threshold records even if
+// the logical log stays small.
+const walChurnFactor = 4
+
+// WALSuffix is appended to the store path to name its write-ahead log.
+const WALSuffix = ".wal"
+
+// WriteResult reports the effect of one Insert or Delete.
+type WriteResult struct {
+	// Changed is true when the logical triple set changed.
+	Changed bool `json:"changed"`
+	// Merged is true when this write triggered a merge (log folded into
+	// a rebuilt static index and persisted).
+	Merged bool `json:"merged"`
+	// Triples is the logical triple count after the write.
+	Triples int `json:"triples"`
+	// LogSize is the pending update-log size after the write.
+	LogSize int `json:"log_size"`
+}
+
+// OpenMutable loads the store at path for serving with updates,
+// replaying any write-ahead log left by a previous process. threshold
+// == 0 selects core.DefaultMergeThreshold; threshold < 0 disables
+// automatic merging (ReadView uses that to stay non-destructive).
+//
+// The WAL file carries an exclusive flock for the lifetime of the
+// Mutable, so two writing processes (a server plus a CLI insert, say)
+// cannot silently diverge: the second opener fails fast instead of
+// acknowledging writes the first would erase at its next merge.
+func OpenMutable(path string, threshold int) (*Mutable, error) {
+	return openMutable(path, threshold, true)
+}
+
+func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
+	if threshold == 0 {
+		threshold = core.DefaultMergeThreshold
+	}
+	st, err := Read(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mutable{
+		path:      path,
+		walPath:   path + WALSuffix,
+		threshold: threshold,
+		layout:    st.Index.Layout(),
+		// The DynamicIndex never merges on its own (threshold -1): the
+		// store drives merges so dictionaries fold and files rewrite in
+		// the same step.
+		dyn: core.NewDynamicFromIndex(st.Index, -1),
+	}
+	if st.Dicts != nil {
+		so, ok := st.Dicts.SO.(*dict.Dict)
+		if !ok {
+			return nil, fmt.Errorf("store: loaded SO dictionary has unexpected type %T", st.Dicts.SO)
+		}
+		p, ok := st.Dicts.P.(*dict.Dict)
+		if !ok {
+			return nil, fmt.Errorf("store: loaded P dictionary has unexpected type %T", st.Dicts.P)
+		}
+		m.so = dict.NewOverlay(so)
+		m.p = dict.NewOverlay(p)
+	}
+	if lock {
+		// Only a writing open touches the WAL file: read views must work
+		// without write permission and must never create or recreate it.
+		m.wal, err = os.OpenFile(m.walPath, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if err := flockExclusive(m.wal); err != nil {
+			m.wal.Close()
+			return nil, fmt.Errorf("store: %s is in use by another process: %w", path, err)
+		}
+	}
+	validLen, err := m.replayWAL()
+	if err != nil {
+		m.closeWAL()
+		return nil, err
+	}
+	if lock {
+		// Drop a torn tail record (a crash mid-append) so later appends
+		// cannot weld onto it; read-only opens just ignore it.
+		if fi, err := m.wal.Stat(); err == nil && fi.Size() > validLen {
+			if err := m.wal.Truncate(validLen); err != nil {
+				m.wal.Close()
+				return nil, fmt.Errorf("store: WAL truncate torn tail: %w", err)
+			}
+		}
+	}
+	if m.mergeDueLocked() {
+		if err := m.mergeLocked(); err != nil {
+			m.closeWAL()
+			return nil, err
+		}
+	}
+	m.publishLocked()
+	return m, nil
+}
+
+// closeWAL closes the WAL handle if one is open (read-only opens have
+// none).
+func (m *Mutable) closeWAL() {
+	if m.wal != nil {
+		m.wal.Close()
+	}
+}
+
+// mergeDueLocked reports whether the pending state warrants a merge:
+// the logical log reached the threshold, or cancelling churn bloated
+// the WAL past walChurnFactor times it.
+func (m *Mutable) mergeDueLocked() bool {
+	return m.threshold > 0 &&
+		(m.dyn.LogSize() >= m.threshold || m.walRecords >= walChurnFactor*m.threshold)
+}
+
+// ReadView loads the store at path as an immutable read view,
+// incorporating any pending write-ahead log without disturbing it: no
+// lock, no merge, no writes. The store file and the WAL are read
+// without a lock, so a concurrent merge (which renames a new store file
+// over the old and truncates the WAL) could slip between the two reads;
+// ReadView detects that by re-checking the store file's identity after
+// the replay and retries, so the returned view is always a state the
+// serving process actually published. Without a WAL this is a plain
+// Read.
+func ReadView(path string) (*Store, error) {
+	const attempts = 5
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		before, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(path + WALSuffix); err != nil {
+			if os.IsNotExist(err) {
+				return Read(path)
+			}
+			return nil, err
+		}
+		m, err := openMutable(path, -1, false)
+		if err != nil {
+			// A merge mid-read can also surface as a parse failure
+			// (store and WAL from different generations); retry those
+			// too when the file identity moved.
+			if after, serr := os.Stat(path); serr == nil && !os.SameFile(before, after) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		st := m.View()
+		m.Close()
+		after, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if os.SameFile(before, after) {
+			return st, nil
+		}
+		lastErr = fmt.Errorf("store: %s was replaced concurrently", path)
+	}
+	return nil, fmt.Errorf("store: %s kept changing under the read (%d attempts): %w", path, attempts, lastErr)
+}
+
+// Close releases the write-ahead log file handle (dropping its flock).
+// Pending log entries stay in the WAL and are recovered by the next
+// OpenMutable.
+func (m *Mutable) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wal == nil {
+		return nil
+	}
+	err := m.wal.Close()
+	m.wal = nil
+	return err
+}
+
+// View returns the current immutable read view. The view is a consistent
+// snapshot: any number of goroutines may query it concurrently, and it
+// is never invalidated — later writes publish new views instead.
+func (m *Mutable) View() *Store { return m.view.Load() }
+
+// Generation returns a counter that increases on every write that
+// changed the logical triple set (including merges). It is read off the
+// current view — the view and its generation are stamped together at
+// publication, so the pair cannot be torn. Caches keyed on query text
+// must incorporate the generation of the view they were computed from.
+func (m *Mutable) Generation() uint64 { return m.view.Load().Gen }
+
+// Merges returns the number of merges performed since open.
+func (m *Mutable) Merges() uint64 { return m.merges.Load() }
+
+// Threshold returns the merge threshold.
+func (m *Mutable) Threshold() int { return m.threshold }
+
+// publishLocked installs a fresh immutable view carrying the next write
+// generation; callers hold m.mu. Stamping the generation inside the
+// atomically-swapped view is load-bearing: readers obtain (view, gen)
+// with one pointer load, so a cache key built from the generation can
+// never describe IDs resolved against a different view's dictionaries.
+func (m *Mutable) publishLocked() {
+	st := &Store{Index: m.dyn.Snapshot(), Gen: m.gen.Add(1)}
+	if m.so != nil {
+		st.Dicts = &rdf.Dicts{SO: m.so.View(), P: m.p.View()}
+	}
+	m.view.Store(st)
+}
+
+// Insert adds one triple given as N-Triples terms (or bare integer IDs
+// for integer-only stores). Terms never seen before are assigned fresh
+// dictionary IDs via the overlay. The write is logged to the WAL before
+// the result is visible to new views.
+func (m *Mutable) Insert(s, p, o string) (WriteResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applyLocked(opInsert, s, p, o, true)
+}
+
+// Delete removes one triple given as N-Triples terms. Deleting an
+// absent triple (including one with unknown terms) is a no-op, not an
+// error.
+func (m *Mutable) Delete(s, p, o string) (WriteResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applyLocked(opDelete, s, p, o, true)
+}
+
+// Merge forces the pending log to fold into a rebuilt, persisted static
+// index even below the threshold.
+func (m *Mutable) Merge() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dyn.LogSize() == 0 && m.walRecords == 0 {
+		return nil
+	}
+	if err := m.mergeLocked(); err != nil {
+		return err
+	}
+	m.publishLocked()
+	return nil
+}
+
+const (
+	opInsert = 'I'
+	opDelete = 'D'
+)
+
+// ErrTerm marks write failures caused by the request's terms (unbound,
+// unparsable, wrong kind, out of range) as opposed to internal faults
+// like WAL I/O or merge errors; the HTTP layer maps the two classes to
+// 400 and 500.
+var ErrTerm = errors.New("invalid write term")
+
+// writeTerm is one resolved write-side term: its canonical WAL
+// spelling, its ID (when found), and which dictionary would assign it
+// one otherwise.
+type writeTerm struct {
+	key   string
+	id    core.ID
+	found bool
+	dict  *dict.Overlay // nil for raw integer IDs
+}
+
+// resolveWriteTerm parses and canonicalizes one write-side term and
+// looks it up, without allocating: overlay IDs for genuinely new terms
+// are assigned by applyLocked only after the whole triple validates, so
+// a rejected request cannot leak terms into the dictionary.
+func (m *Mutable) resolveWriteTerm(s string, predicate bool) (writeTerm, error) {
+	if s == "" || s == "?" {
+		return writeTerm{}, fmt.Errorf("%w: write terms must be bound, got %q", ErrTerm, s)
+	}
+	if strings.HasPrefix(s, "<") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "_:") {
+		if m.so == nil {
+			return writeTerm{}, fmt.Errorf("%w: integer-only store; use integer IDs", ErrTerm)
+		}
+		t, err := rdf.ParseTerm(s)
+		if err != nil {
+			return writeTerm{}, fmt.Errorf("%w: %v", ErrTerm, err)
+		}
+		if predicate && t.Kind != rdf.IRI {
+			return writeTerm{}, fmt.Errorf("%w: predicate must be an IRI, got %s", ErrTerm, s)
+		}
+		d := m.so
+		if predicate {
+			d = m.p
+		}
+		wt := writeTerm{key: t.Key(), dict: d}
+		// Literal keys escape control characters, but IRIs, blank-node
+		// labels and language tags pass bytes through raw — and the WAL
+		// is line-framed, so an embedded newline would corrupt it
+		// irrecoverably.
+		if strings.ContainsAny(wt.key, "\n\r") {
+			return writeTerm{}, fmt.Errorf("%w: term must not contain newline bytes", ErrTerm)
+		}
+		if n, ok := d.Locate(wt.key); ok {
+			wt.id, wt.found = core.ID(n), true
+		}
+		return wt, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return writeTerm{}, fmt.Errorf("%w: term %q is neither a <uri>, a literal, _:blank, nor an integer ID", ErrTerm, s)
+	}
+	if core.ID(v) > core.MaxID {
+		return writeTerm{}, fmt.Errorf("%w: ID %d out of range", ErrTerm, v)
+	}
+	if m.so != nil {
+		// Translate raw IDs to their canonical terms so the WAL stays
+		// uniform N-Triples for dictionary stores.
+		d := m.so
+		if predicate {
+			d = m.p
+		}
+		str, ok := d.Extract(int(v))
+		if !ok {
+			return writeTerm{}, fmt.Errorf("%w: ID %d not in dictionary", ErrTerm, v)
+		}
+		return writeTerm{key: str, id: core.ID(v), found: true, dict: d}, nil
+	}
+	return writeTerm{key: s, id: core.ID(v), found: true}, nil
+}
+
+// applyLocked resolves terms, applies the operation to the dynamic
+// index, appends the WAL record (when logWAL and the set changed), and
+// publishes a fresh view (replay defers publication to OpenMutable).
+// Callers hold m.mu.
+func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult, error) {
+	terms := [3]writeTerm{}
+	for i, arg := range [3]struct {
+		s         string
+		predicate bool
+	}{{s, false}, {p, true}, {o, false}} {
+		var err error
+		if terms[i], err = m.resolveWriteTerm(arg.s, arg.predicate); err != nil {
+			return WriteResult{}, err
+		}
+	}
+	res := WriteResult{Triples: m.dyn.NumTriples(), LogSize: m.dyn.LogSize()}
+	if op == opInsert {
+		// All three terms validated; unknown ones may now safely enter
+		// the overlay.
+		for i := range terms {
+			if !terms[i].found {
+				terms[i].id = core.ID(terms[i].dict.Add(terms[i].key))
+				terms[i].found = true
+			}
+		}
+	} else if !terms[0].found || !terms[1].found || !terms[2].found {
+		// Delete with an unknown term: the triple is certainly absent.
+		return res, nil
+	}
+	skey, pkey, okey := terms[0].key, terms[1].key, terms[2].key
+	t := core.Triple{S: terms[0].id, P: terms[1].id, O: terms[2].id}
+	// WAL-first: a changing write becomes durable before it is applied,
+	// so a failed append leaves the in-memory state exactly at the last
+	// WAL record (stray overlay IDs aside, which the WAL's term-based
+	// replay reassigns consistently anyway).
+	if m.dyn.Lookup(t) == (op == opInsert) {
+		return res, nil // no-op: insert of a present / delete of an absent triple
+	}
+	if logWAL {
+		if err := m.appendWAL(op, skey, pkey, okey); err != nil {
+			return WriteResult{}, err
+		}
+		m.walRecords++
+	}
+	var changed bool
+	var err error
+	if op == opInsert {
+		changed, err = m.dyn.Insert(t)
+	} else {
+		changed, err = m.dyn.Delete(t)
+	}
+	if err != nil {
+		return WriteResult{}, err
+	}
+	if !changed {
+		// Unreachable given the Lookup gate; kept as a defensive check so
+		// the WAL and the log can never silently disagree.
+		return WriteResult{}, fmt.Errorf("store: WAL/log divergence applying %c %v", op, t)
+	}
+	res.Changed = true
+	res.Triples = m.dyn.NumTriples()
+	res.LogSize = m.dyn.LogSize()
+	// During WAL replay (logWAL=false) merging and publication are both
+	// deferred: OpenMutable performs one threshold check and one publish
+	// after the replay completes, instead of copying the whole log into
+	// a fresh snapshot per record.
+	if !logWAL {
+		return res, nil
+	}
+	if m.mergeDueLocked() {
+		if err := m.mergeLocked(); err != nil {
+			return WriteResult{}, err
+		}
+		res.Merged = true
+		res.Triples = m.dyn.NumTriples()
+		res.LogSize = 0
+	}
+	m.publishLocked()
+	return res, nil
+}
+
+// appendWAL writes one durable log record. Dictionary stores log
+// canonical N-Triples statements; integer-only stores log raw IDs. Any
+// failure rolls the file back to its pre-append length: a half-written
+// record must not linger for the next append to weld onto (which would
+// make the WAL permanently unparseable), and a record whose fsync
+// failed must not resurface on replay after the caller was told the
+// write failed.
+func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
+	var line string
+	if m.so != nil {
+		line = fmt.Sprintf("%c %s %s %s .\n", op, skey, pkey, okey)
+	} else {
+		line = fmt.Sprintf("%c %s %s %s\n", op, skey, pkey, okey)
+	}
+	fi, err := m.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: WAL stat: %w", err)
+	}
+	rollback := func(cause error) error {
+		if terr := m.wal.Truncate(fi.Size()); terr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v; reopen the store to recover)", cause, terr)
+		}
+		return cause
+	}
+	if _, err := m.wal.WriteString(line); err != nil {
+		return rollback(fmt.Errorf("store: WAL append: %w", err))
+	}
+	if err := m.wal.Sync(); err != nil {
+		return rollback(fmt.Errorf("store: WAL sync: %w", err))
+	}
+	return nil
+}
+
+// replayWAL re-applies pending operations left by a previous process,
+// in order, through the same resolution path that wrote them — so
+// overlay IDs are re-assigned deterministically. It returns the byte
+// length of the valid record prefix: a final record without its
+// terminating newline is a torn append from a crash mid-write and is
+// skipped (the writing opener truncates it away); a malformed
+// *complete* record is genuine corruption and fails the open.
+func (m *Mutable) replayWAL() (validLen int64, err error) {
+	f, err := os.Open(m.walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	lineNo := 0
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == io.EOF {
+			// Any unterminated tail in line is a torn append: skip it.
+			return validLen, nil
+		}
+		if rerr != nil {
+			return validLen, rerr
+		}
+		lineNo++
+		recLen := int64(len(line))
+		line = strings.TrimSuffix(line, "\n")
+		if line == "" {
+			validLen += recLen
+			continue
+		}
+		op := line[0]
+		if (op != opInsert && op != opDelete) || len(line) < 2 || line[1] != ' ' {
+			return validLen, fmt.Errorf("store: WAL %s line %d: bad record %q", m.walPath, lineNo, line)
+		}
+		var s, p, o string
+		if m.so != nil {
+			st, ok, perr := rdf.ParseLine(line[2:])
+			if perr != nil || !ok {
+				return validLen, fmt.Errorf("store: WAL %s line %d: %v", m.walPath, lineNo, perr)
+			}
+			s, p, o = st.S.Key(), st.P.Key(), st.O.Key()
+		} else {
+			fields := strings.Fields(line[2:])
+			if len(fields) != 3 {
+				return validLen, fmt.Errorf("store: WAL %s line %d: want 3 IDs, got %q", m.walPath, lineNo, line)
+			}
+			s, p, o = fields[0], fields[1], fields[2]
+		}
+		if _, err := m.applyLocked(op, s, p, o, false); err != nil {
+			return validLen, fmt.Errorf("store: WAL %s line %d: %w", m.walPath, lineNo, err)
+		}
+		m.walRecords++
+		validLen += recLen
+	}
+}
+
+// mergeLocked folds the pending log and overlay dictionaries into a
+// rebuilt static store, persists it atomically (temp file + rename), and
+// truncates the WAL. Callers hold m.mu.
+func (m *Mutable) mergeLocked() error {
+	live := m.dyn.LiveTriples()
+	var dicts *rdf.Dicts
+	var soDict, pDict *dict.Dict
+	if m.so != nil {
+		var soMap, pMap []int
+		var err error
+		soDict, soMap, err = m.so.Fold(dict.DefaultBucketSize)
+		if err != nil {
+			return fmt.Errorf("store: fold SO dictionary: %w", err)
+		}
+		pDict, pMap, err = m.p.Fold(dict.DefaultBucketSize)
+		if err != nil {
+			return fmt.Errorf("store: fold P dictionary: %w", err)
+		}
+		for i, t := range live {
+			live[i] = core.Triple{
+				S: core.ID(soMap[t.S]),
+				P: core.ID(pMap[t.P]),
+				O: core.ID(soMap[t.O]),
+			}
+		}
+		dicts = &rdf.Dicts{SO: soDict, P: pDict}
+	}
+	d := core.NewDataset(live)
+	if soDict != nil {
+		// Keep the complete-integer-range invariant over the whole
+		// dictionary ID spaces, matching rdf.Encode; folded dictionaries
+		// may hold terms that no longer appear in any triple.
+		if soDict.Len() > d.NS {
+			d.NS = soDict.Len()
+		}
+		if soDict.Len() > d.NO {
+			d.NO = soDict.Len()
+		}
+		if pDict.Len() > d.NP {
+			d.NP = pDict.Len()
+		}
+	}
+	x, err := core.Build(d, m.layout)
+	if err != nil {
+		return fmt.Errorf("store: merge rebuild: %w", err)
+	}
+	tmp := m.path + ".tmp"
+	if err := Write(tmp, &Store{Index: x, Dicts: dicts}); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable before
+	// the WAL is truncated (not all filesystems support syncing a
+	// directory handle; Write already synced the file's data).
+	if dir, err := os.Open(filepath.Dir(m.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	// The merged state is durable; drop the WAL. Truncate keeps the
+	// append handle valid (O_APPEND repositions every write).
+	if m.wal != nil {
+		if err := m.wal.Truncate(0); err != nil {
+			return fmt.Errorf("store: WAL truncate: %w", err)
+		}
+	}
+	m.dyn = core.NewDynamicFromIndex(x, -1)
+	if soDict != nil {
+		m.so = dict.NewOverlay(soDict)
+		m.p = dict.NewOverlay(pDict)
+	}
+	m.walRecords = 0
+	m.merges.Add(1)
+	return nil
+}

@@ -1,9 +1,10 @@
 // Package store bundles a compressed index with its string dictionaries
 // into the on-disk store the rdfstore CLI and the query server share. A
-// loaded Store is immutable: the index, the front-coded dictionaries and
-// the lookup helpers below are all read-only, so one Store may serve any
-// number of goroutines concurrently (the "one index, N goroutines"
-// contract of internal/core).
+// loaded Store is immutable: the index, the dictionaries and the lookup
+// helpers below are all read-only, so one Store may serve any number of
+// goroutines concurrently (the "one index, N goroutines" contract of
+// internal/core). Updates go through Mutable (mutable.go), which keeps
+// that contract by publishing a fresh immutable Store view per write.
 package store
 
 import (
@@ -27,29 +28,67 @@ const Magic = "RDFSTORE1"
 type Store struct {
 	Index core.Index
 	Dicts *rdf.Dicts
+	// Gen is the write generation this view belongs to (0 for a store
+	// loaded from disk). Mutable stamps it at publication, so a reader
+	// holding the view holds its matching generation — the pair cannot
+	// be torn by a concurrent write, which is what makes generation-keyed
+	// response caches sound across merges (a merge remaps dictionary
+	// IDs, so the same ID text means different terms across generations).
+	Gen uint64
 }
 
 // Write serializes the store to path: magic, optional dictionaries, then
-// the index.
+// the index. Only static state serializes; a serving view (dynamic
+// snapshot index, overlay dictionaries) must be folded (merged) first.
 func Write(path string, st *Store) error {
+	if _, ok := st.Index.(*core.DynamicSnapshot); ok {
+		return fmt.Errorf("store: index is a serving snapshot, not serializable (merge first)")
+	}
+	var so, p *dict.Dict
+	if st.Dicts != nil {
+		var ok bool
+		if so, ok = st.Dicts.SO.(*dict.Dict); !ok {
+			return fmt.Errorf("store: SO dictionary is not serializable (fold the overlay first)")
+		}
+		if p, ok = st.Dicts.P.(*dict.Dict); !ok {
+			return fmt.Errorf("store: P dictionary is not serializable (fold the overlay first)")
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Closed explicitly below so close-time write-back failures surface;
+	// the defer only covers the error paths.
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
 	w := codec.NewWriter(f)
 	w.String(Magic)
 	if st.Dicts != nil {
 		w.Byte(1)
-		st.Dicts.SO.Encode(w)
-		st.Dicts.P.Encode(w)
+		so.Encode(w)
+		p.Encode(w)
 	} else {
 		w.Byte(0)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return core.WriteIndex(f, st.Index)
+	if err := core.WriteIndex(f, st.Index); err != nil {
+		return err
+	}
+	// The merge path renames this file over the live store and then
+	// truncates the WAL; the data must be on disk before either step,
+	// or a power failure could lose WAL-acknowledged writes.
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	err = f.Close()
+	f = nil
+	return err
 }
 
 // Read loads a store written by Write.

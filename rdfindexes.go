@@ -73,7 +73,12 @@ type (
 	RangeSelecter = core.RangeSelecter
 	// DynamicIndex pairs a static index with an update log, merged
 	// amortizedly (the strategy sketched in Section 3.1 of the paper).
+	// It is single-writer; concurrent readers query DynamicSnapshot
+	// views obtained from Snapshot.
 	DynamicIndex = core.DynamicIndex
+	// DynamicSnapshot is an immutable point-in-time view of a
+	// DynamicIndex; it implements Index, so any read path serves it.
+	DynamicSnapshot = core.DynamicSnapshot
 	// QueryCtx is the pooled per-query scratch arena for concurrent
 	// serving; see the concurrency contract in internal/core.
 	QueryCtx = core.QueryCtx
@@ -151,9 +156,16 @@ func WriteDataset(w io.Writer, d *Dataset) error { return core.WriteDataset(w, d
 func ReadDataset(r io.Reader) (*Dataset, error) { return core.ReadDataset(r) }
 
 // NewDynamic builds an updatable index: a static index plus a small
-// update log that is merged back when it reaches threshold entries.
+// update log that is merged back when it reaches threshold entries
+// (threshold 0 picks the default, negative disables automatic merging).
 func NewDynamic(d *Dataset, layout Layout, threshold int, opts ...Option) (*DynamicIndex, error) {
 	return core.NewDynamic(d, layout, threshold, opts...)
+}
+
+// NewDynamicFromIndex wraps an already-built static index with an empty
+// update log; threshold semantics match NewDynamic.
+func NewDynamicFromIndex(base Index, threshold int, opts ...Option) *DynamicIndex {
+	return core.NewDynamicFromIndex(base, threshold, opts...)
 }
 
 // NewR builds the range-query structure over numeric object values
