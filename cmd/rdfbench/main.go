@@ -45,6 +45,7 @@ var experiments = []struct {
 	{"ablation", "encoder choices and cross-compression variants", bench.Ablation},
 	{"parallel", "concurrent query throughput on one shared index (1/4/16 goroutines)", bench.ServeParallel},
 	{"update", "amortized-update throughput and read interference by merge threshold", bench.UpdateThroughput},
+	{"shard", "sharded store: parallel build time and scatter-gather throughput at 1/2/4/8 shards", bench.ShardScaling},
 }
 
 func main() {

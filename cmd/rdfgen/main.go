@@ -2,6 +2,11 @@
 // experiments, either as compact binary dataset files (consumed by
 // rdfstore and ReadDataset) or as N-Triples text with synthetic URIs.
 //
+// Generation is deterministic in -seed: the same preset, size and seed
+// always produce byte-identical output, so benchmark datasets (the
+// shard-scaling experiment in particular) are reproducible across
+// machines and commits; vary -seed to get independent instances.
+//
 // Usage:
 //
 //	rdfgen -preset dbpedia -triples 1000000 -seed 1 -out dbpedia.bin
@@ -13,6 +18,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rdfindexes/internal/core"
@@ -20,15 +26,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "rdfgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses flags, generates the
+// dataset, and writes it to -out (or stdout).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rdfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		preset  = flag.String("preset", "dbpedia", "dataset shape: dblp|geonames|dbpedia|watdiv|lubm|freebase|lubm-structured|watdiv-structured")
-		triples = flag.Int("triples", 1000000, "triple count (statistical presets)")
-		scale   = flag.Int("scale", 20, "scale for structured presets (universities / products)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		format  = flag.String("format", "bin", "output format: bin (binary dataset) or nt (N-Triples)")
-		out     = flag.String("out", "", "output file (default stdout)")
+		preset  = fs.String("preset", "dbpedia", "dataset shape: dblp|geonames|dbpedia|watdiv|lubm|freebase|lubm-structured|watdiv-structured")
+		triples = fs.Int("triples", 1000000, "triple count (statistical presets)")
+		scale   = fs.Int("scale", 20, "scale for structured presets (universities / products)")
+		seed    = fs.Int64("seed", 1, "generator seed; identical seeds reproduce identical datasets")
+		format  = fs.String("format", "bin", "output format: bin (binary dataset) or nt (N-Triples)")
+		out     = fs.String("out", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var (
 		d   *core.Dataset
@@ -42,15 +61,15 @@ func main() {
 	default:
 		d, err = gen.GeneratePreset(*preset, *triples, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	w := os.Stdout
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -59,7 +78,7 @@ func main() {
 	switch *format {
 	case "bin":
 		if err := core.WriteDataset(w, d); err != nil {
-			fatal(err)
+			return err
 		}
 	case "nt":
 		bw := bufio.NewWriter(w)
@@ -67,17 +86,13 @@ func main() {
 			fmt.Fprintf(bw, "<http://gen/s%d> <http://gen/p%d> <http://gen/o%d> .\n", t.S, t.P, t.O)
 		}
 		if err := bw.Flush(); err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return fmt.Errorf("unknown format %q", *format)
 	}
 	st := d.ComputeStats()
-	fmt.Fprintf(os.Stderr, "rdfgen: %d triples (S=%d P=%d O=%d) written\n",
+	fmt.Fprintf(stderr, "rdfgen: %d triples (S=%d P=%d O=%d) written\n",
 		st.Triples, st.DistinctS, st.DistinctP, st.DistinctO)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rdfgen: %v\n", err)
-	os.Exit(1)
+	return nil
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rdfstore build -in data.nt -layout 2Tp -out store.idx
+//	rdfstore build -in data.nt -layout 2Tp -shards 4 -out store.idx
 //	rdfstore query -store store.idx -s '<http://ex/alice>' -p '?' -o '?'
 //	rdfstore sparql -store store.idx -q 'SELECT ?x WHERE { ?x <http://ex/knows> ?y . }'
 //	rdfstore insert -store store.idx -s '<http://ex/alice>' -p '<http://ex/knows>' -o '<http://ex/carol>'
@@ -19,6 +20,11 @@
 // threshold (or merge is run), at which point the store file is rewritten
 // atomically. serve recovers the pending log on startup and accepts
 // writes on /insert and /delete.
+//
+// build -shards N partitions the index by subject hash into N shards
+// built in parallel; query, sparql, stats and serve auto-detect the
+// multi-shard format. Sharded stores are read-only: insert, delete and
+// merge refuse them, and serve falls back to read-only serving.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/rdf"
 	"rdfindexes/internal/server"
+	"rdfindexes/internal/shard"
 	"rdfindexes/internal/sparql"
 	"rdfindexes/internal/store"
 )
@@ -115,6 +122,7 @@ func buildCmd(args []string, out io.Writer) error {
 	in := fs.String("in", "", "input file (.nt N-Triples or .bin dataset)")
 	layout := fs.String("layout", "2Tp", "index layout: 3T|CC|2Tp|2To")
 	outPath := fs.String("out", "store.idx", "output store file")
+	shards := fs.Int("shards", 1, "partition the index into N subject-hashed shards (built in parallel; read-only)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -123,6 +131,12 @@ func buildCmd(args []string, out io.Writer) error {
 	}
 	l, err := core.ParseLayout(*layout)
 	if err != nil {
+		return err
+	}
+	// A previous updatable store at the output path must not leak into
+	// the rebuild: refuse while its WAL is live (flocked by a serving
+	// process) or holds acknowledged writes, drop an empty leftover.
+	if err := store.PrepareRebuild(*outPath); err != nil {
 		return err
 	}
 
@@ -148,15 +162,24 @@ func buildCmd(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	st.Index, err = core.Build(d, l)
+	if *shards > 1 {
+		st.Index, err = shard.BuildSharded(d, l, *shards)
+	} else {
+		st.Index, err = core.Build(d, l)
+	}
 	if err != nil {
 		return err
 	}
 	if err := store.Write(*outPath, st); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "indexed %d triples as %v: %.2f bits/triple -> %s\n",
-		st.Index.NumTriples(), l, core.BitsPerTriple(st.Index), *outPath)
+	if *shards > 1 {
+		fmt.Fprintf(out, "indexed %d triples as %v across %d shards: %.2f bits/triple -> %s\n",
+			st.Index.NumTriples(), l, *shards, core.BitsPerTriple(st.Index), *outPath)
+	} else {
+		fmt.Fprintf(out, "indexed %d triples as %v: %.2f bits/triple -> %s\n",
+			st.Index.NumTriples(), l, core.BitsPerTriple(st.Index), *outPath)
+	}
 	return nil
 }
 
@@ -325,6 +348,9 @@ func statsCmd(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "layout:       %v\n", st.Index.Layout())
+	if n := st.Shards(); n > 1 {
+		fmt.Fprintf(out, "shards:       %d\n", n)
+	}
 	fmt.Fprintf(out, "triples:      %d\n", st.Index.NumTriples())
 	fmt.Fprintf(out, "index space:  %.2f bits/triple (%.2f MiB)\n",
 		core.BitsPerTriple(st.Index), float64(st.Index.SizeBits())/8/1024/1024)
@@ -345,6 +371,8 @@ func serveCmd(args []string, out io.Writer) error {
 	cache := fs.Int("cache", 256, "result cache entries (-1 disables)")
 	readonly := fs.Bool("readonly", false, "serve the store immutably (no /insert, /delete, WAL)")
 	threshold := fs.Int("threshold", 0, "pending-update merge threshold (0 = default)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/* runtime profiling endpoints")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -352,9 +380,11 @@ func serveCmd(args []string, out io.Writer) error {
 		Workers:      *workers,
 		Timeout:      *timeout,
 		CacheEntries: *cache,
+		Pprof:        *pprofOn,
 	}
 	var srv *server.Server
 	var st *store.Store
+	var mut *store.Mutable
 	if *readonly {
 		// ReadView folds in any pending WAL without locking or touching
 		// it, so a read-only replica can serve next to a writing process.
@@ -366,28 +396,59 @@ func serveCmd(args []string, out io.Writer) error {
 		srv = server.New(st, cfg)
 	} else {
 		m, err := store.OpenMutable(*path, *threshold)
-		if err != nil {
+		switch {
+		case errors.Is(err, store.ErrSharded):
+			// Sharded stores have no write path; serve them like
+			// -readonly instead of failing the default invocation.
+			fmt.Fprintln(out, "sharded store: serving read-only")
+			if st, err = store.ReadView(*path); err != nil {
+				return err
+			}
+			srv = server.New(st, cfg)
+		case err != nil:
 			return err
+		default:
+			mut = m
+			st = m.View()
+			srv = server.NewMutable(m, cfg)
 		}
-		defer m.Close()
-		st = m.View()
-		srv = server.NewMutable(m, cfg)
 	}
-	fmt.Fprintf(out, "serving %d triples (%v, %.2f bits/triple) on %s\n",
-		st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), *addr)
+	if n := st.Shards(); n > 1 {
+		fmt.Fprintf(out, "serving %d triples (%v, %d shards, %.2f bits/triple) on %s\n",
+			st.Index.NumTriples(), st.Index.Layout(), n, core.BitsPerTriple(st.Index), *addr)
+	} else {
+		fmt.Fprintf(out, "serving %d triples (%v, %.2f bits/triple) on %s\n",
+			st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), *addr)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	var serveErr error
 	select {
-	case err := <-errc:
-		return err
+	case serveErr = <-errc:
 	case <-ctx.Done():
+		// Graceful drain on SIGINT/SIGTERM: stop accepting, give
+		// in-flight requests (which hold worker-pool slots) the drain
+		// deadline to finish, then fall through to close the WAL so the
+		// flock releases and no acknowledged write is left buffered.
 		fmt.Fprintln(out, "shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		return hs.Shutdown(shutCtx)
+		serveErr = hs.Shutdown(shutCtx)
 	}
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	if mut != nil {
+		// Closed after the listener has drained: no request can race the
+		// WAL handle, and a close failure (lost flock release, dirty
+		// handle) surfaces instead of vanishing in a defer.
+		if err := mut.Close(); err != nil && serveErr == nil {
+			serveErr = err
+		}
+	}
+	return serveErr
 }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/gen"
+	"rdfindexes/internal/shard"
+)
+
+// shardCounts are the partition widths of the scaling experiment.
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardGoroutineCounts are the client fleet sizes driving each store;
+// the 16-client column is the heavy-traffic serving scenario.
+var shardGoroutineCounts = []int{1, 4, 16}
+
+// RoutedWorkload samples subject-bound patterns (SPO, SP?, S?O, S??):
+// the shapes the sharded store answers on exactly one shard.
+func RoutedWorkload(d *core.Dataset, queries int, seed int64) []core.Pattern {
+	sample := gen.SampleTriples(d, queries, seed)
+	shapes := []core.Shape{core.ShapeSPO, core.ShapeSPx, core.ShapeSxO, core.ShapeSxx}
+	pats := make([]core.Pattern, 0, len(sample))
+	for i, tr := range sample {
+		pats = append(pats, core.WithWildcards(tr, shapes[i%len(shapes)]))
+	}
+	return pats
+}
+
+// FanOutWorkload samples subject-unbound patterns (?PO, ??O): the
+// shapes the sharded store scatters to every shard and gathers back
+// through the loser-tree merge. The heavyweight ?P? shape is left out
+// to keep the experiment's runtime bounded; its merge path is identical.
+func FanOutWorkload(d *core.Dataset, queries int, seed int64) []core.Pattern {
+	sample := gen.SampleTriples(d, queries, seed)
+	shapes := []core.Shape{core.ShapexPO, core.ShapexxO}
+	pats := make([]core.Pattern, 0, len(sample))
+	for i, tr := range sample {
+		pats = append(pats, core.WithWildcards(tr, shapes[i%len(shapes)]))
+	}
+	return pats
+}
+
+// ShardScaling measures the sharded subsystem end to end on a 2Tp
+// index: parallel build time by shard count, then serving throughput of
+// routed and fan-out pattern mixes at 1-16 client goroutines per shard
+// count. Builds should speed up toward the core count; routed queries
+// should hold single-index throughput (they execute on one shard,
+// untouched); fan-outs pay the scatter-gather merge, bounding the
+// acceptable regression.
+func ShardScaling(cfg Config) ([]*Table, error) {
+	cfg = cfg.normalize()
+	d, err := gen.GeneratePreset("dbpedia", cfg.Triples, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	routed := RoutedWorkload(d, cfg.Queries, cfg.Seed+9)
+	fanout := FanOutWorkload(d, cfg.Queries/4+1, cfg.Seed+10)
+
+	build := &Table{
+		Title: "Sharded build: subject-hash partition, one goroutine per shard (2Tp)",
+		Note: fmt.Sprintf("%s triples, best of %d runs, GOMAXPROCS=%d",
+			N(d.Len()), cfg.Runs, runtime.GOMAXPROCS(0)),
+		Header: []string{"shards", "build ms", "speedup", "bits/triple"},
+	}
+	serve := &Table{
+		Title: "Sharded serving: queries/sec on one shared store",
+		Note: fmt.Sprintf("routed = subject-bound shapes (one shard), fan-out = ?PO/??O scatter-gather; %d/%d-query workloads",
+			len(routed), len(fanout)),
+		Header: []string{"shards", "goroutines", "routed q/s", "fan-out q/s"},
+	}
+
+	var baseBuild time.Duration
+	for _, n := range shardCounts {
+		var best time.Duration
+		var st *shard.Store
+		for r := 0; r < cfg.Runs; r++ {
+			start := time.Now()
+			s, err := shard.BuildSharded(d, core.Layout2Tp, n)
+			if err != nil {
+				return nil, err
+			}
+			if el := time.Since(start); r == 0 || el < best {
+				best = el
+			}
+			st = s
+		}
+		if baseBuild == 0 {
+			baseBuild = best
+		}
+		build.Add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", float64(best.Microseconds())/1000),
+			F(float64(baseBuild)/float64(best)),
+			F(BitsPerTriple(st)))
+
+		for _, g := range shardGoroutineCounts {
+			bestRouted, bestFan := 0.0, 0.0
+			for r := 0; r < cfg.Runs; r++ {
+				if qps := ThroughputAt(st, routed, g, 2); qps > bestRouted {
+					bestRouted = qps
+				}
+				if qps := ThroughputAt(st, fanout, g, 1); qps > bestFan {
+					bestFan = qps
+				}
+			}
+			serve.Add(fmt.Sprintf("%d", n), fmt.Sprintf("%d", g), F(bestRouted), F(bestFan))
+		}
+	}
+	return []*Table{build, serve}, nil
+}

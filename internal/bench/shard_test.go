@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/gen"
+)
+
+// TestShardScalingSmoke runs the experiment at toy scale: every row
+// renders and the workload samplers produce the advertised shapes.
+func TestShardScalingSmoke(t *testing.T) {
+	tables, err := ShardScaling(Config{Triples: 4000, Queries: 60, Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	if got, want := len(tables[0].Rows), len(shardCounts); got != want {
+		t.Fatalf("build table has %d rows, want %d", got, want)
+	}
+	if got, want := len(tables[1].Rows), len(shardCounts)*len(shardGoroutineCounts); got != want {
+		t.Fatalf("serving table has %d rows, want %d", got, want)
+	}
+}
+
+func TestShardWorkloadShapes(t *testing.T) {
+	d, err := gen.GeneratePreset("dbpedia", 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range RoutedWorkload(d, 50, 1) {
+		if p.S == core.Wildcard {
+			t.Fatalf("routed workload contains subject-unbound pattern %v", p)
+		}
+	}
+	for _, p := range FanOutWorkload(d, 50, 1) {
+		if p.S != core.Wildcard {
+			t.Fatalf("fan-out workload contains subject-bound pattern %v", p)
+		}
+	}
+}

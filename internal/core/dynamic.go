@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"rdfindexes/internal/codec"
 	"rdfindexes/internal/trie"
 )
 
@@ -221,14 +220,14 @@ func (x *DynamicIndex) Lookup(t Triple) bool {
 	return Lookup(x.base, t)
 }
 
-// emitPerm returns the permutation order in which the layout's Select
+// EmitPerm returns the permutation order in which the layout's Select
 // emits the triples of a pattern shape. It mirrors the SelectCtx dispatch
 // of each index: every selection algorithm walks one trie (or the PS
 // structure) in its lexicographic order, and the CC layout's
 // cross-compressed levels store sibling ranks, which are monotone in the
 // original IDs, so mapped tries emit in the same order as plain ones.
 // Fully-bound SPO lookups emit at most one triple; any perm works.
-func emitPerm(l Layout, s Shape) Perm {
+func EmitPerm(l Layout, s Shape) Perm {
 	switch l {
 	case Layout3T, LayoutCC:
 		switch s {
@@ -287,9 +286,9 @@ func matchingRange(ts []Triple, p Pattern) []Triple {
 	return ts[lo:hi]
 }
 
-// permLess reports whether t precedes u in the permutation's
+// PermLess reports whether t precedes u in the permutation's
 // lexicographic order.
-func permLess(p Perm, t, u Triple) bool {
+func PermLess(p Perm, t, u Triple) bool {
 	ta, tb, tc := p.Apply(t)
 	ua, ub, uc := p.Apply(u)
 	if ta != ua {
@@ -337,13 +336,6 @@ func (x *DynamicSnapshot) SizeBits() uint64 {
 // a snapshot should prefer NumTriples/SizeBits.
 func (x *DynamicSnapshot) Trie(p Perm) *trie.Trie { return x.base.Trie(p) }
 
-// encode is deliberately unsupported: a snapshot is a serving view, not a
-// storage format. The persistent store serializes the merged base index
-// and recovers the log from its WAL.
-func (x *DynamicSnapshot) encode(*codec.Writer) {
-	panic("core: DynamicSnapshot is not serializable; merge and encode the base index")
-}
-
 // Lookup reports whether the snapshot contains t.
 func (x *DynamicSnapshot) Lookup(t Triple) bool {
 	if _, ok := searchTriple(x.added, t); ok {
@@ -376,7 +368,7 @@ func selectMerged(layout Layout, base Index, added, deleted []Triple, p Pattern,
 	if len(added) == 0 && len(deleted) == 0 {
 		return SelectWithCtx(base, p, c)
 	}
-	perm := emitPerm(layout, p.Shape())
+	perm := EmitPerm(layout, p.Shape())
 	var add []Triple
 	for _, t := range matchingRange(added, p) {
 		if p.Matches(t) {
@@ -384,7 +376,7 @@ func selectMerged(layout Layout, base Index, added, deleted []Triple, p Pattern,
 		}
 	}
 	if len(add) > 1 {
-		sort.Slice(add, func(i, j int) bool { return permLess(perm, add[i], add[j]) })
+		sort.Slice(add, func(i, j int) bool { return PermLess(perm, add[i], add[j]) })
 	}
 	baseIt := SelectWithCtx(base, p, c)
 	var pend Triple
@@ -408,7 +400,7 @@ func selectMerged(layout Layout, base Index, added, deleted []Triple, p Pattern,
 		if havePend {
 			// The insertion log is disjoint from the base, so the merge
 			// never sees equal keys.
-			if addPos < len(add) && permLess(perm, add[addPos], pend) {
+			if addPos < len(add) && PermLess(perm, add[addPos], pend) {
 				t := add[addPos]
 				addPos++
 				return t, true

@@ -13,15 +13,20 @@ const indexMagic = "RDFIDX1"
 
 // WriteIndex serializes any static index layout to w with a versioned
 // header. Dynamic serving snapshots are views, not storage: merge the
-// log and serialize the base index instead.
+// log and serialize the base index instead. Sharded stores have their
+// own multi-shard container format in internal/store.
 func WriteIndex(w io.Writer, x Index) error {
 	if _, ok := x.(*DynamicSnapshot); ok {
 		return fmt.Errorf("core: a DynamicSnapshot is not serializable; merge and write the base index")
 	}
+	enc, ok := x.(encoder)
+	if !ok {
+		return fmt.Errorf("core: index %T has no single-index serialization", x)
+	}
 	cw := codec.NewWriter(w)
 	cw.String(indexMagic)
 	cw.Byte(byte(x.Layout()))
-	x.encode(cw)
+	enc.encode(cw)
 	return cw.Flush()
 }
 

@@ -42,7 +42,9 @@ func ParseLayout(s string) (Layout, error) {
 }
 
 // Index is a static compressed triple index resolving the eight selection
-// patterns.
+// patterns. Implementations outside this package (composed indexes like
+// the sharded store) are allowed: serializability is a separate,
+// optional capability checked by WriteIndex, not part of the interface.
 type Index interface {
 	// Layout identifies the index variant.
 	Layout() Layout
@@ -55,7 +57,13 @@ type Index interface {
 	// Trie exposes a materialized permutation, or nil if the layout does
 	// not keep it. Used by statistics and benchmarks.
 	Trie(Perm) *trie.Trie
+}
 
+// encoder is the serialization capability of the four in-package layouts;
+// WriteIndex requires it. Composed indexes (dynamic snapshots, sharded
+// stores) have their own storage formats and deliberately do not
+// implement it.
+type encoder interface {
 	encode(w *codec.Writer)
 }
 

@@ -15,6 +15,7 @@
 //	POST /delete?s=&p=&o=         remove one triple (mutable stores)
 //	GET  /stats                   store + server statistics as JSON
 //	GET  /healthz                 liveness probe
+//	GET  /debug/pprof/*           runtime profiles (only with Config.Pprof)
 //
 // Admission is a bounded worker pool: at most Config.Workers queries
 // execute at once, later arrivals queue on their request context and are
@@ -32,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -59,6 +61,12 @@ type Config struct {
 	CacheMaxBytes int
 	// PlanEntries is the BGP plan cache capacity (default 1024).
 	PlanEntries int
+	// Pprof exposes the runtime profiling endpoints under
+	// /debug/pprof/* (CPU and heap profiles, goroutine dumps, execution
+	// traces) so shard scaling and pool behavior can be profiled in
+	// situ. Off by default: profiles reveal operational internals, so
+	// enabling them is an explicit deployment decision.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +143,16 @@ func newServer(cfg Config) *Server {
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.Pprof {
+		// Registered on the server's own mux (net/http/pprof's side
+		// effects only touch http.DefaultServeMux, which is never
+		// served here).
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -558,6 +576,7 @@ type Stats struct {
 	Layout        string  `json:"layout"`
 	Triples       int     `json:"triples"`
 	BitsPerTriple float64 `json:"bits_per_triple"`
+	Shards        int     `json:"shards"`
 	Dictionary    bool    `json:"dictionary"`
 	Mutable       bool    `json:"mutable"`
 	Generation    uint64  `json:"generation"`
@@ -586,6 +605,7 @@ func (s *Server) Snapshot() Stats {
 		Layout:        st.Index.Layout().String(),
 		Triples:       st.Index.NumTriples(),
 		BitsPerTriple: core.BitsPerTriple(st.Index),
+		Shards:        st.Shards(),
 		Dictionary:    st.Dicts != nil,
 		Generation:    gen,
 		Workers:       s.cfg.Workers,

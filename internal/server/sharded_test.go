@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/shard"
+	"rdfindexes/internal/store"
+)
+
+// testShardedStore builds the same social graph as testStore but
+// partitioned across shards.
+func testShardedStore(t testing.TB, people, likesPer, shards int) *store.Store {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < people; i++ {
+		fmt.Fprintf(&sb, "<http://ex/p%d> <http://ex/knows> <http://ex/p%d> .\n", i, (i+1)%people)
+		for j := 0; j < likesPer; j++ {
+			fmt.Fprintf(&sb, "<http://ex/p%d> <http://ex/likes> <http://ex/item%d> .\n", i, (i+j)%(people/2+1))
+		}
+	}
+	statements, err := rdf.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := shard.BuildSharded(d, core.Layout2Tp, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store.Store{Index: x, Dicts: dicts}
+}
+
+// TestServerShardedStore serves a sharded store through the full HTTP
+// stack: pattern queries (routed and fan-out), BGP queries, and stats
+// reporting the shard count.
+func TestServerShardedStore(t *testing.T) {
+	st := testShardedStore(t, 24, 3, 4)
+	srv := New(st, Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Routed (bound subject) pattern.
+	resp, body := get(t, ts, "/query?s=%3Chttp%3A%2F%2Fex%2Fp3%3E")
+	if resp.StatusCode != 200 {
+		t.Fatalf("routed query: status %d: %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(t, body)
+	if n := lines[len(lines)-1]["matches"]; n != float64(4) {
+		t.Fatalf("p3 has %v triples, want 4", n)
+	}
+
+	// Fan-out (subject unbound) pattern across all shards.
+	resp, body = get(t, ts, "/query?p=%3Chttp%3A%2F%2Fex%2Fknows%3E")
+	if resp.StatusCode != 200 {
+		t.Fatalf("fan-out query: status %d: %s", resp.StatusCode, body)
+	}
+	lines = ndjsonLines(t, body)
+	if n := lines[len(lines)-1]["matches"]; n != float64(24) {
+		t.Fatalf("knows fan-out matched %v, want 24", n)
+	}
+
+	// BGP through the executor over the sharded index.
+	resp, body = get(t, ts, "/sparql?q="+
+		"SELECT+%3Fx+%3Fy+WHERE+%7B+%3Fx+%3Chttp%3A%2F%2Fex%2Fknows%3E+%3Fy+.+%7D")
+	if resp.StatusCode != 200 {
+		t.Fatalf("sparql: status %d: %s", resp.StatusCode, body)
+	}
+	lines = ndjsonLines(t, body)
+	if n := lines[len(lines)-1]["results"]; n != float64(24) {
+		t.Fatalf("sparql results %v, want 24", n)
+	}
+
+	// Stats reports the partition width.
+	resp, body = get(t, ts, "/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "\"shards\": 4") {
+		t.Fatalf("stats missing shard count: %s", body)
+	}
+}
+
+// TestPprofEndpoints pins the -pprof gate: profiling handlers exist
+// only when Config.Pprof is set.
+func TestPprofEndpoints(t *testing.T) {
+	st := testStore(t, 6, 1)
+
+	off := httptest.NewServer(New(st, Config{}))
+	defer off.Close()
+	if resp, _ := get(t, off, "/debug/pprof/"); resp.StatusCode != 404 {
+		t.Fatalf("pprof off: /debug/pprof/ status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(st, Config{Pprof: true}))
+	defer on.Close()
+	resp, body := get(t, on, "/debug/pprof/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof on: /debug/pprof/ status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles: %s", body)
+	}
+	if resp, _ := get(t, on, "/debug/pprof/cmdline"); resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+}

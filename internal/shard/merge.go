@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"rdfindexes/internal/core"
+)
+
+// The scatter-gather read path: a subject-unbound pattern is issued to
+// every shard, and the N sorted result streams are interleaved by a
+// loser tree keyed on the layout's emission permutation for the shape.
+// Each stream reads ahead in blocks through a per-shard pooled
+// QueryCtx, so steady-state merging costs one tree replay (log N triple
+// comparisons) per emitted triple and no allocation; when all but one
+// stream are exhausted the tree is bypassed and the survivor's blocks
+// are copied straight into the caller's batch.
+//
+// Triples are globally distinct and each lives in exactly one shard, so
+// the merge never sees equal keys: the interleaving is unique, and it
+// equals the emission order of the unsharded index — the property the
+// randomized oracle in shard_test.go pins for every layout and shape.
+
+// streamBatch is the per-stream read-ahead block. Small enough that an
+// 8-shard merge state stays cache-resident, large enough to amortize
+// the per-refill virtual call into the shard iterator.
+const streamBatch = 64
+
+// stream is one shard's sorted result cursor inside a merge.
+type stream struct {
+	it   *core.Iterator
+	qc   *core.QueryCtx // returned to the shard's pool on exhaustion
+	head core.Triple    // next unemitted triple, valid while live
+	pos  int
+	n    int
+	buf  [streamBatch]core.Triple
+}
+
+// advance loads the stream's next head, refilling the read-ahead block
+// when drained; it reports false when the shard iterator is exhausted.
+func (st *stream) advance() bool {
+	if st.pos >= st.n {
+		st.n = st.it.NextBatch(st.buf[:])
+		st.pos = 0
+		if st.n == 0 {
+			return false
+		}
+	}
+	st.head = st.buf[st.pos]
+	st.pos++
+	return true
+}
+
+// mergeState is the recycled scatter-gather state: the per-shard
+// streams plus the loser tree over them. It implements core.BlockSource
+// so the merged result plugs into the standard batched Iterator.
+type mergeState struct {
+	store *Store
+	perm  core.Perm
+
+	streams []stream
+	// Loser tree over len(streams) leaves padded to pad (a power of
+	// two): loser[v] for internal nodes v in [1, pad) holds the stream
+	// index that lost the match at v, winner holds the overall winner.
+	// Stream index -1 is an exhausted (infinite-key) leaf. win is the
+	// scratch winners array reused by rebuilds.
+	loser  []int
+	win    []int
+	pad    int
+	winner int
+	live   int
+	done   bool // final Fill returned 0 and the state was recycled
+}
+
+// selectFanOut issues p on every shard and returns the order-preserving
+// merged iterator.
+func (s *Store) selectFanOut(p core.Pattern) *core.Iterator {
+	m, ok := s.merges.Get().(*mergeState)
+	if !ok {
+		m = &mergeState{store: s}
+	}
+	m.init(p)
+	return core.NewBlockIterator(m)
+}
+
+// init primes the per-shard streams and builds the loser tree.
+func (m *mergeState) init(p core.Pattern) {
+	s := m.store
+	k := len(s.shards)
+	m.perm = core.EmitPerm(s.layout, p.Shape())
+	if cap(m.streams) < k {
+		m.streams = make([]stream, k)
+	}
+	m.streams = m.streams[:k]
+	m.done = false
+	m.live = 0
+	for i := range m.streams {
+		st := &m.streams[i]
+		st.qc = s.acquireCtx(i)
+		st.it = core.SelectWithCtx(s.shards[i], p, st.qc)
+		st.pos, st.n = 0, 0
+		if st.advance() {
+			m.live++
+		} else {
+			m.finish(i)
+		}
+	}
+	m.build()
+}
+
+// finish releases stream i's shard context back to its pool and marks
+// the stream exhausted (nil iterator = infinite key).
+func (m *mergeState) finish(i int) {
+	st := &m.streams[i]
+	st.it = nil
+	if st.qc != nil {
+		m.store.releaseCtx(i, st.qc)
+		st.qc = nil
+	}
+}
+
+// beats reports whether stream a's head precedes stream b's head in the
+// merge permutation. Exhausted streams (-1 or a nil iterator) compare
+// as infinity; distinct triples guarantee no ties between live streams.
+func (m *mergeState) beats(a, b int) bool {
+	if a < 0 || m.streams[a].it == nil {
+		return false
+	}
+	if b < 0 || m.streams[b].it == nil {
+		return true
+	}
+	return core.PermLess(m.perm, m.streams[a].head, m.streams[b].head)
+}
+
+// build constructs the loser tree bottom-up over the primed streams.
+func (m *mergeState) build() {
+	k := len(m.streams)
+	pad := 1
+	for pad < k {
+		pad *= 2
+	}
+	m.pad = pad
+	if cap(m.loser) < pad {
+		m.loser = make([]int, pad)
+		m.win = make([]int, 2*pad)
+	}
+	m.loser = m.loser[:pad]
+	m.win = m.win[:2*pad]
+	for i := 0; i < pad; i++ {
+		if i < k && m.streams[i].it != nil {
+			m.win[pad+i] = i
+		} else {
+			m.win[pad+i] = -1
+		}
+	}
+	for v := pad - 1; v >= 1; v-- {
+		a, b := m.win[2*v], m.win[2*v+1]
+		if m.beats(a, b) {
+			m.win[v], m.loser[v] = a, b
+		} else {
+			m.win[v], m.loser[v] = b, a
+		}
+	}
+	m.winner = m.win[1]
+	if m.live == 0 {
+		m.winner = -1
+	}
+}
+
+// replay re-runs the matches on the path from stream s's leaf to the
+// root after s's head changed (advanced or exhausted), restoring the
+// tree invariant and the overall winner.
+func (m *mergeState) replay(s int) {
+	w := s
+	for v := (m.pad + s) / 2; v >= 1; v /= 2 {
+		if m.beats(m.loser[v], w) {
+			m.loser[v], w = w, m.loser[v]
+		}
+	}
+	m.winner = w
+	if m.live == 0 {
+		m.winner = -1
+	}
+}
+
+// recycle detaches the state and returns it to the store's merge pool.
+// Called exactly once, on the Fill call that returns 0 — the batched
+// Iterator never calls its source again after that.
+func (m *mergeState) recycle() {
+	if m.done {
+		return
+	}
+	m.done = true
+	for i := range m.streams {
+		if m.streams[i].it != nil {
+			m.finish(i)
+		}
+	}
+	m.store.merges.Put(m)
+}
+
+// Fill implements core.BlockSource: it emits the globally next triples
+// in merge order until out is full or every stream is exhausted.
+func (m *mergeState) Fill(out []core.Triple) int {
+	if m.winner < 0 {
+		m.recycle()
+		return 0
+	}
+	n := 0
+	for n < len(out) {
+		w := m.winner
+		if w < 0 {
+			break
+		}
+		if m.live == 1 {
+			return n + m.drainSolo(w, out[n:])
+		}
+		st := &m.streams[w]
+		out[n] = st.head
+		n++
+		if !st.advance() {
+			m.live--
+			m.finish(w)
+		}
+		m.replay(w)
+	}
+	return n
+}
+
+// drainSolo bypasses the tree once a single live stream remains: emit
+// its head, copy its buffered block, then let it decode straight into
+// the caller's batch. The head invariant is restored before returning
+// so the next Fill continues seamlessly.
+func (m *mergeState) drainSolo(w int, out []core.Triple) int {
+	st := &m.streams[w]
+	out[0] = st.head
+	n := 1
+	for n < len(out) {
+		if st.pos < st.n {
+			c := copy(out[n:], st.buf[st.pos:st.n])
+			st.pos += c
+			n += c
+			continue
+		}
+		k := st.it.NextBatch(out[n:])
+		if k == 0 {
+			m.live--
+			m.finish(w)
+			m.winner = -1
+			return n
+		}
+		n += k
+	}
+	// out is full; pull the next head (or discover exhaustion) so the
+	// next Fill call starts from a consistent stream state.
+	if !st.advance() {
+		m.live--
+		m.finish(w)
+		m.winner = -1
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+// Package shard partitions one triple collection into N independent
+// permuted-trie indexes over a single shared dictionary and ID space,
+// turning the monolithic index of internal/core into a horizontally
+// organized store: builds parallelize across shards (one core each),
+// per-shard working sets stay bounded, and the read path scatters a
+// pattern to the shards that can hold matches and gathers their sorted
+// result streams back into the exact emission order of the equivalent
+// single index.
+//
+// Partitioning is by subject: every triple (s, p, o) lives in shard
+// ShardOf(s, N). Because the paper's pattern dispatch resolves every
+// subject-bound shape (SPO, SP?, S?O, S??) on tries rooted at the
+// subject, those queries route to exactly one shard and execute there
+// unchanged. Subject-unbound shapes fan out to all shards; each shard
+// emits its matches in the layout's emission order for the shape
+// (core.EmitPerm), and a loser-tree merge interleaves the N sorted
+// streams back into that same global order, so callers cannot tell a
+// sharded store from a single index by looking at results.
+//
+// All shards share the dataset's global NS/NP/NO ID spaces. That keeps
+// the partition invisible to the algorithms — inverted scans iterate
+// the full predicate range on every shard, finds address the same root
+// spaces — at the cost of N root-level pointer structures sized by the
+// global spaces, which the per-shard SizeBits accounting makes visible.
+//
+// A Store is immutable after construction and follows the core
+// concurrency contract ("one index, N goroutines"): any number of
+// goroutines may query it concurrently. Fan-out scratch is drawn from
+// per-shard QueryCtx pools so each shard's warmed compressed-sequence
+// cursors are reused by later fan-outs instead of ping-ponging between
+// shards.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/trie"
+)
+
+// MaxShards bounds the shard count: a sanity limit for the store file
+// format, far above any useful partition of one process's cores.
+const MaxShards = 4096
+
+// ShardOf maps a subject ID to its shard. The multiply-shift hash
+// (Fibonacci hashing by the golden-ratio constant) spreads the dense,
+// correlated subject IDs produced by dictionary encoding evenly across
+// shards; the function is pure, so the builder and the query router
+// always agree. n <= 1 collapses to shard 0.
+func ShardOf(s core.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(s) * 0x9E3779B97F4A7C15
+	return int((h >> 33) % uint64(n))
+}
+
+// Partition splits a dataset into n per-shard datasets by subject hash.
+// The canonical SPO sort order of the input is preserved within each
+// shard (the split is a stable scan), and every part keeps the global
+// NS/NP/NO ID-space sizes — the invariant that makes per-shard tries
+// address the same root spaces as the unsharded index.
+func Partition(d *core.Dataset, n int) []*core.Dataset {
+	counts := make([]int, n)
+	for _, t := range d.Triples {
+		counts[ShardOf(t.S, n)]++
+	}
+	bufs := make([][]core.Triple, n)
+	for i := range bufs {
+		bufs[i] = make([]core.Triple, 0, counts[i])
+	}
+	for _, t := range d.Triples {
+		i := ShardOf(t.S, n)
+		bufs[i] = append(bufs[i], t)
+	}
+	parts := make([]*core.Dataset, n)
+	for i := range parts {
+		parts[i] = &core.Dataset{Triples: bufs[i], NS: d.NS, NP: d.NP, NO: d.NO}
+	}
+	return parts
+}
+
+// Store is a sharded index: N per-shard core indexes of one layout over
+// a shared ID space. It implements core.Index and core.CtxSelecter, so
+// the whole read stack — pooled QueryCtx selection, the SPARQL
+// executor, the HTTP server — serves it exactly like a single index.
+type Store struct {
+	shards     []core.Index
+	layout     core.Layout
+	numTriples int
+
+	// pools hold per-shard query contexts for the fan-out path; see the
+	// package comment. Entry i only ever serves shard i.
+	pools []sync.Pool
+	// merges recycles scatter-gather merge states (streams, loser tree,
+	// per-stream read-ahead buffers) across fan-out queries.
+	merges sync.Pool
+}
+
+// BuildSharded partitions d by subject hash and builds the n per-shard
+// indexes concurrently, one goroutine per shard. With n == 1 the result
+// wraps a single index built exactly like core.Build.
+func BuildSharded(d *core.Dataset, layout core.Layout, n int, opts ...core.Option) (*Store, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1, %d]", n, MaxShards)
+	}
+	if n == 1 {
+		// The partition is the identity; build from d directly instead
+		// of copying the whole triple slice through Partition.
+		x, err := core.Build(d, layout, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: build: %w", err)
+		}
+		return New([]core.Index{x})
+	}
+	parts := Partition(d, n)
+	shards := make([]core.Index, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shards[i], errs[i] = core.Build(parts[i], layout, opts...)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: build: %w", err)
+		}
+	}
+	return New(shards)
+}
+
+// New assembles a Store from already-built per-shard indexes (the store
+// loader uses it after decoding shard sections in parallel). All shards
+// must share one layout; shard i must hold exactly the triples whose
+// subject hashes to i under ShardOf(s, len(shards)).
+func New(shards []core.Index) (*Store, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: no shards")
+	}
+	if len(shards) > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1, %d]", len(shards), MaxShards)
+	}
+	layout := shards[0].Layout()
+	total := 0
+	for i, x := range shards {
+		if x == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+		if x.Layout() != layout {
+			return nil, fmt.Errorf("shard: shard %d has layout %v, want %v", i, x.Layout(), layout)
+		}
+		total += x.NumTriples()
+	}
+	return &Store{shards: shards, layout: layout, numTriples: total, pools: make([]sync.Pool, len(shards))}, nil
+}
+
+// Layout returns the layout shared by every shard.
+func (s *Store) Layout() core.Layout { return s.layout }
+
+// NumShards returns the number of shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th per-shard index; the store loader serializes
+// them individually.
+func (s *Store) Shard(i int) core.Index { return s.shards[i] }
+
+// NumTriples returns the total triple count across shards.
+func (s *Store) NumTriples() int { return s.numTriples }
+
+// SizeBits returns the summed storage footprint of all shards.
+func (s *Store) SizeBits() uint64 {
+	var total uint64
+	for _, x := range s.shards {
+		total += x.SizeBits()
+	}
+	return total
+}
+
+// Trie exposes a materialized permutation only for single-shard stores,
+// where it is the underlying index's trie; a multi-shard store has no
+// single trie per permutation and returns nil (statistics should use
+// NumTriples/SizeBits, as with dynamic snapshots).
+func (s *Store) Trie(p core.Perm) *trie.Trie {
+	if len(s.shards) == 1 {
+		return s.shards[0].Trie(p)
+	}
+	return nil
+}
+
+// Select resolves a pattern: routed to the owning shard when the
+// subject is bound, scatter-gathered across all shards otherwise.
+func (s *Store) Select(p core.Pattern) *core.Iterator { return s.SelectCtx(p, nil) }
+
+// SelectCtx resolves a pattern like Select. The caller's ctx (which may
+// be nil) serves routed lookups directly; fan-outs draw per-shard
+// contexts from the store's own pools instead, so shard-affine cursor
+// reuse is preserved no matter which caller ctx arrives.
+func (s *Store) SelectCtx(p core.Pattern, qc *core.QueryCtx) *core.Iterator {
+	if len(s.shards) == 1 {
+		return core.SelectWithCtx(s.shards[0], p, qc)
+	}
+	if p.S != core.Wildcard {
+		// Every triple with this subject lives in one shard, so the
+		// routed query's result stream is exactly the single-index one.
+		return core.SelectWithCtx(s.shards[ShardOf(p.S, len(s.shards))], p, qc)
+	}
+	return s.selectFanOut(p)
+}
+
+// acquireCtx takes a query context from shard i's pool.
+func (s *Store) acquireCtx(i int) *core.QueryCtx {
+	if qc, ok := s.pools[i].Get().(*core.QueryCtx); ok {
+		return qc
+	}
+	return &core.QueryCtx{}
+}
+
+// releaseCtx returns a drained shard context to shard i's pool.
+func (s *Store) releaseCtx(i int, qc *core.QueryCtx) { s.pools[i].Put(qc) }

@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rdfindexes/internal/core"
+)
+
+// randDataset builds a dataset with enough ID collisions that every
+// pattern shape has multi-match results spread across shards.
+func randDataset(t *testing.T, n int, seed int64) *core.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]core.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, core.Triple{
+			S: core.ID(rng.Intn(48)),
+			P: core.ID(rng.Intn(7)),
+			O: core.ID(rng.Intn(36)),
+		})
+	}
+	return core.NewDataset(ts)
+}
+
+var testLayouts = []core.Layout{core.Layout3T, core.LayoutCC, core.Layout2Tp, core.Layout2To}
+
+var testShardCounts = []int{1, 2, 4, 7}
+
+// samplePatterns draws, for every shape, patterns from indexed triples
+// plus patterns with components that match nothing.
+func samplePatterns(d *core.Dataset, rng *rand.Rand, perShape int) []core.Pattern {
+	var pats []core.Pattern
+	for _, shape := range core.AllShapes() {
+		for i := 0; i < perShape; i++ {
+			tr := d.Triples[rng.Intn(len(d.Triples))]
+			pats = append(pats, core.WithWildcards(tr, shape))
+		}
+		// A miss: components just past the ID spaces.
+		miss := core.Triple{S: core.ID(d.NS), P: core.ID(d.NP), O: core.ID(d.NO)}
+		pats = append(pats, core.WithWildcards(miss, shape))
+	}
+	return pats
+}
+
+// collectScalar drains through Next, covering the scalar path on top of
+// the batched one Collect uses.
+func collectScalar(it *core.Iterator) []core.Triple {
+	var out []core.Triple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func equalTriples(a, b []core.Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardOracle is the randomized scatter-gather oracle: for every
+// layout, shard count and pattern shape, the sharded store must return
+// the byte-identical result stream — same triples, same order — as the
+// single index built over the same dataset.
+func TestShardOracle(t *testing.T) {
+	d := randDataset(t, 900, 42)
+	rng := rand.New(rand.NewSource(7))
+	pats := samplePatterns(d, rng, 6)
+	for _, layout := range testLayouts {
+		single, err := core.Build(d, layout)
+		if err != nil {
+			t.Fatalf("%v: build single: %v", layout, err)
+		}
+		for _, n := range testShardCounts {
+			sh, err := BuildSharded(d, layout, n)
+			if err != nil {
+				t.Fatalf("%v/%d: BuildSharded: %v", layout, n, err)
+			}
+			if got, want := sh.NumTriples(), single.NumTriples(); got != want {
+				t.Fatalf("%v/%d: NumTriples = %d, want %d", layout, n, got, want)
+			}
+			if sh.Layout() != layout {
+				t.Fatalf("%v/%d: Layout = %v", layout, n, sh.Layout())
+			}
+			qc := core.AcquireQueryCtx()
+			for _, p := range pats {
+				want := single.Select(p).Collect(-1)
+				got := sh.Select(p).Collect(-1)
+				if !equalTriples(got, want) {
+					t.Fatalf("%v/%d shards, pattern %v (%v): sharded stream diverges\n got %v\nwant %v",
+						layout, n, p, p.Shape(), got, want)
+				}
+				// The emission order must be the layout's for the shape,
+				// not merely some permutation of the matches.
+				perm := core.EmitPerm(layout, p.Shape())
+				for i := 1; i < len(got); i++ {
+					if !core.PermLess(perm, got[i-1], got[i]) {
+						t.Fatalf("%v/%d shards, pattern %v: results not in %v order at %d",
+							layout, n, p, perm, i)
+					}
+				}
+				// Ctx-drawing path and the scalar drain.
+				if got := collectScalar(sh.SelectCtx(p, qc)); !equalTriples(got, want) {
+					t.Fatalf("%v/%d shards, pattern %v: SelectCtx stream diverges", layout, n, p)
+				}
+			}
+			qc.Release()
+		}
+	}
+}
+
+// TestShardOracleLimitedDrain abandons merged iterators early (the
+// server's limit path) and checks prefixes; abandoned fan-outs must not
+// poison later queries through the recycled merge/ctx pools.
+func TestShardOracleLimitedDrain(t *testing.T) {
+	d := randDataset(t, 700, 3)
+	single, err := core.Build(d, core.Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildSharded(d, core.Layout2Tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pats := samplePatterns(d, rng, 4)
+	for round := 0; round < 3; round++ {
+		for _, p := range pats {
+			limit := rng.Intn(5)
+			want := single.Select(p).Collect(limit)
+			got := sh.Select(p).Collect(limit)
+			if !equalTriples(got, want) {
+				t.Fatalf("pattern %v limit %d: got %v want %v", p, limit, got, want)
+			}
+		}
+	}
+}
+
+// TestShardCount covers Count on merged streams (drains through fill).
+func TestShardCount(t *testing.T) {
+	d := randDataset(t, 800, 11)
+	single, err := core.Build(d, core.Layout3T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildSharded(d, core.Layout3T, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Pattern{
+		core.NewPattern(-1, -1, -1),
+		core.NewPattern(-1, 3, -1),
+		core.NewPattern(-1, -1, 5),
+		core.NewPattern(-1, 2, 9),
+	} {
+		if got, want := sh.Select(p).Count(), single.Select(p).Count(); got != want {
+			t.Fatalf("Count(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBuildShardedValidation(t *testing.T) {
+	d := randDataset(t, 50, 1)
+	if _, err := BuildSharded(d, core.Layout3T, 0); err == nil {
+		t.Fatal("BuildSharded with 0 shards should fail")
+	}
+	if _, err := BuildSharded(d, core.Layout3T, MaxShards+1); err == nil {
+		t.Fatal("BuildSharded beyond MaxShards should fail")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("New with no shards should fail")
+	}
+	a, err := core.Build(d, core.Layout3T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Build(d, core.Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]core.Index{a, b}); err == nil {
+		t.Fatal("New with mixed layouts should fail")
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	d := randDataset(t, 600, 5)
+	parts := Partition(d, 5)
+	total := 0
+	for i, part := range parts {
+		total += len(part.Triples)
+		if part.NS != d.NS || part.NP != d.NP || part.NO != d.NO {
+			t.Fatalf("shard %d lost the global ID spaces", i)
+		}
+		for j, tr := range part.Triples {
+			if ShardOf(tr.S, 5) != i {
+				t.Fatalf("triple %v in wrong shard %d", tr, i)
+			}
+			if j > 0 && !part.Triples[j-1].Less(tr) {
+				t.Fatalf("shard %d not in sorted SPO order at %d", i, j)
+			}
+		}
+	}
+	if total != len(d.Triples) {
+		t.Fatalf("partition dropped triples: %d != %d", total, len(d.Triples))
+	}
+}
+
+// TestShardSizeBits pins the accounting: the sum of the shards.
+func TestShardSizeBits(t *testing.T) {
+	d := randDataset(t, 400, 8)
+	sh, err := BuildSharded(d, core.Layout2To, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < sh.NumShards(); i++ {
+		want += sh.Shard(i).SizeBits()
+	}
+	if got := sh.SizeBits(); got != want {
+		t.Fatalf("SizeBits = %d, want %d", got, want)
+	}
+	if sh.Trie(core.PermSPO) != nil {
+		t.Fatal("multi-shard store should not expose a single trie")
+	}
+	one, err := BuildSharded(d, core.Layout2To, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Trie(core.PermSPO) == nil {
+		t.Fatal("single-shard store should delegate Trie")
+	}
+}
+
+// TestShardRaceStress hammers one shared sharded store from 16
+// goroutines mixing routed and fan-out shapes, each drawing pooled
+// contexts; run under -race this exercises the per-shard ctx pools and
+// the merge-state pool. Expected counts are computed serially first.
+func TestShardRaceStress(t *testing.T) {
+	d := randDataset(t, 1200, 77)
+	sh, err := BuildSharded(d, core.Layout2Tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pats := samplePatterns(d, rng, 8)
+	want := make([]int, len(pats))
+	for i, p := range pats {
+		want[i] = sh.Select(p).Count()
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qc := core.AcquireQueryCtx()
+			defer qc.Release()
+			buf := qc.Batch()
+			for round := 0; round < 30; round++ {
+				i := (g*31 + round*7) % len(pats)
+				it := sh.SelectCtx(pats[i], qc)
+				n := 0
+				for {
+					k := it.NextBatch(buf)
+					if k == 0 {
+						break
+					}
+					n += k
+				}
+				if n != want[i] {
+					errc <- errCount{i: i, got: n, want: want[i]}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+type errCount struct{ i, got, want int }
+
+func (e errCount) Error() string {
+	return "concurrent count mismatch"
+}

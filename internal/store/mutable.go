@@ -100,6 +100,15 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 	if threshold == 0 {
 		threshold = core.DefaultMergeThreshold
 	}
+	// A merge would rebuild the log into a single index and silently
+	// de-shard the store, so refuse writes instead — detected by magic
+	// sniff, before the full (and, for callers that fall back to a
+	// read-only load, wasted) decode.
+	if sharded, err := IsSharded(path); err != nil {
+		return nil, err
+	} else if sharded {
+		return nil, fmt.Errorf("store: %s: %w", path, ErrSharded)
+	}
 	st, err := Read(path)
 	if err != nil {
 		return nil, err
@@ -204,6 +213,12 @@ func ReadView(path string) (*Store, error) {
 		}
 		m, err := openMutable(path, -1, false)
 		if err != nil {
+			// A WAL next to a sharded store is an orphan (an in-place
+			// rebuild replaced an updatable store); the sharded store
+			// itself is complete without it.
+			if errors.Is(err, ErrSharded) {
+				return Read(path)
+			}
 			// A merge mid-read can also surface as a parse failure
 			// (store and WAL from different generations); retry those
 			// too when the file identity moved.
@@ -316,6 +331,42 @@ const (
 // like WAL I/O or merge errors; the HTTP layer maps the two classes to
 // 400 and 500.
 var ErrTerm = errors.New("invalid write term")
+
+// ErrSharded reports an attempt to open a sharded store for writing.
+// Sharded stores serve read-only: callers (the CLI, the server) catch
+// this to fall back to ReadView.
+var ErrSharded = errors.New("sharded store is read-only (rebuild with -shards to change the partition)")
+
+// PrepareRebuild clears the way for overwriting the store at path with
+// a freshly built one. It takes the WAL's non-blocking exclusive flock
+// (the same liveness lock OpenMutable holds while serving) so a live
+// writing process fails the rebuild fast instead of having its WAL
+// yanked from under it; refuses while the WAL still holds acknowledged
+// writes, which a rebuild would silently drop; and removes an empty
+// leftover WAL so it cannot replay into the unrelated new store. A
+// missing WAL needs no preparation.
+func PrepareRebuild(path string) error {
+	walPath := path + WALSuffix
+	f, err := os.OpenFile(walPath, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	if err := flockExclusive(f); err != nil {
+		return fmt.Errorf("store: %s is in use by another process: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() > 0 {
+		return fmt.Errorf("store: %s holds pending writes for the previous store; merge them or delete the WAL before rebuilding", walPath)
+	}
+	return os.Remove(walPath)
+}
 
 // writeTerm is one resolved write-side term: its canonical WAL
 // spelling, its ID (when found), and which dictionary would assign it

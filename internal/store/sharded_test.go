@@ -1,0 +1,234 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/shard"
+)
+
+// buildShardedSample builds a dictionary-backed sharded store from the
+// shared sample data.
+func buildShardedSample(t *testing.T, layout core.Layout, shards int) *Store {
+	t.Helper()
+	statements, err := rdf.ParseAll(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, dicts, err := rdf.Encode(statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := shard.BuildSharded(d, layout, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Store{Index: x, Dicts: dicts}
+}
+
+// TestShardedStoreRoundTrip pins the multi-shard container format: a
+// written sharded store reads back with the same shard count, triples
+// and result streams, dictionaries intact.
+func TestShardedStoreRoundTrip(t *testing.T) {
+	for _, layout := range []core.Layout{core.Layout3T, core.LayoutCC, core.Layout2Tp, core.Layout2To} {
+		t.Run(layout.String(), func(t *testing.T) {
+			st := buildShardedSample(t, layout, 3)
+			path := filepath.Join(t.TempDir(), "store.idx")
+			if err := Write(path, st); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Shards() != 3 {
+				t.Fatalf("Shards = %d, want 3", got.Shards())
+			}
+			if got.Index.Layout() != layout || got.Index.NumTriples() != st.Index.NumTriples() {
+				t.Fatalf("round trip changed the index: %v/%d", got.Index.Layout(), got.Index.NumTriples())
+			}
+			// Every shape through the loaded store matches the in-memory one.
+			for _, p := range []core.Pattern{
+				core.NewPattern(-1, -1, -1),
+				core.NewPattern(0, -1, -1),
+				core.NewPattern(-1, 0, -1),
+			} {
+				want := st.Index.Select(p).Collect(-1)
+				gotT := got.Index.Select(p).Collect(-1)
+				if len(want) != len(gotT) {
+					t.Fatalf("pattern %v: %d results, want %d", p, len(gotT), len(want))
+				}
+				for i := range want {
+					if want[i] != gotT[i] {
+						t.Fatalf("pattern %v: result %d = %v, want %v", p, i, gotT[i], want[i])
+					}
+				}
+			}
+			pat, err := got.ParsePattern("<http://ex/alice>", "?", "?")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := got.Index.Select(pat).Count(); n != 2 {
+				t.Fatalf("alice has %d triples, want 2", n)
+			}
+		})
+	}
+}
+
+// TestShardedStoreLargeRoundTrip shards a bigger integer dataset and
+// compares full streams against a single-index store after the disk
+// round trip (both files written and reloaded).
+func TestShardedStoreLargeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ts := make([]core.Triple, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		ts = append(ts, core.Triple{
+			S: core.ID(rng.Intn(200)), P: core.ID(rng.Intn(9)), O: core.ID(rng.Intn(150)),
+		})
+	}
+	d := core.NewDataset(ts)
+	single, err := core.Build(d, core.Layout2Tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.BuildSharded(d, core.Layout2Tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	shPath := filepath.Join(dir, "sharded.idx")
+	if err := Write(shPath, &Store{Index: sh}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(shPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Pattern{
+		core.NewPattern(-1, -1, -1),
+		core.NewPattern(-1, 4, -1),
+		core.NewPattern(-1, -1, 7),
+		core.NewPattern(17, -1, -1),
+	} {
+		want := single.Select(p).Collect(-1)
+		got := loaded.Index.Select(p).Collect(-1)
+		if len(got) != len(want) {
+			t.Fatalf("pattern %v: %d results, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %v: result %d = %v, want %v (order broken)", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedStoreReadOnly pins the write-path refusal: OpenMutable
+// fails with ErrSharded, and ReadView still serves the store.
+func TestShardedStoreReadOnly(t *testing.T) {
+	st := buildShardedSample(t, core.Layout2Tp, 2)
+	path := filepath.Join(t.TempDir(), "store.idx")
+	if err := Write(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMutable(path, 0); !errors.Is(err, ErrSharded) {
+		t.Fatalf("OpenMutable on sharded store: %v, want ErrSharded", err)
+	}
+	view, err := ReadView(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Shards() != 2 {
+		t.Fatalf("ReadView shards = %d, want 2", view.Shards())
+	}
+
+	// An orphaned WAL next to a sharded store (left by an in-place
+	// rebuild of an updatable store) must not wedge the read path: the
+	// sharded store is complete without it.
+	if err := os.WriteFile(path+WALSuffix, []byte("I <a> <b> <c> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	view, err = ReadView(path)
+	if err != nil {
+		t.Fatalf("ReadView with orphaned WAL: %v", err)
+	}
+	if view.Shards() != 2 || view.Index.NumTriples() != st.Index.NumTriples() {
+		t.Fatalf("orphaned WAL changed the view: shards=%d triples=%d", view.Shards(), view.Index.NumTriples())
+	}
+}
+
+// TestShardedStoreCorruption rejects a length table that disagrees with
+// the file size instead of decoding garbage sections.
+func TestShardedStoreCorruption(t *testing.T) {
+	st := buildShardedSample(t, core.Layout2Tp, 2)
+	path := filepath.Join(t.TempDir(), "store.idx")
+	if err := Write(path, st); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("truncated sharded store accepted")
+	}
+}
+
+// TestPrepareRebuild pins the rebuild guard: a WAL flocked by a live
+// writer refuses the rebuild, a WAL with pending records refuses, an
+// empty unlocked leftover is removed, a missing WAL is fine.
+func TestPrepareRebuild(t *testing.T) {
+	st := buildSample(t, core.Layout2Tp)
+	path := filepath.Join(t.TempDir(), "store.idx")
+	if err := Write(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrepareRebuild(path); err != nil {
+		t.Fatalf("missing WAL: %v", err)
+	}
+
+	// Live writer: its flock must block the rebuild.
+	m, err := OpenMutable(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PrepareRebuild(path); err == nil {
+		m.Close()
+		t.Fatal("rebuild allowed over a live flocked WAL")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed writer, empty WAL: removed.
+	if err := PrepareRebuild(path); err != nil {
+		t.Fatalf("empty WAL: %v", err)
+	}
+	if _, err := os.Stat(path + WALSuffix); !os.IsNotExist(err) {
+		t.Fatalf("empty WAL not removed: %v", err)
+	}
+
+	// Pending records: refused.
+	m, err = OpenMutable(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert("<http://ex/x>", "<http://ex/y>", "<http://ex/z>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrepareRebuild(path); err == nil {
+		t.Fatal("rebuild allowed over pending WAL records")
+	}
+}

@@ -9,19 +9,31 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/dict"
 	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/shard"
 )
 
-// Magic is the store file signature.
+// Magic is the single-index store file signature.
 const Magic = "RDFSTORE1"
+
+// MagicSharded is the multi-shard store file signature. The layout is:
+// magic, the optional dictionaries (shared by all shards), the shard
+// count, a table of per-shard section byte lengths, then the shards'
+// serialized indexes back to back. The length table gives every shard's
+// file offset up front, so Read decodes the sections in parallel with
+// independent readers.
+const MagicSharded = "RDFSHARD1"
 
 // Store is an index plus its dictionaries (nil Dicts for integer-only
 // datasets that were built from binary triple files).
@@ -38,8 +50,10 @@ type Store struct {
 }
 
 // Write serializes the store to path: magic, optional dictionaries, then
-// the index. Only static state serializes; a serving view (dynamic
-// snapshot index, overlay dictionaries) must be folded (merged) first.
+// the index — the single-index format for plain indexes, the multi-shard
+// container for a *shard.Store. Only static state serializes; a serving
+// view (dynamic snapshot index, overlay dictionaries) must be folded
+// (merged) first.
 func Write(path string, st *Store) error {
 	if _, ok := st.Index.(*core.DynamicSnapshot); ok {
 		return fmt.Errorf("store: index is a serving snapshot, not serializable (merge first)")
@@ -54,6 +68,7 @@ func Write(path string, st *Store) error {
 			return fmt.Errorf("store: P dictionary is not serializable (fold the overlay first)")
 		}
 	}
+	sh, sharded := st.Index.(*shard.Store)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -66,7 +81,11 @@ func Write(path string, st *Store) error {
 		}
 	}()
 	w := codec.NewWriter(f)
-	w.String(Magic)
+	if sharded {
+		w.String(MagicSharded)
+	} else {
+		w.String(Magic)
+	}
 	if st.Dicts != nil {
 		w.Byte(1)
 		so.Encode(w)
@@ -74,10 +93,17 @@ func Write(path string, st *Store) error {
 	} else {
 		w.Byte(0)
 	}
+	if sharded {
+		w.Uvarint(uint64(sh.NumShards()))
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	if err := core.WriteIndex(f, st.Index); err != nil {
+	if sharded {
+		if err := writeShards(f, sh); err != nil {
+			return err
+		}
+	} else if err := core.WriteIndex(f, st.Index); err != nil {
 		return err
 	}
 	// The merge path renames this file over the live store and then
@@ -91,7 +117,54 @@ func Write(path string, st *Store) error {
 	return err
 }
 
-// Read loads a store written by Write.
+// writeShards streams every shard's serialized section straight to the
+// file and then patches the section-length table in place: a
+// placeholder table is written first, each section streams through a
+// counting writer (no section is ever buffered whole, so writing costs
+// O(1) extra memory regardless of store size), and a final seek pair
+// fills in the measured lengths.
+func writeShards(f *os.File, sh *shard.Store) error {
+	tablePos, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	n := sh.NumShards()
+	table := make([]byte, 8*n)
+	if _, err := f.Write(table); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		cw := &countingWriter{w: f}
+		if err := core.WriteIndex(cw, sh.Shard(i)); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(table[8*i:], cw.n)
+	}
+	if _, err := f.Seek(tablePos, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.Write(table); err != nil {
+		return err
+	}
+	_, err = f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// countingWriter counts the bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// Read loads a store written by Write, auto-detecting the single-index
+// and multi-shard formats by their magic. Multi-shard files decode their
+// shard sections in parallel.
 func Read(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -101,7 +174,8 @@ func Read(path string) (*Store, error) {
 	// One buffered stream shared by the header decoder and ReadIndex.
 	br := bufio.NewReader(f)
 	r := codec.NewReader(br)
-	if magic := r.String(); magic != Magic {
+	magic := r.String()
+	if magic != Magic && magic != MagicSharded {
 		return nil, fmt.Errorf("not an rdfstore file (magic %q)", magic)
 	}
 	st := &Store{}
@@ -116,6 +190,13 @@ func Read(path string) (*Store, error) {
 		}
 		st.Dicts = &rdf.Dicts{SO: so, P: p}
 	}
+	if magic == MagicSharded {
+		st.Index, err = readShards(f, r)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -124,6 +205,88 @@ func Read(path string) (*Store, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// readShards decodes the shard table of a multi-shard store and loads
+// every shard section concurrently through an independent section
+// reader. r must be positioned at the shard count; its consumed-byte
+// counter gives the file offset of the first section (every header byte
+// passes through it).
+func readShards(f *os.File, r *codec.Reader) (*shard.Store, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > shard.MaxShards {
+		return nil, fmt.Errorf("%w: shard count %d out of range [1, %d]", codec.ErrCorrupt, n, shard.MaxShards)
+	}
+	lengths := make([]int64, n)
+	var total int64
+	for i := range lengths {
+		v := r.Uint64()
+		if v > 1<<62 || int64(v) < 0 {
+			return nil, fmt.Errorf("%w: shard %d section length %d", codec.ErrCorrupt, i, v)
+		}
+		lengths[i] = int64(v)
+		total += lengths[i]
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	base := r.Read()
+	if fi, err := f.Stat(); err == nil && base+total != fi.Size() {
+		return nil, fmt.Errorf("%w: shard sections cover %d bytes, file has %d after the header",
+			codec.ErrCorrupt, total, fi.Size()-base)
+	}
+	shards := make([]core.Index, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	off := base
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int, off, length int64) {
+			defer wg.Done()
+			shards[i], errs[i] = core.ReadIndex(io.NewSectionReader(f, off, length))
+		}(i, off, lengths[i])
+		off += lengths[i]
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shard.New(shards)
+}
+
+// IsSharded reports whether the file at path is a multi-shard store,
+// by sniffing its magic — no index data is decoded, so callers that
+// must branch on shardedness before committing to a full load (the
+// mutable open path) stay O(1).
+func IsSharded(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	r := codec.NewReader(f)
+	magic := r.String()
+	if err := r.Err(); err != nil {
+		return false, err
+	}
+	if magic != Magic && magic != MagicSharded {
+		return false, fmt.Errorf("not an rdfstore file (magic %q)", magic)
+	}
+	return magic == MagicSharded, nil
+}
+
+// Shards returns the shard count of the store's index: the partition
+// width for a sharded index, 1 for everything else.
+func (st *Store) Shards() int {
+	if sh, ok := st.Index.(*shard.Store); ok {
+		return sh.NumShards()
+	}
+	return 1
 }
 
 // ParseTerm interprets a query term: "?" (or empty) is a wildcard, <...>
