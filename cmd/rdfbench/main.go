@@ -46,6 +46,7 @@ var experiments = []struct {
 	{"parallel", "concurrent query throughput on one shared index (1/4/16 goroutines)", bench.ServeParallel},
 	{"update", "amortized-update throughput and read interference by merge threshold", bench.UpdateThroughput},
 	{"shard", "sharded store: parallel build time and scatter-gather throughput at 1/2/4/8 shards", bench.ShardScaling},
+	{"dict", "dictionary materialization: cursor/batch extraction, hash locate, NDJSON rows/sec", bench.DictMaterialization},
 }
 
 func main() {

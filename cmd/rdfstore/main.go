@@ -205,21 +205,35 @@ func queryCmd(args []string, out io.Writer) error {
 
 	qc := core.AcquireQueryCtx()
 	defer qc.Release()
+	// Matches render through the pooled dictionary cursors: each
+	// front-coded bucket entry of a sorted result run decodes once, and
+	// the line is built in one reused buffer instead of per-row strings.
+	rend := store.AcquireRenderer(st)
+	defer rend.Release()
 	it := core.SelectWithCtx(st.Index, pat, qc)
+	buf := qc.Batch()
+	var line []byte
 	count := 0
 	for {
-		t, ok := it.Next()
-		if !ok {
+		k := it.NextBatch(buf)
+		if k == 0 {
 			break
 		}
-		count++
-		if *limit < 0 || count <= *limit {
+		for _, t := range buf[:k] {
+			count++
+			if *limit >= 0 && count > *limit {
+				continue
+			}
 			if st.Dicts != nil {
-				line, err := st.Dicts.DecodeTriple(t)
-				if err != nil {
+				line = rend.AppendTerm(line[:0], t.S)
+				line = append(line, ' ')
+				line = rend.AppendPredicate(line, t.P)
+				line = append(line, ' ')
+				line = rend.AppendTerm(line, t.O)
+				line = append(line, ' ', '.', '\n')
+				if _, err := out.Write(line); err != nil {
 					return err
 				}
-				fmt.Fprintln(out, line)
 			} else {
 				fmt.Fprintln(out, t)
 			}
@@ -257,22 +271,38 @@ func sparqlCmd(args []string, out io.Writer) error {
 	if *stats {
 		order = sparql.PlanWithStats(q, st.Index)
 	}
+	// Solutions stream through the reused-bindings executor and the
+	// pooled renderer: no per-row maps, no per-term strings.
+	rend := store.AcquireRenderer(st)
+	defer rend.Release()
+	var line []byte
+	var writeErr error
 	printed := 0
-	execStats, err := sparql.ExecuteWithOrder(q, st.Index, order, func(b sparql.Bindings) {
-		if *limit >= 0 && printed >= *limit {
+	execStats, err := sparql.StreamWithOrder(nil, q, st.Index, order, func(b sparql.Bindings) {
+		if writeErr != nil || (*limit >= 0 && printed >= *limit) {
 			return
 		}
 		printed++
+		line = line[:0]
 		for i, v := range q.Vars {
 			if i > 0 {
-				fmt.Fprint(out, "\t")
+				line = append(line, '\t')
 			}
-			fmt.Fprintf(out, "?%s=%s", v, st.Render(b[v]))
+			line = append(line, '?')
+			line = append(line, v...)
+			line = append(line, '=')
+			line = rend.AppendTerm(line, b[v])
 		}
-		fmt.Fprintln(out)
+		line = append(line, '\n')
+		if _, werr := out.Write(line); werr != nil {
+			writeErr = werr
+		}
 	})
 	if err != nil {
 		return err
+	}
+	if writeErr != nil {
+		return writeErr
 	}
 	fmt.Fprintf(out, "-- %d solutions; %d atomic patterns issued; %d triples matched\n",
 		execStats.Results, execStats.PatternsIssued, execStats.TriplesMatched)

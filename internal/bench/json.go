@@ -29,6 +29,14 @@ type JSONReport struct {
 	Seed          int64              `json:"seed"`
 	BitsPerTriple map[string]float64 `json:"bits_per_triple"`
 	Patterns      []ShapeResult      `json:"patterns"`
+	// MaterializedRowsPerSec is the throughput of the pooled /sparql row
+	// path (streamed execution + dictionary cursors + NDJSON writer) on
+	// a synthetic-dictionary store; MaterializedRows is the seeded row
+	// count behind it (a mismatch means the measurements are not
+	// comparable). Zero in reports from before the field existed, which
+	// Compare treats as "no baseline".
+	MaterializedRowsPerSec float64 `json:"materialized_rows_per_sec,omitempty"`
+	MaterializedRows       int     `json:"materialized_rows,omitempty"`
 }
 
 // MeasureJSON builds every layout over the preset's synthetic dataset
@@ -71,6 +79,12 @@ func MeasureJSON(cfg Config, preset string) (*JSONReport, error) {
 			})
 		}
 	}
+	rowsPerSec, rows, err := MaterializeRowsPerSec(d, cfg.Runs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: materialization: %w", err)
+	}
+	rep.MaterializedRowsPerSec = rowsPerSec
+	rep.MaterializedRows = rows
 	return rep, nil
 }
 
@@ -153,6 +167,23 @@ func Compare(base, cur *JSONReport, tolerance float64) []Regression {
 		if c > b*1.02 {
 			regs = append(regs, Regression{
 				Layout: layout, Shape: "-", Metric: "bits/triple", Base: b, Current: c,
+			})
+		}
+	}
+	// Materialized-row throughput gates downward: higher is better, so a
+	// regression is falling below (1 - tolerance) of the baseline. A
+	// zero baseline (report predating the metric) skips the gate, like
+	// layout/shape pairs present in only one report.
+	if base.MaterializedRowsPerSec > 0 && cur.MaterializedRowsPerSec > 0 {
+		if base.MaterializedRows != cur.MaterializedRows {
+			regs = append(regs, Regression{
+				Layout: "materialize", Shape: "-", Metric: "matches",
+				Base: float64(base.MaterializedRows), Current: float64(cur.MaterializedRows),
+			})
+		} else if cur.MaterializedRowsPerSec < base.MaterializedRowsPerSec*(1-tolerance) {
+			regs = append(regs, Regression{
+				Layout: "materialize", Shape: "-", Metric: "rows/sec",
+				Base: base.MaterializedRowsPerSec, Current: cur.MaterializedRowsPerSec,
 			})
 		}
 	}

@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"rdfindexes/internal/gen"
 )
 
 func report(ns map[string]float64, matches map[string]int, bits map[string]float64) *JSONReport {
@@ -94,4 +96,74 @@ func TestCompare(t *testing.T) {
 			t.Fatalf("new layout flagged: %v", regs)
 		}
 	})
+}
+
+func TestCompareMaterializedRows(t *testing.T) {
+	base := report(nil, nil, nil)
+	base.MaterializedRowsPerSec, base.MaterializedRows = 1000, 50
+
+	t.Run("faster passes", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 3000, 50
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("faster materialization regressed: %v", regs)
+		}
+	})
+	t.Run("slower fails", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 700, 50
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "rows/sec" {
+			t.Fatalf("expected one rows/sec regression, got %v", regs)
+		}
+	})
+	t.Run("row drift fails", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 1000, 51
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "matches" {
+			t.Fatalf("expected one matches regression, got %v", regs)
+		}
+	})
+	t.Run("missing baseline skips", func(t *testing.T) {
+		old := report(nil, nil, nil) // predates the metric
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 1, 50
+		if regs := Compare(old, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("missing baseline gated: %v", regs)
+		}
+	})
+}
+
+func TestDictMaterializationExperiment(t *testing.T) {
+	tables, err := DictMaterialization(Config{Triples: 6000, Queries: 50, Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want 3", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %q has no rows", tb.Title)
+		}
+	}
+}
+
+func TestMaterializeRowsPerSecDeterministicRows(t *testing.T) {
+	d, err := gen.GeneratePreset("dblp", 6000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows1, err := MaterializeRowsPerSec(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows2, err := MaterializeRowsPerSec(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows1 == 0 || rows1 != rows2 {
+		t.Fatalf("materialized rows not deterministic: %d vs %d", rows1, rows2)
+	}
 }

@@ -32,6 +32,10 @@ type Reader interface {
 	Locate(s string) (int, bool)
 	// Extract returns the string with the given ID.
 	Extract(id int) (string, bool)
+	// ExtractAppend appends the string with the given ID to buf and
+	// returns the extended buffer; buf is returned unchanged when the ID
+	// is out of range. It never allocates beyond growing buf.
+	ExtractAppend(buf []byte, id int) ([]byte, bool)
 	// SizeBits returns the storage footprint in bits.
 	SizeBits() uint64
 }
@@ -43,6 +47,7 @@ type Dict struct {
 	bucketSize int
 	data       []byte
 	offsets    *ef.Sequence // byte offset of each bucket in data
+	hash       *locateHash  // optional O(1) Locate index (BuildLocateHash)
 }
 
 // New builds a dictionary over strs, which must be sorted and distinct.
@@ -124,58 +129,94 @@ func readUvarint(data []byte, pos int) (uint64, int) {
 // Len returns the number of strings.
 func (d *Dict) Len() int { return d.n }
 
-// header decodes the first string of bucket k.
-func (d *Dict) header(k int) string {
+// headerBytes returns the verbatim first string of bucket k as a
+// subslice of the encoded data (no copy).
+func (d *Dict) headerBytes(k int) []byte {
 	pos := int(d.offsets.Access(k))
 	l, pos := readUvarint(d.data, pos)
-	return string(d.data[pos : pos+int(l)])
+	return d.data[pos : pos+int(l)]
 }
 
 // Extract returns the string with the given ID.
 func (d *Dict) Extract(id int) (string, bool) {
-	if id < 0 || id >= d.n {
+	b, ok := d.ExtractAppend(nil, id)
+	if !ok {
 		return "", false
 	}
+	return string(b), true
+}
+
+// ExtractAppend appends the string with the given ID to buf and returns
+// the extended buffer. The bucket is decoded with one suffix splice per
+// entry directly into buf: the shared prefix already sits at buf's tail
+// after the previous entry, so each step truncates to the stored LCP and
+// appends the suffix — no intermediate strings are materialized, and the
+// only allocation is growing buf when its capacity runs out.
+func (d *Dict) ExtractAppend(buf []byte, id int) ([]byte, bool) {
+	if id < 0 || id >= d.n {
+		return buf, false
+	}
+	base := len(buf)
 	k := id / d.bucketSize
 	pos := int(d.offsets.Access(k))
 	l, pos := readUvarint(d.data, pos)
-	cur := string(d.data[pos : pos+int(l)])
+	buf = append(buf, d.data[pos:pos+int(l)]...)
 	pos += int(l)
 	for i := 0; i < id%d.bucketSize; i++ {
 		lcp, p := readUvarint(d.data, pos)
 		suf, p2 := readUvarint(d.data, p)
-		cur = cur[:lcp] + string(d.data[p2:p2+int(suf)])
+		buf = append(buf[:base+int(lcp)], d.data[p2:p2+int(suf)]...)
 		pos = p2 + int(suf)
 	}
-	return cur, true
+	return buf, true
 }
 
-// Locate returns the ID of s, or ok=false if absent.
-func (d *Dict) Locate(s string) (int, bool) {
-	if d.n == 0 {
-		return 0, false
+// cmpBytesStr is bytes.Compare over a []byte and a string, avoiding the
+// conversion allocation.
+func cmpBytesStr(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
 	}
-	numBuckets := (d.n + d.bucketSize - 1) / d.bucketSize
-	// Last bucket whose header is <= s.
-	lo, hi := 0, numBuckets-1
-	if d.header(0) > s {
-		return 0, false
-	}
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if d.header(mid) <= s {
-			lo = mid
-		} else {
-			hi = mid - 1
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	k := lo
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// searchBucket finds s within bucket k without materializing any entry:
+// it tracks match, the longest common prefix of s and the last decoded
+// entry, and compares each entry through its stored LCP value. An entry
+// whose LCP disagrees with match is ordered against s immediately — LCP
+// below match means the entry already sorts past s (early exit), LCP
+// above match means it still sorts before s (skipped without touching
+// its suffix) — and only entries whose LCP equals match compare suffix
+// bytes.
+func (d *Dict) searchBucket(k int, s string) (int, bool) {
 	pos := int(d.offsets.Access(k))
 	l, pos := readUvarint(d.data, pos)
-	cur := string(d.data[pos : pos+int(l)])
+	hdr := d.data[pos : pos+int(l)]
 	pos += int(l)
-	if cur == s {
+	match := 0
+	for match < len(hdr) && match < len(s) && hdr[match] == s[match] {
+		match++
+	}
+	if match == len(hdr) && match == len(s) {
 		return k * d.bucketSize, true
+	}
+	if match == len(s) || (match < len(hdr) && hdr[match] > s[match]) {
+		return 0, false // header > s, and entries only grow
 	}
 	limit := d.bucketSize
 	if rem := d.n - k*d.bucketSize; rem < limit {
@@ -184,21 +225,75 @@ func (d *Dict) Locate(s string) (int, bool) {
 	for i := 1; i < limit; i++ {
 		lcp, p := readUvarint(d.data, pos)
 		suf, p2 := readUvarint(d.data, p)
-		cur = cur[:lcp] + string(d.data[p2:p2+int(suf)])
 		pos = p2 + int(suf)
-		if cur == s {
-			return k*d.bucketSize + i, true
-		}
-		if cur > s {
+		L := int(lcp)
+		switch {
+		case L < match:
+			// The entry diverges from its predecessor before the prefix
+			// matched so far, and sorted order makes it diverge upward.
 			return 0, false
+		case L > match:
+			// The entry extends the predecessor beyond the first byte
+			// where s already differs; it still sorts before s.
+			continue
 		}
+		sb := d.data[p2:pos]
+		j := 0
+		for j < len(sb) && match+j < len(s) && sb[j] == s[match+j] {
+			j++
+		}
+		if j == len(sb) {
+			if match+j == len(s) {
+				return k*d.bucketSize + i, true
+			}
+			match += j // entry is a proper prefix of s, keep scanning
+			continue
+		}
+		if match+j == len(s) || sb[j] > s[match+j] {
+			return 0, false // entry > s
+		}
+		match += j
 	}
 	return 0, false
 }
 
-// SizeBits returns the storage footprint in bits.
+// Locate returns the ID of s, or ok=false if absent. With a hash index
+// built (BuildLocateHash), the bucket is found with one expected probe;
+// otherwise a binary search over the verbatim bucket headers narrows to
+// one bucket, and either way the in-bucket scan compares through the
+// stored LCP values with early exit instead of materializing entries.
+func (d *Dict) Locate(s string) (int, bool) {
+	if d.n == 0 {
+		return 0, false
+	}
+	if d.hash != nil {
+		return d.hash.locate(d, s)
+	}
+	if cmpBytesStr(d.headerBytes(0), s) > 0 {
+		return 0, false
+	}
+	// Last bucket whose header is <= s.
+	numBuckets := (d.n + d.bucketSize - 1) / d.bucketSize
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if cmpBytesStr(d.headerBytes(mid), s) <= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return d.searchBucket(lo, s)
+}
+
+// SizeBits returns the storage footprint in bits, including the hash
+// index when one has been built.
 func (d *Dict) SizeBits() uint64 {
-	return uint64(len(d.data))*8 + d.offsets.SizeBits() + 2*64
+	bits := uint64(len(d.data))*8 + d.offsets.SizeBits() + 2*64
+	if d.hash != nil {
+		bits += uint64(len(d.hash.slots)) * 64
+	}
+	return bits
 }
 
 // Encode writes the dictionary to w.

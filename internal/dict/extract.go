@@ -1,0 +1,249 @@
+package dict
+
+import "sort"
+
+// This file is the zero-allocation dictionary access path: a packed
+// fingerprint hash that answers Locate with one expected bucket probe, a
+// stateful Extractor cursor that decodes each bucket entry at most once
+// across a run of nearby IDs, and a batch extraction API that groups a
+// slice of IDs by bucket. The serving layers (internal/store's pooled
+// renderer, the HTTP NDJSON writer, the CLI output paths) are built on
+// these primitives.
+
+// locateHash is a packed open-addressing fingerprint table over every
+// string of a Dict: each occupied slot packs a 32-bit hash fingerprint
+// with the 32-bit ID (stored +1 so a zero slot always means empty). A
+// probe walks the string's linear-probe sequence comparing fingerprints
+// only; a fingerprint hit is verified with one LCP-based bucket search,
+// so lookups cost O(1) expected probes plus one bucket scan instead of a
+// binary search over bucket headers.
+type locateHash struct {
+	mask  uint64
+	slots []uint64
+}
+
+// FNV-1a, finalized with a murmur-style mix so the table index (low
+// bits) and the fingerprint (high bits) are decorrelated.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashMix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return hashMix(h)
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return hashMix(h)
+}
+
+// BuildLocateHash builds the packed hash index that makes Locate O(1).
+// It enumerates every string once (through a cursor, so the build is
+// linear in the encoded size) and costs 8 bytes per slot at load factor
+// <= 1/2. The index is not serialized; loaders rebuild it after decode.
+// It mutates the Dict, so it must be called before the dictionary is
+// shared between goroutines — the store load, build and fold paths all
+// call it before publication.
+func (d *Dict) BuildLocateHash() {
+	if d.hash != nil || d.n == 0 || d.n >= 1<<31 {
+		return
+	}
+	size := 1
+	for size < d.n*2 {
+		size <<= 1
+	}
+	lh := &locateHash{mask: uint64(size - 1), slots: make([]uint64, size)}
+	var e Extractor
+	e.Bind(d)
+	for id := 0; id < d.n; id++ {
+		t, _ := e.Extract(id)
+		h := hashBytes(t)
+		fp := h >> 32
+		for i := h & lh.mask; ; i = (i + 1) & lh.mask {
+			if lh.slots[i] == 0 {
+				lh.slots[i] = fp<<32 | uint64(id+1)
+				break
+			}
+		}
+	}
+	d.hash = lh
+}
+
+// locate answers Locate through the fingerprint table. Fingerprint
+// collisions are harmless: verification searches the candidate's bucket
+// for s and accepts only when the found rank is the candidate itself.
+func (lh *locateHash) locate(d *Dict, s string) (int, bool) {
+	h := hashString(s)
+	fp := h >> 32
+	for i := h & lh.mask; ; i = (i + 1) & lh.mask {
+		slot := lh.slots[i]
+		if slot == 0 {
+			return 0, false
+		}
+		if slot>>32 == fp {
+			id := int(uint32(slot)) - 1
+			if r, ok := d.searchBucket(id/d.bucketSize, s); ok && r == id {
+				return id, true
+			}
+		}
+	}
+}
+
+// Extractor is a stateful extraction cursor over a Dict or an Overlay.
+// It remembers the bucket it last decoded and the buffer holding the
+// current term, so a run of ascending or repeated IDs inside one bucket
+// — the common case: result streams arrive sorted — decodes each bucket
+// entry at most once instead of re-walking the bucket per term, and a
+// repeated ID (a hot predicate) costs nothing at all. The returned term
+// bytes stay valid until the next call on the same cursor.
+//
+// An Extractor is a single-goroutine object; the pooled renderers in
+// internal/store hold one per dictionary per request.
+type Extractor struct {
+	d     *Dict    // front-coded base (nil only with a foreign Reader)
+	added []string // overlay tail strings (ID = d.Len()+i), nil otherwise
+	gen   Reader   // fallback for Reader implementations outside this package
+
+	bucket int    // bucket currently decoded into cur, -1 when none
+	idx    int    // entry index of cur within bucket
+	pos    int    // byte offset in d.data of the entry after idx
+	cur    []byte // owned buffer holding the current term
+
+	ord []int32    // ExtractBatch rank scratch
+	bo  batchOrder // ExtractBatch sorter (kept here so sort.Sort gets a pointer)
+}
+
+// NewExtractor returns a cursor over r. Dict and Overlay (including
+// Overlay views) use the incremental bucket protocol; any other Reader
+// falls back to its one-shot ExtractAppend.
+func NewExtractor(r Reader) *Extractor {
+	e := &Extractor{}
+	e.Bind(r)
+	return e
+}
+
+// Bind points the cursor at a (possibly different) dictionary, keeping
+// its buffers. Bind(nil) unbinds, dropping dictionary references so a
+// pooled cursor does not pin a retired store view.
+func (e *Extractor) Bind(r Reader) {
+	e.d, e.added, e.gen = nil, nil, nil
+	switch v := r.(type) {
+	case *Dict:
+		e.d = v
+	case *Overlay:
+		e.d, e.added = v.base, v.added
+	case nil:
+	default:
+		e.gen = r
+	}
+	e.bucket = -1
+}
+
+// Extract returns the term bytes for id, valid until the next call on
+// this cursor. Steady state is allocation-free: the only allocations are
+// growing the cursor's term buffer toward the longest term seen.
+func (e *Extractor) Extract(id int) ([]byte, bool) {
+	if e.d == nil {
+		if e.gen == nil {
+			return nil, false
+		}
+		var ok bool
+		e.cur, ok = e.gen.ExtractAppend(e.cur[:0], id)
+		return e.cur, ok
+	}
+	d := e.d
+	if id >= d.n {
+		if i := id - d.n; i < len(e.added) {
+			e.bucket = -1 // cur no longer mirrors a bucket position
+			e.cur = append(e.cur[:0], e.added[i]...)
+			return e.cur, true
+		}
+		return nil, false
+	}
+	if id < 0 {
+		return nil, false
+	}
+	k, j := id/d.bucketSize, id%d.bucketSize
+	if k != e.bucket || j < e.idx {
+		pos := int(d.offsets.Access(k))
+		l, p := readUvarint(d.data, pos)
+		e.cur = append(e.cur[:0], d.data[p:p+int(l)]...)
+		e.bucket, e.idx, e.pos = k, 0, p+int(l)
+	}
+	for e.idx < j {
+		lcp, p := readUvarint(d.data, e.pos)
+		suf, p2 := readUvarint(d.data, p)
+		e.cur = append(e.cur[:lcp], d.data[p2:p2+int(suf)]...)
+		e.pos = p2 + int(suf)
+		e.idx++
+	}
+	return e.cur, true
+}
+
+// batchOrder sorts batch ranks by their target ID; it lives inside the
+// Extractor so sort.Sort receives an interface over a pre-existing
+// pointer and the sort stays allocation-free.
+type batchOrder struct {
+	ids []int
+	ord []int32
+}
+
+func (b *batchOrder) Len() int           { return len(b.ord) }
+func (b *batchOrder) Less(i, j int) bool { return b.ids[b.ord[i]] < b.ids[b.ord[j]] }
+func (b *batchOrder) Swap(i, j int)      { b.ord[i], b.ord[j] = b.ord[j], b.ord[i] }
+
+// ExtractBatch resolves ids[i] into terms[i] for every i, decoding each
+// touched bucket at most once: the IDs are visited in ascending order
+// through the cursor regardless of their order in ids, and duplicate IDs
+// share one decoded term. Term bytes are appended to arena, and the
+// grown arena is returned; terms[i] slices remain valid even when the
+// arena reallocates. Out-of-range IDs leave terms[i] nil and turn the
+// result false. len(terms) must equal len(ids).
+func (e *Extractor) ExtractBatch(ids []int, terms [][]byte, arena []byte) ([]byte, bool) {
+	e.ord = e.ord[:0]
+	for i := range ids {
+		e.ord = append(e.ord, int32(i))
+	}
+	e.bo.ids, e.bo.ord = ids, e.ord
+	sort.Sort(&e.bo)
+	e.bo.ids = nil // do not retain the caller's slice past the call
+	ok := true
+	prev, prevOK := -1, false
+	var prevSpan []byte
+	for _, r := range e.ord {
+		id := ids[r]
+		if prevOK && id == prev {
+			terms[r] = prevSpan
+			continue
+		}
+		prev = id
+		t, found := e.Extract(id)
+		if !found {
+			terms[r], prevSpan, prevOK = nil, nil, false
+			ok = false
+			continue
+		}
+		start := len(arena)
+		arena = append(arena, t...)
+		prevSpan, prevOK = arena[start:len(arena):len(arena)], true
+		terms[r] = prevSpan
+	}
+	return arena, ok
+}

@@ -1,0 +1,343 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var (
+	_ Reader = (*Dict)(nil)
+	_ Reader = (*Overlay)(nil)
+)
+
+func TestExtractAppend(t *testing.T) {
+	for _, bucket := range []int{1, 2, 7, 16, 64} {
+		strs := uriLike(400)
+		d := buildSorted(t, strs, bucket)
+		buf := []byte("prefix|")
+		for id, want := range strs {
+			got, ok := d.ExtractAppend(buf, id)
+			if !ok {
+				t.Fatalf("bucket %d: ExtractAppend(%d) failed", bucket, id)
+			}
+			if string(got) != "prefix|"+want {
+				t.Fatalf("bucket %d: ExtractAppend(%d) = %q, want prefix|%q", bucket, id, got, want)
+			}
+		}
+		if got, ok := d.ExtractAppend(buf, len(strs)); ok || string(got) != "prefix|" {
+			t.Fatalf("out-of-range ExtractAppend = (%q, %v), want untouched buf", got, ok)
+		}
+		if got, ok := d.ExtractAppend(nil, -1); ok || got != nil {
+			t.Fatalf("negative ExtractAppend = (%q, %v)", got, ok)
+		}
+	}
+}
+
+// extractorAccessPatterns drives a cursor through sequential, reverse,
+// random, and repeated ID orders, checking every result against the
+// one-shot Extract.
+func TestExtractorAgainstExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	strs := uriLike(300)
+	for _, bucket := range []int{1, 3, 16} {
+		d := buildSorted(t, strs, bucket)
+		readers := map[string]Reader{"dict": d}
+		ov := NewOverlay(d)
+		for i := 0; i < 40; i++ {
+			ov.Add(fmt.Sprintf("zzz://overlay/%03d", i))
+		}
+		readers["overlay"] = ov.View()
+		for name, r := range readers {
+			n := r.Len()
+			e := NewExtractor(r)
+			var ids []int
+			for i := 0; i < n; i++ {
+				ids = append(ids, i) // sequential
+			}
+			for i := 0; i < n; i += 7 {
+				ids = append(ids, i, i, i) // repeats
+			}
+			for i := n - 1; i >= 0; i -= 3 {
+				ids = append(ids, i) // reverse
+			}
+			for i := 0; i < 200; i++ {
+				ids = append(ids, rng.Intn(n)) // random
+			}
+			for _, id := range ids {
+				want, _ := r.Extract(id)
+				got, ok := e.Extract(id)
+				if !ok || string(got) != want {
+					t.Fatalf("%s bucket %d: cursor Extract(%d) = (%q, %v), want %q", name, bucket, id, got, ok, want)
+				}
+			}
+			if _, ok := e.Extract(n); ok {
+				t.Fatalf("%s: cursor Extract(%d) succeeded past the end", name, n)
+			}
+			if _, ok := e.Extract(-1); ok {
+				t.Fatalf("%s: cursor Extract(-1) succeeded", name)
+			}
+		}
+	}
+}
+
+func TestExtractBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	strs := uriLike(250)
+	d := buildSorted(t, strs, 16)
+	ov := NewOverlay(d)
+	for i := 0; i < 30; i++ {
+		ov.Add(fmt.Sprintf("zzz://overlay/%03d", i))
+	}
+	for name, r := range map[string]Reader{"dict": d, "overlay": ov.View()} {
+		e := NewExtractor(r)
+		n := r.Len()
+		for trial := 0; trial < 20; trial++ {
+			k := rng.Intn(50) + 1
+			ids := make([]int, k)
+			for i := range ids {
+				ids[i] = rng.Intn(n)
+				if rng.Intn(8) == 0 && i > 0 {
+					ids[i] = ids[i-1] // duplicates
+				}
+			}
+			terms := make([][]byte, k)
+			arena, ok := e.ExtractBatch(ids, terms, nil)
+			if !ok {
+				t.Fatalf("%s: ExtractBatch failed on valid ids", name)
+			}
+			_ = arena
+			for i, id := range ids {
+				want, _ := r.Extract(id)
+				if string(terms[i]) != want {
+					t.Fatalf("%s: batch term[%d] (id %d) = %q, want %q", name, i, id, terms[i], want)
+				}
+			}
+		}
+		// Out-of-range IDs null their slot and fail the batch.
+		ids := []int{0, n + 5, 1, -1}
+		terms := make([][]byte, len(ids))
+		if _, ok := e.ExtractBatch(ids, terms, nil); ok {
+			t.Fatalf("%s: ExtractBatch accepted out-of-range ids", name)
+		}
+		if terms[1] != nil || terms[3] != nil {
+			t.Fatalf("%s: out-of-range slots not nil", name)
+		}
+		if want, _ := r.Extract(0); string(terms[0]) != want {
+			t.Fatalf("%s: valid slot lost in failed batch", name)
+		}
+	}
+}
+
+func TestLocateHashMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, bucket := range []int{1, 2, 16} {
+		strs := uriLike(600)
+		plain := buildSorted(t, strs, bucket)
+		hashed := buildSorted(t, strs, bucket)
+		hashed.BuildLocateHash()
+		probes := append([]string(nil), strs...)
+		// Near-miss probes: prefixes, extensions, and mutations.
+		for i := 0; i < 300; i++ {
+			s := strs[rng.Intn(len(strs))]
+			switch rng.Intn(3) {
+			case 0:
+				probes = append(probes, s[:rng.Intn(len(s)+1)])
+			case 1:
+				probes = append(probes, s+"x")
+			default:
+				b := []byte(s)
+				b[rng.Intn(len(b))] ^= 1
+				probes = append(probes, string(b))
+			}
+		}
+		probes = append(probes, "", "\x00", "\xff\xff")
+		for _, p := range probes {
+			id1, ok1 := plain.Locate(p)
+			id2, ok2 := hashed.Locate(p)
+			if ok1 != ok2 || (ok1 && id1 != id2) {
+				t.Fatalf("bucket %d: Locate(%q) binary=(%d,%v) hash=(%d,%v)", bucket, p, id1, ok1, id2, ok2)
+			}
+		}
+	}
+}
+
+func TestBuildLocateHashIdempotentAndEmpty(t *testing.T) {
+	d := buildSorted(t, nil, 4)
+	d.BuildLocateHash()
+	if d.hash != nil {
+		t.Fatal("empty dict built a hash")
+	}
+	d2 := buildSorted(t, []string{"a", "b"}, 4)
+	d2.BuildLocateHash()
+	h := d2.hash
+	d2.BuildLocateHash()
+	if d2.hash != h {
+		t.Fatal("BuildLocateHash rebuilt an existing index")
+	}
+}
+
+func TestExtractorForeignReader(t *testing.T) {
+	d := buildSorted(t, uriLike(50), 8)
+	e := NewExtractor(wrapReader{d})
+	for id := 0; id < d.Len(); id++ {
+		want, _ := d.Extract(id)
+		got, ok := e.Extract(id)
+		if !ok || string(got) != want {
+			t.Fatalf("foreign Extract(%d) = (%q, %v), want %q", id, got, ok, want)
+		}
+	}
+	if _, ok := e.Extract(d.Len()); ok {
+		t.Fatal("foreign cursor succeeded past the end")
+	}
+	e.Bind(nil)
+	if _, ok := e.Extract(0); ok {
+		t.Fatal("unbound cursor answered")
+	}
+}
+
+// wrapReader hides the concrete type so the cursor takes its generic
+// fallback path.
+type wrapReader struct{ r Reader }
+
+func (w wrapReader) Len() int                      { return w.r.Len() }
+func (w wrapReader) Locate(s string) (int, bool)   { return w.r.Locate(s) }
+func (w wrapReader) Extract(id int) (string, bool) { return w.r.Extract(id) }
+func (w wrapReader) ExtractAppend(buf []byte, id int) ([]byte, bool) {
+	return w.r.ExtractAppend(buf, id)
+}
+func (w wrapReader) SizeBits() uint64 { return w.r.SizeBits() }
+
+// FuzzExtractorOracle cross-checks every batched/cursor access path
+// against the one-shot Extract on a dictionary derived from fuzz input:
+// the data bytes generate the term set, the bucket size, and the ID
+// access sequence.
+func FuzzExtractorOracle(f *testing.F) {
+	f.Add([]byte("http://a\x00http://ab\x00zzz"), uint8(3), []byte{0, 1, 2, 2, 1, 0})
+	f.Add([]byte("a\x00b\x00c\x00d\x00e"), uint8(1), []byte{4, 0, 4, 3})
+	f.Add([]byte(""), uint8(16), []byte{0})
+	f.Fuzz(func(t *testing.T, raw []byte, bucket uint8, seq []byte) {
+		parts := strings.Split(string(raw), "\x00")
+		set := map[string]bool{}
+		for _, p := range parts {
+			if len(p) > 0 {
+				set[p] = true
+			}
+		}
+		strs := make([]string, 0, len(set))
+		for s := range set {
+			strs = append(strs, s)
+		}
+		sort.Strings(strs)
+		bs := int(bucket%64) + 1
+		d, err := New(strs, bs)
+		if err != nil {
+			t.Fatalf("New rejected sorted distinct input: %v", err)
+		}
+		d.BuildLocateHash()
+		ov := NewOverlay(d)
+		for i := 0; i < len(strs)/2+1; i++ {
+			ov.Add(fmt.Sprintf("\xffov%d", i))
+		}
+		for name, r := range map[string]Reader{"dict": d, "overlay": ov.View()} {
+			n := r.Len()
+			e := NewExtractor(r)
+			ids := make([]int, 0, len(seq))
+			for _, b := range seq {
+				ids = append(ids, int(b)%(n+2)-1) // includes -1 and n, out of range
+			}
+			terms := make([][]byte, len(ids))
+			arena, _ := e.ExtractBatch(ids, terms, nil)
+			_ = arena
+			var buf []byte
+			for i, id := range ids {
+				want, wantOK := r.Extract(id)
+				got, ok := e.Extract(id)
+				if ok != wantOK || (ok && string(got) != want) {
+					t.Fatalf("%s: cursor Extract(%d) = (%q, %v), want (%q, %v)", name, id, got, ok, want, wantOK)
+				}
+				var aok bool
+				buf, aok = r.ExtractAppend(buf[:0], id)
+				if aok != wantOK || (aok && string(buf) != want) {
+					t.Fatalf("%s: ExtractAppend(%d) = (%q, %v), want (%q, %v)", name, id, buf, aok, want, wantOK)
+				}
+				if wantOK != (terms[i] != nil) || (wantOK && string(terms[i]) != want) {
+					t.Fatalf("%s: batch term[%d] (id %d) = %q, want (%q, %v)", name, i, id, terms[i], want, wantOK)
+				}
+				// Locate inverts Extract (base IDs exercise the hash).
+				if wantOK {
+					if lid, lok := r.Locate(want); !lok || lid != id {
+						t.Fatalf("%s: Locate(%q) = (%d, %v), want %d", name, want, lid, lok, id)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestExtractorAllocs(t *testing.T) {
+	strs := uriLike(512)
+	d := buildSorted(t, strs, 16)
+	d.BuildLocateHash()
+	ov := NewOverlay(d)
+	for i := 0; i < 64; i++ {
+		ov.Add(fmt.Sprintf("zzz://overlay/%03d", i))
+	}
+	view := ov.View()
+
+	t.Run("ExtractAppend", func(t *testing.T) {
+		buf := make([]byte, 0, 256)
+		id := 0
+		if n := testing.AllocsPerRun(500, func() {
+			buf, _ = d.ExtractAppend(buf[:0], id)
+			id = (id + 1) % d.Len()
+		}); n != 0 {
+			t.Errorf("ExtractAppend allocs/term = %v, want 0", n)
+		}
+	})
+	t.Run("Extractor", func(t *testing.T) {
+		for name, r := range map[string]Reader{"dict": d, "overlay": view} {
+			e := NewExtractor(r)
+			n := r.Len()
+			// Warm the cursor buffer to the longest term.
+			for i := 0; i < n; i++ {
+				e.Extract(i)
+			}
+			id := 0
+			if a := testing.AllocsPerRun(500, func() {
+				e.Extract(id)
+				id = (id + 3) % n
+			}); a != 0 {
+				t.Errorf("%s cursor allocs/term = %v, want 0", name, a)
+			}
+		}
+	})
+	t.Run("ExtractBatch", func(t *testing.T) {
+		e := NewExtractor(d)
+		ids := make([]int, 64)
+		for i := range ids {
+			ids[i] = (i * 37) % d.Len()
+		}
+		terms := make([][]byte, len(ids))
+		arena := make([]byte, 0, 1<<14)
+		e.ExtractBatch(ids, terms, arena[:0]) // warm ord scratch
+		if a := testing.AllocsPerRun(200, func() {
+			e.ExtractBatch(ids, terms, arena[:0])
+		}); a != 0 {
+			t.Errorf("ExtractBatch allocs/batch = %v, want 0", a)
+		}
+	})
+	t.Run("Locate", func(t *testing.T) {
+		for name, dd := range map[string]*Dict{"hash": d, "binary": buildSorted(t, strs, 16)} {
+			i := 0
+			if a := testing.AllocsPerRun(500, func() {
+				dd.Locate(strs[i])
+				i = (i + 1) % len(strs)
+			}); a != 0 {
+				t.Errorf("%s Locate allocs = %v, want 0", name, a)
+			}
+		}
+	})
+}

@@ -63,6 +63,19 @@ func (o *Overlay) Extract(id int) (string, bool) {
 	return "", false
 }
 
+// ExtractAppend appends the string with the given ID to buf: base IDs
+// splice through the front-coded decoder, overlay IDs copy the added
+// string. buf is returned unchanged when the ID is out of range.
+func (o *Overlay) ExtractAppend(buf []byte, id int) ([]byte, bool) {
+	if id < o.base.Len() {
+		return o.base.ExtractAppend(buf, id)
+	}
+	if i := id - o.base.Len(); i >= 0 && i < len(o.added) {
+		return append(buf, o.added[i]...), true
+	}
+	return buf, false
+}
+
 // Add returns the ID of s, assigning the next free ID when the string is
 // new. Only the single writer may call Add; published views are
 // unaffected (copy-on-write, see the type comment).
@@ -109,18 +122,23 @@ func (o *Overlay) SizeBits() uint64 {
 // over the returned dictionary.
 func (o *Overlay) Fold(bucketSize int) (*Dict, []int, error) {
 	all := make([]string, 0, o.Len())
+	e := NewExtractor(o.base)
 	for i := 0; i < o.base.Len(); i++ {
-		s, ok := o.base.Extract(i)
+		s, ok := e.Extract(i)
 		if !ok {
 			panic("dict: base dictionary ID out of range during fold")
 		}
-		all = append(all, s)
+		all = append(all, string(s))
 	}
 	all = append(all, o.added...)
 	d, err := FromUnsorted(all, bucketSize)
 	if err != nil {
 		return nil, nil, err
 	}
+	// The mapping loop below locates every string once, and the folded
+	// dictionary replaces the base on the serving path; both want the
+	// O(1) hash index, built here while the dict is still private.
+	d.BuildLocateHash()
 	mapping := make([]int, len(all))
 	for oldID, s := range all {
 		newID, ok := d.Locate(s)

@@ -298,6 +298,11 @@ func Encode(statements []Statement) (*core.Dataset, *Dicts, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The encode loop below locates every term of every statement; the
+	// O(1) hash index pays for itself immediately and then serves the
+	// query path.
+	so.BuildLocateHash()
+	pd.BuildLocateHash()
 	ds := &Dicts{SO: so, P: pd}
 
 	ts := make([]core.Triple, 0, len(statements))

@@ -301,12 +301,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
 	w.Header().Set("Content-Type", ndjsonType)
 	w.Header().Set("X-Cache", "miss")
-	enc := json.NewEncoder(cw)
+	// The pooled NDJSON writer replaces the old per-row struct +
+	// json.Encoder pipeline: rows are hand-built into a batched buffer
+	// with escaped terms cached by ID, so the steady-state row path does
+	// not allocate.
+	nw := store.AcquireNDJSON(st, cw)
+	defer nw.Release()
 
 	it := core.SelectWithCtx(st.Index, pat, qc)
 	buf := qc.Batch()
 	matches, truncated := 0, false
-	var row tripleRow
 	for limit < 0 || matches < limit {
 		// Cancellation is observed here, once per batch refill. An
 		// expired deadline ends the stream with an error line in place
@@ -314,7 +318,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			cw.poisoned = true
 			s.failed.Add(1)
-			enc.Encode(map[string]string{"error": "deadline exceeded"})
+			nw.WriteError("deadline exceeded")
+			nw.Flush()
 			return
 		}
 		want := buf
@@ -326,8 +331,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		for _, t := range want[:k] {
-			row.set(st, t)
-			enc.Encode(&row)
+			nw.WriteTriple(t)
 		}
 		matches += k
 	}
@@ -338,31 +342,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var probe [1]core.Triple
 		truncated = it.NextBatch(probe[:]) > 0
 	}
-	enc.Encode(querySummary{Matches: matches, Truncated: truncated})
+	var sum [64]byte
+	line := strconv.AppendInt(append(sum[:0], `{"matches":`...), int64(matches), 10)
+	if truncated {
+		line = append(line, `,"truncated":true`...)
+	}
+	nw.AppendRaw(append(line, '}', '\n'))
+	nw.Flush()
 	if body, ok := cw.cacheable(); ok {
 		s.results.Put(key, body)
 	}
-}
-
-// tripleRow is one /query result line; the fields hold rendered terms
-// when the store has dictionaries, raw IDs otherwise.
-type tripleRow struct {
-	S any `json:"s"`
-	P any `json:"p"`
-	O any `json:"o"`
-}
-
-func (t *tripleRow) set(st *store.Store, tr core.Triple) {
-	if st.Dicts != nil {
-		t.S, t.P, t.O = st.Render(tr.S), st.RenderPredicate(tr.P), st.Render(tr.O)
-	} else {
-		t.S, t.P, t.O = tr.S, tr.P, tr.O
-	}
-}
-
-type querySummary struct {
-	Matches   int  `json:"matches"`
-	Truncated bool `json:"truncated,omitempty"`
 }
 
 // handleSparql executes a BGP query and streams solutions as NDJSON, one
@@ -427,15 +416,18 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
 	w.Header().Set("Content-Type", ndjsonType)
 	w.Header().Set("X-Cache", "miss")
-	enc := json.NewEncoder(cw)
+	nw := store.AcquireNDJSON(st, cw)
+	defer nw.Release()
+	nw.SetVars(q.Vars)
 
 	// Reaching the row limit cancels the execution context: the executor
 	// aborts within one cancellation stride instead of computing
-	// solutions nobody will see.
+	// solutions nobody will see. StreamWithOrder reuses one bindings map
+	// across solutions, so the emit path allocates nothing per row.
 	execCtx, stop := context.WithCancel(ctx)
 	defer stop()
 	rows, truncated := 0, false
-	stats, err := sparql.ExecuteWithOrderContext(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, func(b sparql.Bindings) {
+	stats, err := sparql.StreamWithOrder(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, func(b sparql.Bindings) {
 		if limit >= 0 && rows >= limit {
 			if !truncated {
 				truncated = true
@@ -443,39 +435,30 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		out := make(map[string]string, len(q.Vars))
-		for _, v := range q.Vars {
-			if id, ok := b[v]; ok {
-				out[v] = st.Render(id)
-			}
-		}
-		enc.Encode(out)
+		nw.WriteSolution(b)
 		rows++
 	})
 	if err != nil && !truncated {
 		cw.poisoned = true
 		s.failed.Add(1)
-		enc.Encode(map[string]string{"error": err.Error()})
+		nw.WriteError(err.Error())
+		nw.Flush()
 		return
 	}
-	enc.Encode(sparqlSummary{
-		Results:    rows,
-		Patterns:   stats.PatternsIssued,
-		Matched:    stats.TriplesMatched,
-		Truncated:  truncated,
-		PlanCached: planCached,
-	})
+	var sum [128]byte
+	line := strconv.AppendInt(append(sum[:0], `{"results":`...), int64(rows), 10)
+	line = strconv.AppendInt(append(line, `,"patterns":`...), int64(stats.PatternsIssued), 10)
+	line = strconv.AppendInt(append(line, `,"matched":`...), int64(stats.TriplesMatched), 10)
+	if truncated {
+		line = append(line, `,"truncated":true`...)
+	}
+	line = append(line, `,"plan_cached":`...)
+	line = strconv.AppendBool(line, planCached)
+	nw.AppendRaw(append(line, '}', '\n'))
+	nw.Flush()
 	if body, ok := cw.cacheable(); ok {
 		s.results.Put(key, body)
 	}
-}
-
-type sparqlSummary struct {
-	Results    int  `json:"results"`
-	Patterns   int  `json:"patterns"`
-	Matched    int  `json:"matched"`
-	Truncated  bool `json:"truncated,omitempty"`
-	PlanCached bool `json:"plan_cached"`
 }
 
 // handleInsert accepts POST /insert?s=&p=&o= with bound N-Triples terms

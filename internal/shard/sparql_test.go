@@ -87,3 +87,45 @@ func TestSparqlShardedCancellation(t *testing.T) {
 		t.Fatal("cancelled execution returned no error")
 	}
 }
+
+// TestSparqlStreamOverShardedStore pins that the reused-bindings
+// streaming executor produces the same solution set as the allocating
+// one over a scatter-gather store — the path the server's NDJSON row
+// writer rides on.
+func TestSparqlStreamOverShardedStore(t *testing.T) {
+	d := randDataset(t, 900, 23)
+	sh, err := BuildSharded(d, core.Layout2Tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range []string{
+		"SELECT ?x ?y WHERE { ?x <1> ?y . }",
+		"SELECT ?x ?y ?z WHERE { ?x <1> ?y . ?y <2> ?z . }",
+	} {
+		q, err := sparql.Parse(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := execAll(t, q, sh)
+		var got []string
+		var prev sparql.Bindings
+		_, err = sparql.StreamWithOrder(context.Background(), q, sh, sparql.Plan(q), func(b sparql.Bindings) {
+			if prev != nil && reflect.ValueOf(b).Pointer() != reflect.ValueOf(prev).Pointer() {
+				t.Fatal("StreamWithOrder allocated a fresh bindings map")
+			}
+			prev = b
+			var row []string
+			for _, v := range q.Vars {
+				row = append(row, fmt.Sprintf("%s=%d", v, b[v]))
+			}
+			got = append(got, fmt.Sprint(row))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: stream solutions diverge\n got %v\nwant %v", qs, got, want)
+		}
+	}
+}

@@ -148,7 +148,7 @@ func countUpTo(st Store, p core.Pattern, limit int) int {
 
 // ExecuteWithOrder runs the query with an explicit evaluation order.
 func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(nil, q, st, order, emit)
+	return executeOrdered(nil, q, st, order, emit, false)
 }
 
 // ExecuteContext runs the query like Execute but aborts with ctx.Err()
@@ -157,12 +157,22 @@ func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (Exec
 // triples), not per triple, so the hot loops stay branch-cheap; a runaway
 // query therefore overshoots its deadline by at most one stride.
 func ExecuteContext(ctx context.Context, q Query, st Store, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(ctx, q, st, Plan(q), emit)
+	return executeOrdered(ctx, q, st, Plan(q), emit, false)
 }
 
 // ExecuteWithOrderContext is ExecuteWithOrder with cancellation.
 func ExecuteWithOrderContext(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(ctx, q, st, order, emit)
+	return executeOrdered(ctx, q, st, order, emit, false)
+}
+
+// StreamWithOrder is ExecuteWithOrderContext for streaming consumers:
+// one Bindings map is reused across emit calls, so a solution-heavy
+// query allocates nothing per row in the executor. The map passed to
+// emit is valid only for the duration of the callback and must not be
+// retained or mutated; consumers that keep solutions use the Execute
+// family instead. A nil ctx disables cancellation.
+func StreamWithOrder(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(ctx, q, st, order, emit, true)
 }
 
 // cancelStride is the number of candidate triples examined between two
@@ -237,7 +247,7 @@ func Plan(q Query) []int {
 // the planned order and invokes emit for every solution. It returns the
 // execution statistics.
 func Execute(q Query, st Store, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(nil, q, st, Plan(q), emit)
+	return executeOrdered(nil, q, st, Plan(q), emit, false)
 }
 
 // singleFreeVar reports the variable of tp that is still unbound under
@@ -263,26 +273,54 @@ func singleFreeVar(tp TriplePattern, b Bindings) (string, bool) {
 	return name, slots == 1
 }
 
+// bindTerm binds one pattern term against one result component:
+// variables already bound must agree (consistent duplicates in the same
+// pattern, e.g. ?x <p> ?x), fresh variables are recorded in nv so the
+// caller can unbind them. A top-level function instead of a closure so
+// the per-candidate hot loop allocates nothing.
+func bindTerm(b Bindings, term Term, id core.ID, nv *[3]string, nvn *int) bool {
+	if !term.IsVar() {
+		return true
+	}
+	if prev, bound := b[term.Var]; bound {
+		return prev == id
+	}
+	b[term.Var] = id
+	nv[*nvn] = term.Var
+	*nvn++
+	return true
+}
+
 // executeOrdered evaluates the BGP over an explicit pattern order:
 // nested-loop joins, except that maximal runs of consecutive patterns
 // sharing their single free variable are resolved with a leapfrog
 // merge-intersection of the sorted binding streams the index serves
 // natively (core.VarSelecter), skipping over non-joining candidates with
-// NextGEQ instead of enumerating them.
-func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
+// NextGEQ instead of enumerating them. With reuseEmit, one output map is
+// cleared and refilled per solution instead of allocated fresh.
+func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit func(Bindings), reuseEmit bool) (ExecStats, error) {
 	var stats ExecStats
 	bindings := Bindings{}
+	out := Bindings{}
 	vs, hasVS := st.(core.VarSelecter)
 	var cancel *canceller
 	if ctx != nil {
 		cancel = &canceller{ctx: ctx}
 	}
+	// Per-step scratch for the variables each recursion level binds;
+	// hoisted out of the candidate loop so the hot path stays
+	// allocation-free.
+	newVars := make([][3]string, len(order))
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(order) {
 			stats.Results++
 			if emit != nil {
-				out := Bindings{}
+				if reuseEmit {
+					clear(out)
+				} else {
+					out = Bindings{}
+				}
 				for _, v := range q.Vars {
 					if id, ok := bindings[v]; ok {
 						out[v] = id
@@ -317,6 +355,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 		}
 		stats.PatternsIssued++
 		it := st.Select(pat)
+		nv := &newVars[step]
 		for {
 			t, ok := it.Next()
 			if !ok {
@@ -326,33 +365,17 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 			if err := cancel.check(); err != nil {
 				return err
 			}
-			// Bind free variables; consistent duplicates in the same
-			// pattern (e.g. ?x <p> ?x) must agree.
-			newVars := make([]string, 0, 3)
-			okBind := true
-			tryBind := func(term Term, id core.ID) {
-				if !okBind || !term.IsVar() {
-					return
-				}
-				if prev, bound := bindings[term.Var]; bound {
-					if prev != id {
-						okBind = false
-					}
-					return
-				}
-				bindings[term.Var] = id
-				newVars = append(newVars, term.Var)
-			}
-			tryBind(tp.S, t.S)
-			tryBind(tp.P, t.P)
-			tryBind(tp.O, t.O)
+			nvn := 0
+			okBind := bindTerm(bindings, tp.S, t.S, nv, &nvn) &&
+				bindTerm(bindings, tp.P, t.P, nv, &nvn) &&
+				bindTerm(bindings, tp.O, t.O, nv, &nvn)
 			if okBind {
 				if err := rec(step + 1); err != nil {
 					return err
 				}
 			}
-			for _, v := range newVars {
-				delete(bindings, v)
+			for i := 0; i < nvn; i++ {
+				delete(bindings, nv[i])
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"rdfindexes/internal/core"
@@ -81,5 +82,57 @@ func TestExecuteContextDeadlineGallop(t *testing.T) {
 	// A nil-emit complete run on the same store for comparison.
 	if _, err := ExecuteContext(context.Background(), q, x, nil); err != nil {
 		t.Fatalf("uncancelled run failed: %v", err)
+	}
+}
+
+// TestStreamWithOrderReusesBindings pins the streaming contract: the
+// same solutions as ExecuteWithOrder, delivered through one reused map,
+// while the Execute family keeps handing out fresh maps (callers retain
+// those).
+func TestStreamWithOrderReusesBindings(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	ts := randomTriples(rng, 600)
+	st := sliceStore(ts)
+	q, err := Parse("SELECT ?x ?y ?z WHERE { ?x <1> ?y . ?y <1> ?z . }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := Plan(q)
+	type row struct{ x, y, z core.ID }
+	var want []row
+	if _, err := ExecuteWithOrder(q, st, order, func(b Bindings) {
+		want = append(want, row{b["x"], b["y"], b["z"]})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var fresh []Bindings
+	if _, err := ExecuteWithOrder(q, st, order, func(b Bindings) {
+		fresh = append(fresh, b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range fresh {
+		if b["x"] != want[i].x || b["y"] != want[i].y || b["z"] != want[i].z {
+			t.Fatalf("Execute retained map %d mutated: %v, want %v", i, b, want[i])
+		}
+	}
+	var got []row
+	var prev Bindings
+	if _, err := StreamWithOrder(context.Background(), q, st, order, func(b Bindings) {
+		if prev != nil && reflect.ValueOf(b).Pointer() != reflect.ValueOf(prev).Pointer() {
+			t.Fatal("StreamWithOrder allocated a fresh bindings map")
+		}
+		prev = b
+		got = append(got, row{b["x"], b["y"], b["z"]})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("stream row %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

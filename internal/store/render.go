@@ -1,0 +1,325 @@
+// Result materialization: the pooled, allocation-free path from result
+// IDs back to rendered terms. Renderer holds the per-request dictionary
+// cursors (mirroring core.QueryCtx for the ID-level scratch), and
+// NDJSONWriter streams /query and /sparql result rows as NDJSON with an
+// escaped-term cache keyed by ID — the dominant cost of result streaming
+// after the ID-level pipeline went zero-alloc (PR 1) was exactly this
+// layer re-decoding front-coded buckets and allocating a row object per
+// result.
+package store
+
+import (
+	"io"
+	"strconv"
+	"sync"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/dict"
+)
+
+// Renderer resolves result IDs to terms through stateful dictionary
+// cursors: runs of nearby subject/object IDs (result streams arrive
+// sorted) decode each front-coded bucket entry at most once, and the
+// repeated predicate IDs of a pattern stream cost nothing. A Renderer is
+// a single-goroutine object; acquire one per request and release it when
+// the stream ends.
+type Renderer struct {
+	so, p    dict.Extractor
+	hasDicts bool
+}
+
+var rendererPool = sync.Pool{New: func() any { return &Renderer{} }}
+
+// AcquireRenderer takes a pooled renderer bound to the store's
+// dictionaries (or to the <id> fallback notation when the store has
+// none).
+func AcquireRenderer(st *Store) *Renderer {
+	r := rendererPool.Get().(*Renderer)
+	if st.Dicts != nil {
+		r.so.Bind(st.Dicts.SO)
+		r.p.Bind(st.Dicts.P)
+		r.hasDicts = true
+	} else {
+		r.hasDicts = false
+	}
+	return r
+}
+
+// Release unbinds the cursors (so a pooled renderer never pins a retired
+// store view) and returns the renderer to the pool.
+func (r *Renderer) Release() {
+	if r == nil {
+		return
+	}
+	r.so.Bind(nil)
+	r.p.Bind(nil)
+	r.hasDicts = false
+	rendererPool.Put(r)
+}
+
+// HasDicts reports whether the renderer resolves terms through
+// dictionaries (false for integer-only stores).
+func (r *Renderer) HasDicts() bool { return r.hasDicts }
+
+// AppendTerm appends the rendered subject/object term for id to buf,
+// falling back to <id> notation exactly like Store.Render.
+func (r *Renderer) AppendTerm(buf []byte, id core.ID) []byte {
+	if r.hasDicts {
+		if t, ok := r.so.Extract(int(id)); ok {
+			return append(buf, t...)
+		}
+	}
+	return appendIDTerm(buf, id)
+}
+
+// AppendPredicate appends the rendered predicate term for id to buf.
+func (r *Renderer) AppendPredicate(buf []byte, id core.ID) []byte {
+	if r.hasDicts {
+		if t, ok := r.p.Extract(int(id)); ok {
+			return append(buf, t...)
+		}
+	}
+	return appendIDTerm(buf, id)
+}
+
+func appendIDTerm(buf []byte, id core.ID) []byte {
+	buf = append(buf, '<')
+	buf = strconv.AppendUint(buf, uint64(id), 10)
+	return append(buf, '>')
+}
+
+// termSpan is one cached escaped term inside an NDJSONWriter arena.
+type termSpan struct{ start, end int }
+
+// ndjsonFlushAt is the pending-output size that triggers a flush to the
+// underlying writer.
+const ndjsonFlushAt = 8 << 10
+
+// maxCachedTerms bounds each per-request escaped-term cache; result
+// streams wider than this (rare) render the overflow terms directly
+// without caching, keeping the arena bounded.
+const maxCachedTerms = 1 << 14
+
+// ndjsonTrimCap is the largest buffer capacity a pooled writer retains;
+// anything a pathological request grew beyond it is handed back to the
+// garbage collector on Release.
+const ndjsonTrimCap = 1 << 20
+
+// NDJSONWriter streams result rows as NDJSON through pooled scratch:
+// rendered terms are JSON-escaped once per distinct ID per request and
+// replayed from an arena cache after that, rows are hand-built into a
+// batched output buffer (no reflection, no per-row allocation), and the
+// dictionary work goes through a Renderer's cursors. The zero-alloc
+// steady state holds across plain, overlay-dictionary and sharded
+// stores. A writer serves one request on one goroutine.
+type NDJSONWriter struct {
+	w    io.Writer
+	rend *Renderer
+	ints bool // integer-only store: pattern rows carry raw IDs as numbers
+	err  error
+
+	buf   []byte // pending output
+	raw   []byte // unescaped term scratch
+	arena []byte // escaped-term cache backing
+	so    map[core.ID]termSpan
+	pd    map[core.ID]termSpan
+
+	vars   []string // solution row keys, in emission order
+	keybuf []byte   // escaped `"var":` fragments back to back
+	keyoff []termSpan
+}
+
+var ndjsonPool = sync.Pool{New: func() any {
+	return &NDJSONWriter{so: map[core.ID]termSpan{}, pd: map[core.ID]termSpan{}}
+}}
+
+// AcquireNDJSON takes a pooled writer streaming to w with terms resolved
+// against st.
+func AcquireNDJSON(st *Store, w io.Writer) *NDJSONWriter {
+	n := ndjsonPool.Get().(*NDJSONWriter)
+	n.w = w
+	n.rend = AcquireRenderer(st)
+	n.ints = st.Dicts == nil
+	n.err = nil
+	return n
+}
+
+// Release flushes nothing (call Flush first), clears the per-request
+// caches and returns the writer to the pool.
+func (n *NDJSONWriter) Release() {
+	if n == nil {
+		return
+	}
+	n.rend.Release()
+	n.rend, n.w = nil, nil
+	clear(n.so)
+	clear(n.pd)
+	n.buf = trimCap(n.buf)
+	n.raw = trimCap(n.raw)
+	n.arena = trimCap(n.arena)
+	n.keybuf = trimCap(n.keybuf)
+	n.vars = n.vars[:0]
+	n.keyoff = n.keyoff[:0]
+	ndjsonPool.Put(n)
+}
+
+func trimCap(b []byte) []byte {
+	if cap(b) > ndjsonTrimCap {
+		return nil
+	}
+	return b[:0]
+}
+
+// Flush writes any pending bytes to the underlying writer and reports
+// the first write error seen on this stream.
+func (n *NDJSONWriter) Flush() error {
+	if len(n.buf) > 0 && n.err == nil {
+		_, n.err = n.w.Write(n.buf)
+	}
+	n.buf = n.buf[:0]
+	return n.err
+}
+
+func (n *NDJSONWriter) maybeFlush() {
+	if len(n.buf) >= ndjsonFlushAt {
+		n.Flush()
+	}
+}
+
+// Err returns the sticky stream error.
+func (n *NDJSONWriter) Err() error { return n.err }
+
+// AppendRaw appends pre-encoded bytes (a hand-built summary line) to the
+// pending output verbatim.
+func (n *NDJSONWriter) AppendRaw(p []byte) {
+	n.buf = append(n.buf, p...)
+	n.maybeFlush()
+}
+
+// WriteError emits an {"error": msg} line.
+func (n *NDJSONWriter) WriteError(msg string) {
+	n.buf = append(n.buf, `{"error":`...)
+	n.raw = append(n.raw[:0], msg...)
+	n.buf = appendJSONString(n.buf, n.raw)
+	n.buf = append(n.buf, '}', '\n')
+	n.maybeFlush()
+}
+
+// WriteTriple emits one pattern-query result row: terms when the store
+// has dictionaries, raw IDs as JSON numbers otherwise (matching the
+// pre-writer server behavior).
+func (n *NDJSONWriter) WriteTriple(t core.Triple) {
+	n.buf = append(n.buf, `{"s":`...)
+	n.appendID(t.S, false)
+	n.buf = append(n.buf, `,"p":`...)
+	n.appendID(t.P, true)
+	n.buf = append(n.buf, `,"o":`...)
+	n.appendID(t.O, false)
+	n.buf = append(n.buf, '}', '\n')
+	n.maybeFlush()
+}
+
+func (n *NDJSONWriter) appendID(id core.ID, predicate bool) {
+	if n.ints {
+		n.buf = strconv.AppendUint(n.buf, uint64(id), 10)
+		return
+	}
+	n.appendTerm(id, predicate)
+}
+
+// appendTerm appends the escaped term for id, serving repeats from the
+// arena cache.
+func (n *NDJSONWriter) appendTerm(id core.ID, predicate bool) {
+	cache := n.so
+	if predicate {
+		cache = n.pd
+	}
+	if sp, ok := cache[id]; ok {
+		n.buf = append(n.buf, n.arena[sp.start:sp.end]...)
+		return
+	}
+	if predicate {
+		n.raw = n.rend.AppendPredicate(n.raw[:0], id)
+	} else {
+		n.raw = n.rend.AppendTerm(n.raw[:0], id)
+	}
+	if len(cache) < maxCachedTerms {
+		start := len(n.arena)
+		n.arena = appendJSONString(n.arena, n.raw)
+		cache[id] = termSpan{start, len(n.arena)}
+		n.buf = append(n.buf, n.arena[start:]...)
+		return
+	}
+	n.buf = appendJSONString(n.buf, n.raw)
+}
+
+// SetVars fixes the key set and order of subsequent WriteSolution rows,
+// pre-escaping every variable name once.
+func (n *NDJSONWriter) SetVars(vars []string) {
+	n.vars = append(n.vars[:0], vars...)
+	n.keybuf = n.keybuf[:0]
+	n.keyoff = n.keyoff[:0]
+	for _, v := range vars {
+		start := len(n.keybuf)
+		n.raw = append(n.raw[:0], v...)
+		n.keybuf = appendJSONString(n.keybuf, n.raw)
+		n.keybuf = append(n.keybuf, ':')
+		n.keyoff = append(n.keyoff, termSpan{start, len(n.keybuf)})
+	}
+}
+
+// WriteSolution emits one BGP solution row over the SetVars keys;
+// variables absent from b are omitted. Solution terms always render as
+// strings (the <id> fallback covers integer-only stores), matching the
+// pre-writer server behavior.
+func (n *NDJSONWriter) WriteSolution(b map[string]core.ID) {
+	n.buf = append(n.buf, '{')
+	first := true
+	for i, v := range n.vars {
+		id, ok := b[v]
+		if !ok {
+			continue
+		}
+		if !first {
+			n.buf = append(n.buf, ',')
+		}
+		first = false
+		sp := n.keyoff[i]
+		n.buf = append(n.buf, n.keybuf[sp.start:sp.end]...)
+		n.appendTerm(id, false)
+	}
+	n.buf = append(n.buf, '}', '\n')
+	n.maybeFlush()
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control bytes; valid UTF-8 passes through verbatim.
+func appendJSONString(dst, s []byte) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

@@ -188,6 +188,10 @@ func Read(path string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The O(1) Locate index is not serialized; rebuild it while the
+		// dictionaries are still private to this load.
+		so.BuildLocateHash()
+		p.BuildLocateHash()
 		st.Dicts = &rdf.Dicts{SO: so, P: p}
 	}
 	if magic == MagicSharded {
