@@ -13,7 +13,14 @@
 //	rdfstore delete -store store.idx -s '<http://ex/alice>' -p '<http://ex/knows>' -o '<http://ex/carol>'
 //	rdfstore merge -store store.idx
 //	rdfstore stats -store store.idx
+//	rdfstore verify -store store.idx
 //	rdfstore serve -store store.idx -addr :8080 -workers 8
+//
+// verify checks every container section (header, dictionaries, shard
+// sections) against its stored CRC32C checksum and scans the WAL,
+// reporting per-section results; it exits non-zero if anything is
+// corrupt. Legacy (version 1) stores predate checksums and can only be
+// decode-checked, which verify and stats report as "unverified".
 //
 // insert and delete append to a write-ahead log (store.idx.wal) and keep
 // the static index untouched until the pending log reaches the merge
@@ -51,7 +58,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if err == errUsage {
-			fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|insert|delete|merge|stats|serve [flags]")
+			fmt.Fprintln(os.Stderr, "usage: rdfstore build|query|sparql|insert|delete|merge|stats|verify|serve [flags]")
 			os.Exit(2)
 		}
 		if err == errParse {
@@ -105,6 +112,8 @@ func run(args []string, out io.Writer) error {
 		err = mergeCmd(args[1:], out)
 	case "stats":
 		err = statsCmd(args[1:], out)
+	case "verify":
+		err = verifyCmd(args[1:], out)
 	case "serve":
 		err = serveCmd(args[1:], out)
 	default:
@@ -389,6 +398,60 @@ func statsCmd(args []string, out io.Writer) error {
 			st.Dicts.SO.Len(), st.Dicts.P.Len(),
 			float64(st.Dicts.SO.SizeBits()+st.Dicts.P.SizeBits())/8/1024/1024)
 	}
+	switch {
+	case st.Integrity.Verified:
+		fmt.Fprintf(out, "format:       v%d (checksums verified)\n", st.Integrity.Version)
+	case st.Integrity.Version == 1:
+		fmt.Fprintf(out, "format:       v1 (legacy, UNVERIFIED: no checksums; rebuild to upgrade)\n")
+	}
+	return nil
+}
+
+// verifyCmd checks the store section by section against its stored
+// checksums (and scans the WAL, when one exists), printing a per-section
+// report. Corruption anywhere makes the command fail, so scripts can
+// gate on the exit status.
+func verifyCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	path := fs.String("store", "store.idx", "store file")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	rep, err := store.Verify(*path)
+	if err != nil {
+		return err
+	}
+	if rep.Verified {
+		fmt.Fprintf(out, "%s: format v%d (checksummed)\n", rep.Path, rep.Version)
+	} else {
+		fmt.Fprintf(out, "%s: format v%d (legacy, no checksums: decode check only)\n", rep.Path, rep.Version)
+	}
+	for _, sec := range rep.Sections {
+		status := "ok"
+		if !sec.OK {
+			status = "CORRUPT: " + sec.Error
+		}
+		if sec.Bytes > 0 {
+			fmt.Fprintf(out, "  %-10s %12d bytes  %s\n", sec.Name, sec.Bytes, status)
+		} else {
+			fmt.Fprintf(out, "  %-10s %s\n", sec.Name, status)
+		}
+	}
+	if rec := rep.WAL; rec != nil {
+		if rec.Corrupt {
+			fmt.Fprintf(out, "  %-10s CORRUPT after %d valid records (%d records / %d bytes would be dropped): %s\n",
+				"wal", rec.Replayed, rec.DroppedRecords, rec.DroppedBytes, rec.Error)
+		} else if rec.TornTail {
+			fmt.Fprintf(out, "  %-10s %d records ok; torn tail from an interrupted append (%d bytes, dropped on next writing open)\n",
+				"wal", rec.Replayed, rec.DroppedBytes)
+		} else {
+			fmt.Fprintf(out, "  %-10s %d records ok\n", "wal", rec.Replayed)
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("%s failed verification", rep.Path)
+	}
+	fmt.Fprintf(out, "%s: OK\n", rep.Path)
 	return nil
 }
 
@@ -403,14 +466,22 @@ func serveCmd(args []string, out io.Writer) error {
 	threshold := fs.Int("threshold", 0, "pending-update merge threshold (0 = default)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/* runtime profiling endpoints")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+	rate := fs.Float64("rate-limit", 0, "per-client requests/second on query and write endpoints (0 disables)")
+	burst := fs.Int("rate-burst", 0, "per-client token-bucket burst (0 = 2x rate)")
+	brkN := fs.Int("breaker-threshold", 5, "consecutive internal write failures that open the write circuit breaker (negative disables)")
+	brkCool := fs.Duration("breaker-cooldown", 10*time.Second, "how long the opened breaker rejects writes before probing")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	cfg := server.Config{
-		Workers:      *workers,
-		Timeout:      *timeout,
-		CacheEntries: *cache,
-		Pprof:        *pprofOn,
+		Workers:          *workers,
+		Timeout:          *timeout,
+		CacheEntries:     *cache,
+		Pprof:            *pprofOn,
+		RateLimit:        *rate,
+		RateBurst:        *burst,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
 	}
 	var srv *server.Server
 	var st *store.Store
@@ -418,8 +489,10 @@ func serveCmd(args []string, out io.Writer) error {
 	if *readonly {
 		// ReadView folds in any pending WAL without locking or touching
 		// it, so a read-only replica can serve next to a writing process.
+		// The degraded variant keeps a sharded store with checksum-failed
+		// sections serving from its healthy shards.
 		var err error
-		st, err = store.ReadView(*path)
+		st, err = store.ReadViewDegraded(*path)
 		if err != nil {
 			return err
 		}
@@ -431,7 +504,7 @@ func serveCmd(args []string, out io.Writer) error {
 			// Sharded stores have no write path; serve them like
 			// -readonly instead of failing the default invocation.
 			fmt.Fprintln(out, "sharded store: serving read-only")
-			if st, err = store.ReadView(*path); err != nil {
+			if st, err = store.ReadViewDegraded(*path); err != nil {
 				return err
 			}
 			srv = server.New(st, cfg)
@@ -441,7 +514,14 @@ func serveCmd(args []string, out io.Writer) error {
 			mut = m
 			st = m.View()
 			srv = server.NewMutable(m, cfg)
+			if rec := m.Recovery(); rec.Corrupt {
+				fmt.Fprintf(out, "WAL recovery: %d records replayed, %d dropped after corruption (%s)\n",
+					rec.Replayed, rec.DroppedRecords, rec.Error)
+			}
 		}
+	}
+	if q := st.Integrity.Quarantined; len(q) > 0 {
+		fmt.Fprintf(out, "DEGRADED: shards %v failed verification and are quarantined; results are partial until the store is rebuilt\n", q)
 	}
 	if n := st.Shards(); n > 1 {
 		fmt.Fprintf(out, "serving %d triples (%v, %d shards, %.2f bits/triple) on %s\n",

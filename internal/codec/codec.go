@@ -12,16 +12,23 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // ErrCorrupt reports a malformed or truncated stream.
 var ErrCorrupt = errors.New("codec: corrupt stream")
 
+// Castagnoli is the CRC32C polynomial table shared by every checksummed
+// format in this repository (hardware-accelerated on amd64/arm64).
+var Castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Writer serializes primitive values to an underlying io.Writer.
 type Writer struct {
 	w   *bufio.Writer
 	n   int64
+	crc uint32
+	sum bool // tee written bytes into crc
 	err error
 	buf [binary.MaxVarintLen64]byte
 }
@@ -50,9 +57,29 @@ func (w *Writer) write(p []byte) {
 	if w.err != nil {
 		return
 	}
+	if w.sum {
+		w.crc = crc32.Update(w.crc, Castagnoli, p)
+	}
 	n, err := w.w.Write(p)
 	w.n += int64(n)
 	w.err = err
+}
+
+// StartChecksum begins teeing every subsequently written byte into a
+// CRC32C accumulator. Checksummed container formats bracket each section
+// with StartChecksum/StopChecksum, so the hash covers exactly the
+// section's logical bytes at O(1) extra memory.
+func (w *Writer) StartChecksum() {
+	w.crc = 0
+	w.sum = true
+}
+
+// StopChecksum ends the checksummed span and returns its CRC32C. The
+// checksum field itself is written after the call, so it is never
+// self-referential.
+func (w *Writer) StopChecksum() uint32 {
+	w.sum = false
+	return w.crc
 }
 
 // Uint64 writes v as 8 little-endian bytes.
@@ -114,9 +141,12 @@ func (w *Writer) String(s string) {
 
 // Reader deserializes values written by Writer.
 type Reader struct {
-	r   *bufio.Reader
-	n   int64
-	err error
+	r     *bufio.Reader
+	n     int64
+	crc   uint32
+	sum   bool  // tee consumed bytes into crc
+	limit int64 // alloc bound: total input size, or -1 for unbounded
+	err   error
 }
 
 // NewReader returns a Reader consuming from r. If r is already a
@@ -124,9 +154,30 @@ type Reader struct {
 // share one buffered stream without losing read-ahead bytes.
 func NewReader(r io.Reader) *Reader {
 	if br, ok := r.(*bufio.Reader); ok {
-		return &Reader{r: br}
+		return &Reader{r: br, limit: -1}
 	}
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{r: bufio.NewReader(r), limit: -1}
+}
+
+// SetAllocLimit bounds decode-time slice allocations by the total input
+// size in bytes: a length-prefixed slice cannot hold more payload bytes
+// than the stream has left, so a corrupt length prefix fails immediately
+// instead of demanding gigabytes. Pass the file or section size; a
+// negative limit restores the default static bound.
+func (r *Reader) SetAllocLimit(size int64) { r.limit = size }
+
+// StartChecksum begins teeing every subsequently consumed byte into a
+// CRC32C accumulator; the mirror of Writer.StartChecksum.
+func (r *Reader) StartChecksum() {
+	r.crc = 0
+	r.sum = true
+}
+
+// StopChecksum ends the checksummed span and returns its CRC32C. The
+// stored checksum field is read after the call, outside the span.
+func (r *Reader) StopChecksum() uint32 {
+	r.sum = false
+	return r.crc
 }
 
 // Err returns the first error encountered, if any.
@@ -141,6 +192,9 @@ func (r *Reader) read(p []byte) {
 	}
 	n, err := io.ReadFull(r.r, p)
 	r.n += int64(n)
+	if r.sum {
+		r.crc = crc32.Update(r.crc, Castagnoli, p[:n])
+	}
 	if err != nil {
 		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -192,6 +246,9 @@ func (c countingByteReader) ReadByte() (byte, error) {
 	b, err := c.r.r.ReadByte()
 	if err == nil {
 		c.r.n++
+		if c.r.sum {
+			c.r.crc = crc32.Update(c.r.crc, Castagnoli, []byte{b})
+		}
 	}
 	return b, err
 }
@@ -205,8 +262,16 @@ func (r *Reader) sliceLen(elemSize uint64) int {
 	if r.err != nil {
 		return 0
 	}
-	if n*elemSize > maxAlloc {
+	if n*elemSize > maxAlloc || n > maxAlloc {
 		r.err = fmt.Errorf("%w: slice length %d too large", ErrCorrupt, n)
+		return 0
+	}
+	// A slice's payload cannot exceed the bytes the input has left: with
+	// the input size known, a corrupt length prefix is rejected before
+	// the allocation instead of after an OOM-sized make.
+	if r.limit >= 0 && int64(n*elemSize) > r.limit-r.n {
+		r.err = fmt.Errorf("%w: slice length %d (%d bytes) exceeds remaining input (%d bytes)",
+			ErrCorrupt, n, n*elemSize, r.limit-r.n)
 		return 0
 	}
 	return int(n)

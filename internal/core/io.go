@@ -32,8 +32,23 @@ func WriteIndex(w io.Writer, x Index) error {
 
 // ReadIndex deserializes an index written by WriteIndex, dispatching on
 // the stored layout.
-func ReadIndex(r io.Reader) (Index, error) {
+func ReadIndex(r io.Reader) (Index, error) { return ReadIndexLimited(r, -1) }
+
+// ReadIndexLimited is ReadIndex with the input size known: decode-time
+// allocations are bounded by it (a corrupt length prefix cannot demand
+// more bytes than the section holds), and a decoder panic on adversarial
+// input is converted into an ErrCorrupt error instead of taking down the
+// process — the store loader decodes shard sections in goroutines, so
+// this is the last line of defense for every section. size < 0 means
+// unknown (no extra bound).
+func ReadIndexLimited(r io.Reader, size int64) (x Index, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			x, err = nil, fmt.Errorf("%w: decoder panic: %v", codec.ErrCorrupt, p)
+		}
+	}()
 	cr := codec.NewReader(r)
+	cr.SetAllocLimit(size)
 	magic := cr.String()
 	if err := cr.Err(); err != nil {
 		return nil, err
@@ -42,10 +57,6 @@ func ReadIndex(r io.Reader) (Index, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", codec.ErrCorrupt, magic)
 	}
 	layout := Layout(cr.Byte())
-	var (
-		x   Index
-		err error
-	)
 	switch layout {
 	case Layout3T:
 		x, err = decode3T(cr)

@@ -1,0 +1,361 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// store's durability paths use — store serialization, WAL append/fsync,
+// and the merge's atomic rewrite — behind an interface with two
+// implementations: OS, a direct passthrough, and Injector, a
+// fault-injecting wrapper for crash-consistency testing.
+//
+// The Injector consults a fault plan before every operation. A plan can
+// fail an operation with an error (ENOSPC, EIO), truncate a write to a
+// prefix (a short write), or crash: the operation fails, every later
+// operation fails with ErrCrashed, and — mimicking the loss of the page
+// cache at power failure — data written but not yet fsynced through any
+// injector-opened file is optionally dropped. A torture test drives the
+// same workload with the crash point at every successive operation and
+// asserts the store reopens consistently each time.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the store's write paths use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	WriteString(s string) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Fd() uintptr
+}
+
+// FS is the set of filesystem entry points the store goes through.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the passthrough implementation over the real filesystem.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) { return passthrough(os.Create(name)) }
+func (OS) Open(name string) (File, error)   { return passthrough(os.Open(name)) }
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return passthrough(os.OpenFile(name, flag, perm))
+}
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+
+// passthrough converts (*os.File, error) without wrapping a typed nil
+// into a non-nil interface.
+func passthrough(f *os.File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpKind names a faultable operation class.
+type OpKind string
+
+const (
+	OpCreate   OpKind = "create"
+	OpOpen     OpKind = "open"
+	OpWrite    OpKind = "write"
+	OpSync     OpKind = "sync"
+	OpTruncate OpKind = "truncate"
+	OpRename   OpKind = "rename"
+	OpRemove   OpKind = "remove"
+)
+
+// Op identifies one faultable operation as the plan sees it.
+type Op struct {
+	Kind OpKind
+	Path string // target path (the file's name for handle operations)
+	Seq  int    // 1-based position in the injector's global operation order
+}
+
+// Fault is the plan's verdict for one operation.
+type Fault int
+
+const (
+	// None lets the operation through.
+	None Fault = iota
+	// Error fails the operation with ErrInjected without touching state.
+	Error
+	// ShortWrite applies only the first half of the buffer, then fails
+	// (meaningful for OpWrite only; other kinds treat it as Error).
+	ShortWrite
+	// Crash fails the operation, drops unsynced data from every open
+	// injector file when DropUnsynced is set, and fails every subsequent
+	// operation with ErrCrashed.
+	Crash
+)
+
+// ErrInjected is the error surfaced by Error and ShortWrite faults.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after a Crash fault fired.
+var ErrCrashed = errors.New("faultfs: simulated crash (process is dead)")
+
+// Injector wraps an FS with a fault plan.
+type Injector struct {
+	inner FS
+
+	// DropUnsynced makes a Crash truncate every open file back to its
+	// last-synced size, simulating the loss of unflushed page cache at
+	// power failure. Without it the crash keeps whatever bytes the real
+	// filesystem already has — both are legal crash outcomes, and the
+	// torture test runs each.
+	DropUnsynced bool
+
+	mu      sync.Mutex
+	plan    func(Op) Fault
+	seq     int
+	crashed bool
+	files   []*injFile
+}
+
+// NewInjector wraps inner; with a nil plan every operation passes.
+func NewInjector(inner FS) *Injector {
+	return &Injector{inner: inner}
+}
+
+// SetPlan installs the fault plan consulted before every operation.
+func (in *Injector) SetPlan(plan func(Op) Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = plan
+}
+
+// CrashAtOp arms a plan that crashes at the n-th faultable operation
+// (1-based) counted across the injector's lifetime.
+func (in *Injector) CrashAtOp(n int) {
+	in.SetPlan(func(op Op) Fault {
+		if op.Seq == n {
+			return Crash
+		}
+		return None
+	})
+}
+
+// Ops returns the number of faultable operations observed so far; a
+// clean run's total bounds the crash-point sweep.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// check consults the plan for one operation. It returns the fault to
+// apply; Crash transitions the injector into the dead state (the caller
+// still applies crash side effects via crashLocked having run).
+func (in *Injector) check(kind OpKind, path string) (Fault, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return None, ErrCrashed
+	}
+	in.seq++
+	f := None
+	if in.plan != nil {
+		f = in.plan(Op{Kind: kind, Path: path, Seq: in.seq})
+	}
+	if f == Crash {
+		in.crashLocked()
+	}
+	return f, nil
+}
+
+// crashLocked marks the injector dead and, when DropUnsynced is set,
+// rewinds every open file to its last-synced length.
+func (in *Injector) crashLocked() {
+	in.crashed = true
+	if !in.DropUnsynced {
+		return
+	}
+	for _, f := range in.files {
+		if !f.closed {
+			f.f.Truncate(f.synced)
+		}
+	}
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if f, err := in.check(OpCreate, name); err != nil {
+		return nil, err
+	} else if f != None {
+		return nil, faultErr(f)
+	}
+	inner, err := in.inner.Create(name)
+	return in.track(name, inner, err)
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if f, err := in.check(OpOpen, name); err != nil {
+		return nil, err
+	} else if f != None {
+		return nil, faultErr(f)
+	}
+	inner, err := in.inner.Open(name)
+	return in.track(name, inner, err)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f, err := in.check(OpOpen, name); err != nil {
+		return nil, err
+	} else if f != None {
+		return nil, faultErr(f)
+	}
+	inner, err := in.inner.OpenFile(name, flag, perm)
+	return in.track(name, inner, err)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f, err := in.check(OpRename, oldpath); err != nil {
+		return err
+	} else if f != None {
+		return faultErr(f)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f, err := in.check(OpRemove, name); err != nil {
+		return err
+	} else if f != None {
+		return faultErr(f)
+	}
+	return in.inner.Remove(name)
+}
+
+// faultErr maps a non-Crash fault to its surfaced error; Crash surfaces
+// ErrCrashed (the state transition already happened in check).
+func faultErr(f Fault) error {
+	if f == Crash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+// track registers a successfully opened file for crash bookkeeping.
+func (in *Injector) track(name string, f File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	jf := &injFile{in: in, f: f, name: name}
+	if fi, serr := f.Stat(); serr == nil {
+		// Pre-existing bytes are on disk already; only writes after this
+		// open are at risk until the next sync.
+		jf.synced = fi.Size()
+	}
+	in.mu.Lock()
+	in.files = append(in.files, jf)
+	in.mu.Unlock()
+	return jf, nil
+}
+
+// injFile wraps one open file with fault checks and synced-size
+// tracking: Sync records the file's length as durable, a Crash with
+// DropUnsynced rewinds to it.
+type injFile struct {
+	in     *Injector
+	f      File
+	name   string
+	synced int64 // length known durable (set by Sync, cut by Truncate)
+	closed bool
+}
+
+func (jf *injFile) Read(p []byte) (int, error) { return jf.f.Read(p) }
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	return jf.f.Seek(offset, whence)
+}
+func (jf *injFile) Stat() (os.FileInfo, error) { return jf.f.Stat() }
+func (jf *injFile) Fd() uintptr                { return jf.f.Fd() }
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	fault, err := jf.in.check(OpWrite, jf.name)
+	if err != nil {
+		return 0, err
+	}
+	switch fault {
+	case None:
+		return jf.f.Write(p)
+	case ShortWrite:
+		n, _ := jf.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+	case Crash:
+		// A crash mid-write may leave any prefix; persist half, then die.
+		// With DropUnsynced the crash handler already rewound the file to
+		// its synced length — a lost write — so write nothing more.
+		if !jf.in.DropUnsynced {
+			jf.f.Write(p[:len(p)/2])
+		}
+		return 0, ErrCrashed
+	default:
+		return 0, ErrInjected
+	}
+}
+
+func (jf *injFile) WriteString(s string) (int, error) { return jf.Write([]byte(s)) }
+
+func (jf *injFile) Sync() error {
+	fault, err := jf.in.check(OpSync, jf.name)
+	if err != nil {
+		return err
+	}
+	if fault != None {
+		return faultErr(fault)
+	}
+	if err := jf.f.Sync(); err != nil {
+		return err
+	}
+	if fi, err := jf.f.Stat(); err == nil {
+		jf.in.mu.Lock()
+		jf.synced = fi.Size()
+		jf.in.mu.Unlock()
+	}
+	return nil
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	fault, err := jf.in.check(OpTruncate, jf.name)
+	if err != nil {
+		return err
+	}
+	if fault != None {
+		return faultErr(fault)
+	}
+	if err := jf.f.Truncate(size); err != nil {
+		return err
+	}
+	jf.in.mu.Lock()
+	if jf.synced > size {
+		jf.synced = size
+	}
+	jf.in.mu.Unlock()
+	return nil
+}
+
+func (jf *injFile) Close() error {
+	jf.in.mu.Lock()
+	jf.closed = true
+	jf.in.mu.Unlock()
+	return jf.f.Close()
+}

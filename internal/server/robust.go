@@ -1,0 +1,199 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// clientKey identifies the client for rate limiting: the first address
+// in X-Forwarded-For when present (the server is expected to sit behind
+// a trusted proxy when that header matters), else the connection's
+// remote IP with the port stripped — one browser opening many
+// connections is still one client.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		if key := strings.TrimSpace(xff); key != "" {
+			return key
+		}
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter implements per-client token buckets: each client earns
+// rate tokens per second up to burst, one request costs one token. State
+// is O(clients) with stale entries evicted once the table grows past
+// maxClients, so an address-spraying client cannot balloon memory.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// maxClients bounds the limiter table; eviction drops the longest-idle
+// entries, which by construction are the ones closest to a full bucket
+// (an evicted-and-returning client is treated as fresh, i.e. leniently).
+const maxClients = 16384
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports the whole seconds to wait until a token accrues (at least 1,
+// for the Retry-After header).
+func (rl *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter int) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[key]
+	if b == nil {
+		if len(rl.buckets) >= maxClients {
+			rl.evictLocked(now)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / rl.rate
+	return false, int(math.Max(1, math.Ceil(wait)))
+}
+
+// evictLocked drops entries idle long enough to have refilled
+// completely — forgetting them loses no information — and, if none
+// qualify, clears the table outright (strictly more lenient than
+// keeping it).
+func (rl *rateLimiter) evictLocked(now time.Time) {
+	full := time.Duration(rl.burst / rl.rate * float64(time.Second))
+	for k, b := range rl.buckets {
+		if now.Sub(b.last) >= full {
+			delete(rl.buckets, k)
+		}
+	}
+	if len(rl.buckets) >= maxClients {
+		rl.buckets = make(map[string]*bucket)
+	}
+}
+
+// breaker is a circuit breaker over the write path. Consecutive
+// internal write failures (WAL I/O, merge errors — not the client's bad
+// terms) suggest the disk or the store is unhealthy; after threshold of
+// them the breaker opens and writes fail fast with 503 + Retry-After
+// instead of each discovering the same broken fsync at its own pace.
+// After cooldown one probe write is let through (half-open): success
+// closes the breaker, failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a write may proceed; when denied it returns the
+// seconds to advertise in Retry-After.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecutive < b.threshold {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		return false, retrySeconds(b.openUntil.Sub(now))
+	}
+	if b.probing {
+		// One probe is already in flight; everyone else keeps waiting.
+		return false, retrySeconds(b.cooldown)
+	}
+	b.probing = true
+	return true, 0
+}
+
+// result records a write's outcome. Client-fault failures (bad terms)
+// pass neutral=true: they say nothing about the store's health and
+// neither trip nor reset the breaker.
+func (b *breaker) result(failed, neutral bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.probing
+	b.probing = false
+	if neutral {
+		return
+	}
+	if !failed {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold || wasProbe {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// open reports whether the breaker is currently rejecting writes.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive >= b.threshold && (now.Before(b.openUntil) || b.probing)
+}
+
+// retrySeconds renders a wait as whole seconds, at least 1 — a
+// Retry-After of 0 invites an immediate retry storm.
+func retrySeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// limited wraps a handler with the per-client rate limit. Disabled (nil
+// limiter) passes through.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ok, retry := s.limiter.allow(clientKey(r), s.now()); !ok {
+			s.rejected.Add(1)
+			s.rejectedRate.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			httpError(w, http.StatusTooManyRequests, errRateLimited)
+			return
+		}
+		h(w, r)
+	}
+}

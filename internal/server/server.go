@@ -67,6 +67,24 @@ type Config struct {
 	// situ. Off by default: profiles reveal operational internals, so
 	// enabling them is an explicit deployment decision.
 	Pprof bool
+	// RateLimit caps each client (by X-Forwarded-For or remote IP) to
+	// this many requests per second on the query and write endpoints;
+	// excess requests get 429 + Retry-After. 0 disables limiting
+	// (default): it is an explicit deployment decision, like Pprof.
+	RateLimit float64
+	// RateBurst is the token-bucket burst per client (default
+	// max(1, 2*RateLimit)): how far a briefly idle client may exceed the
+	// steady rate.
+	RateBurst int
+	// BreakerThreshold opens the write-path circuit breaker after this
+	// many consecutive internal write failures (WAL I/O or merge errors;
+	// a client's bad terms never count). While open, writes fail fast
+	// with 503 + Retry-After instead of rediscovering a broken disk per
+	// request. Default 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting
+	// one probe write through (default 10s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.PlanEntries == 0 {
 		c.PlanEntries = 1024
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -102,13 +126,21 @@ type Server struct {
 	results *lruCache[[]byte]
 	plans   *lruCache[[]int]
 
-	start    time.Time
-	queries  atomic.Uint64 // pattern queries accepted
-	sparqls  atomic.Uint64 // BGP queries accepted
-	inserts  atomic.Uint64 // /insert requests accepted
-	deletes  atomic.Uint64 // /delete requests accepted
-	rejected atomic.Uint64 // 503s (pool saturated past deadline)
-	failed   atomic.Uint64 // requests ending in an error
+	limiter *rateLimiter // nil when Config.RateLimit is 0
+	brk     *breaker     // nil when the breaker is disabled
+	now     func() time.Time
+
+	start        time.Time
+	queries      atomic.Uint64 // pattern queries accepted
+	sparqls      atomic.Uint64 // BGP queries accepted
+	inserts      atomic.Uint64 // /insert requests accepted
+	deletes      atomic.Uint64 // /delete requests accepted
+	rejected     atomic.Uint64 // all rejections (the three causes below)
+	rejectedBusy atomic.Uint64 // 503s: pool saturated past deadline
+	rejectedRate atomic.Uint64 // 429s: client over its rate limit
+	rejectedBrk  atomic.Uint64 // 503s: write-path circuit breaker open
+	panics       atomic.Uint64 // handler panics converted to 500s
+	failed       atomic.Uint64 // requests ending in an error
 }
 
 // New builds a read-only server over a loaded store.
@@ -134,13 +166,22 @@ func newServer(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		results: newLRU[[]byte](cfg.CacheEntries),
 		plans:   newLRU[[]int](cfg.PlanEntries),
+		now:     time.Now,
 		start:   time.Now(),
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/sparql", s.handleSparql)
-	s.mux.HandleFunc("/insert", s.handleInsert)
-	s.mux.HandleFunc("/delete", s.handleDelete)
+	// The probes (/stats, /healthz) stay unlimited: rate-limiting them
+	// would blind the monitoring that explains the 429s.
+	s.mux.HandleFunc("/query", s.limited(s.handleQuery))
+	s.mux.HandleFunc("/sparql", s.limited(s.handleSparql))
+	s.mux.HandleFunc("/insert", s.limited(s.handleInsert))
+	s.mux.HandleFunc("/delete", s.limited(s.handleDelete))
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.Pprof {
@@ -170,14 +211,45 @@ func (s *Server) view() (*store.Store, uint64) {
 	return s.st, 0
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A panicking handler answers 500
+// (when the response has not started streaming yet; net/http otherwise
+// aborts the connection, which a streaming client already detects as a
+// truncated body) and is counted, instead of tearing down the
+// connection with no record — one poisoned query must not look like a
+// server crash from the outside.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.failed.Add(1)
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 const ndjsonType = "application/x-ndjson"
 
 // errBusy is returned when the worker pool stays saturated past the
 // request's deadline.
 var errBusy = errors.New("server busy: no worker available before the deadline")
+
+// errRateLimited answers clients over their per-client rate limit.
+var errRateLimited = errors.New("rate limit exceeded for this client")
+
+// errBreakerOpen answers writes while the write-path circuit breaker is
+// open after repeated internal write failures.
+var errBreakerOpen = errors.New("write path unavailable: repeated internal write failures (circuit breaker open)")
+
+// rejectBusy answers a pool-saturation rejection: 503 with a short
+// Retry-After — capacity frees on the order of a query duration, so an
+// immediate retry would just queue again.
+func (s *Server) rejectBusy(w http.ResponseWriter) {
+	s.rejected.Add(1)
+	s.rejectedBusy.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, errBusy)
+}
 
 // acquire claims a worker slot, waiting on ctx when the pool is full.
 func (s *Server) acquire(ctx context.Context) error {
@@ -289,8 +361,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.rejectBusy(w)
 		return
 	}
 	defer s.release()
@@ -398,8 +469,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.rejectBusy(w)
 		return
 	}
 	defer s.release()
@@ -487,6 +557,18 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 		httpError(w, http.StatusMethodNotAllowed, errors.New("writes require POST"))
 		return
 	}
+	// The circuit breaker gates admission: while the write path is known
+	// broken (consecutive WAL or merge failures), fail fast before
+	// spending a worker slot on a write that will hit the same fault.
+	if s.brk != nil {
+		if ok, retry := s.brk.allow(s.now()); !ok {
+			s.rejected.Add(1)
+			s.rejectedBrk.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			httpError(w, http.StatusServiceUnavailable, errBreakerOpen)
+			return
+		}
+	}
 	// Writes go through the same bounded admission as reads: at most
 	// Workers requests contend for the store's writer mutex, and later
 	// arrivals 503 when their deadline passes first — a threshold merge
@@ -494,8 +576,12 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, err)
+		if s.brk != nil {
+			// No write happened; a granted half-open probe must not stay
+			// reserved (neutral outcome releases it).
+			s.brk.result(false, true, s.now())
+		}
+		s.rejectBusy(w)
 		return
 	}
 	defer s.release()
@@ -507,6 +593,11 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 	} else {
 		s.deletes.Add(1)
 		res, err = s.mut.Delete(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
+	}
+	if s.brk != nil {
+		// Bad terms are the caller's fault and say nothing about the
+		// store's health; only internal failures count against it.
+		s.brk.result(err != nil, errors.Is(err, store.ErrTerm), s.now())
 	}
 	if err != nil {
 		s.failed.Add(1)
@@ -572,12 +663,27 @@ type Stats struct {
 	SparqlQueries uint64  `json:"sparql_queries"`
 	Inserts       uint64  `json:"inserts"`
 	Deletes       uint64  `json:"deletes"`
-	Rejected      uint64  `json:"rejected"`
-	Failed        uint64  `json:"failed"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	PlanEntries   int     `json:"plan_entries"`
+	// Rejected totals the three rejection causes broken out below.
+	Rejected            uint64 `json:"rejected"`
+	RejectedBusy        uint64 `json:"rejected_busy"`
+	RejectedRateLimited uint64 `json:"rejected_rate_limited"`
+	RejectedBreakerOpen uint64 `json:"rejected_breaker_open"`
+	Panics              uint64 `json:"panics"`
+	Failed              uint64 `json:"failed"`
+	BreakerOpen         bool   `json:"breaker_open"`
+	CacheEntries        int    `json:"cache_entries"`
+	CacheHits           uint64 `json:"cache_hits"`
+	CacheMisses         uint64 `json:"cache_misses"`
+	PlanEntries         int    `json:"plan_entries"`
+	// FormatVersion and Verified describe the container the serving view
+	// came from: version 2 carries per-section checksums verified at
+	// open; legacy version-1 files load unverified. QuarantinedShards
+	// lists shard sections excluded by a degraded open — non-empty means
+	// the store is serving partial data.
+	FormatVersion     int   `json:"format_version"`
+	Verified          bool  `json:"verified"`
+	QuarantinedShards []int `json:"quarantined_shards,omitempty"`
+	Degraded          bool  `json:"degraded"`
 }
 
 // Snapshot returns the current statistics.
@@ -585,25 +691,36 @@ func (s *Server) Snapshot() Stats {
 	hits, misses := s.results.Counters()
 	st, gen := s.view()
 	stats := Stats{
-		Layout:        st.Index.Layout().String(),
-		Triples:       st.Index.NumTriples(),
-		BitsPerTriple: core.BitsPerTriple(st.Index),
-		Shards:        st.Shards(),
-		Dictionary:    st.Dicts != nil,
-		Generation:    gen,
-		Workers:       s.cfg.Workers,
-		InFlight:      len(s.sem),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queries:       s.queries.Load(),
-		SparqlQueries: s.sparqls.Load(),
-		Inserts:       s.inserts.Load(),
-		Deletes:       s.deletes.Load(),
-		Rejected:      s.rejected.Load(),
-		Failed:        s.failed.Load(),
-		CacheEntries:  s.results.Len(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		PlanEntries:   s.plans.Len(),
+		Layout:              st.Index.Layout().String(),
+		Triples:             st.Index.NumTriples(),
+		BitsPerTriple:       core.BitsPerTriple(st.Index),
+		Shards:              st.Shards(),
+		Dictionary:          st.Dicts != nil,
+		Generation:          gen,
+		Workers:             s.cfg.Workers,
+		InFlight:            len(s.sem),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+		Queries:             s.queries.Load(),
+		SparqlQueries:       s.sparqls.Load(),
+		Inserts:             s.inserts.Load(),
+		Deletes:             s.deletes.Load(),
+		Rejected:            s.rejected.Load(),
+		RejectedBusy:        s.rejectedBusy.Load(),
+		RejectedRateLimited: s.rejectedRate.Load(),
+		RejectedBreakerOpen: s.rejectedBrk.Load(),
+		Panics:              s.panics.Load(),
+		Failed:              s.failed.Load(),
+		CacheEntries:        s.results.Len(),
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		PlanEntries:         s.plans.Len(),
+		FormatVersion:       st.Integrity.Version,
+		Verified:            st.Integrity.Verified,
+		QuarantinedShards:   st.Integrity.Quarantined,
+		Degraded:            len(st.Integrity.Quarantined) > 0,
+	}
+	if s.brk != nil {
+		stats.BreakerOpen = s.brk.open(s.now())
 	}
 	if s.mut != nil {
 		stats.Mutable = true
@@ -622,7 +739,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.Snapshot())
 }
 
+// handleHealthz is the liveness probe. A degraded store (quarantined
+// shard sections) still answers 200 — the process is alive and serving
+// the healthy shards, and restarting it would not help — but says so in
+// the body, so probes that parse it can alert without restarting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
+	st, _ := s.view()
+	if q := st.Integrity.Quarantined; len(q) > 0 {
+		fmt.Fprintf(w, "degraded: %d of %d shards quarantined %v\n", len(q), st.Shards(), q)
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }

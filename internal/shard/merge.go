@@ -93,6 +93,12 @@ func (m *mergeState) init(p core.Pattern) {
 	m.live = 0
 	for i := range m.streams {
 		st := &m.streams[i]
+		if s.shards[i] == nil {
+			// Quarantined shard: an exhausted-from-the-start stream.
+			st.it, st.qc = nil, nil
+			st.pos, st.n = 0, 0
+			continue
+		}
 		st.qc = s.acquireCtx(i)
 		st.it = core.SelectWithCtx(s.shards[i], p, st.qc)
 		st.pos, st.n = 0, 0

@@ -139,24 +139,57 @@ func BuildSharded(d *core.Dataset, layout core.Layout, n int, opts ...core.Optio
 // must share one layout; shard i must hold exactly the triples whose
 // subject hashes to i under ShardOf(s, len(shards)).
 func New(shards []core.Index) (*Store, error) {
+	for i, x := range shards {
+		if x == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+	}
+	return NewDegraded(shards)
+}
+
+// NewDegraded assembles a Store like New, but tolerates nil entries:
+// a nil shard is quarantined (its section failed integrity checking and
+// was excluded by a degraded open). The partition geometry is preserved
+// — routing still hashes over the original shard count — so queries
+// routed to a quarantined shard return no matches and fan-outs merge
+// only the healthy shards. At least one shard must be healthy.
+func NewDegraded(shards []core.Index) (*Store, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: no shards")
 	}
 	if len(shards) > MaxShards {
 		return nil, fmt.Errorf("shard: shard count %d out of range [1, %d]", len(shards), MaxShards)
 	}
-	layout := shards[0].Layout()
-	total := 0
+	var layout core.Layout
+	healthy, total := 0, 0
 	for i, x := range shards {
 		if x == nil {
-			return nil, fmt.Errorf("shard: shard %d is nil", i)
+			continue
 		}
-		if x.Layout() != layout {
+		if healthy == 0 {
+			layout = x.Layout()
+		} else if x.Layout() != layout {
 			return nil, fmt.Errorf("shard: shard %d has layout %v, want %v", i, x.Layout(), layout)
 		}
+		healthy++
 		total += x.NumTriples()
 	}
+	if healthy == 0 {
+		return nil, fmt.Errorf("shard: no healthy shards")
+	}
 	return &Store{shards: shards, layout: layout, numTriples: total, pools: make([]sync.Pool, len(shards))}, nil
+}
+
+// Quarantined returns the indexes of quarantined (nil) shards, nil when
+// every shard is healthy.
+func (s *Store) Quarantined() []int {
+	var q []int
+	for i, x := range s.shards {
+		if x == nil {
+			q = append(q, i)
+		}
+	}
+	return q
 }
 
 // Layout returns the layout shared by every shard.
@@ -172,11 +205,13 @@ func (s *Store) Shard(i int) core.Index { return s.shards[i] }
 // NumTriples returns the total triple count across shards.
 func (s *Store) NumTriples() int { return s.numTriples }
 
-// SizeBits returns the summed storage footprint of all shards.
+// SizeBits returns the summed storage footprint of all healthy shards.
 func (s *Store) SizeBits() uint64 {
 	var total uint64
 	for _, x := range s.shards {
-		total += x.SizeBits()
+		if x != nil {
+			total += x.SizeBits()
+		}
 	}
 	return total
 }
@@ -207,7 +242,14 @@ func (s *Store) SelectCtx(p core.Pattern, qc *core.QueryCtx) *core.Iterator {
 	if p.S != core.Wildcard {
 		// Every triple with this subject lives in one shard, so the
 		// routed query's result stream is exactly the single-index one.
-		return core.SelectWithCtx(s.shards[ShardOf(p.S, len(s.shards))], p, qc)
+		x := s.shards[ShardOf(p.S, len(s.shards))]
+		if x == nil {
+			// The owning shard is quarantined: degraded serving answers
+			// from the healthy shards only, and this subject's triples
+			// all lived in the lost one.
+			return core.EmptyIterator()
+		}
+		return core.SelectWithCtx(x, p, qc)
 	}
 	return s.selectFanOut(p)
 }

@@ -1,0 +1,407 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/shard"
+)
+
+// writeSampleFile serializes the shared sample store (single-index or
+// sharded) and returns its path and bytes.
+func writeSampleFile(t *testing.T, shards int) (string, []byte) {
+	t.Helper()
+	var st *Store
+	if shards > 1 {
+		st = buildShardedSample(t, core.Layout2Tp, shards)
+	} else {
+		st = buildSample(t, core.Layout2Tp)
+	}
+	path := filepath.Join(t.TempDir(), "store.idx")
+	if err := Write(path, st); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestReadFlippedByteEveryOffset flips one byte at every offset of a v2
+// store file and asserts Read detects each: the format checksums every
+// byte (magic aside, where the flip breaks the signature), so there is
+// no offset where silent acceptance is correct — and no input that may
+// panic instead of returning an error.
+func TestReadFlippedByteEveryOffset(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		path, data := writeSampleFile(t, shards)
+		for off := range data {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0xa5
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Read(path); err == nil {
+				t.Fatalf("shards=%d: flipped byte at offset %d/%d accepted", shards, off, len(data))
+			}
+		}
+	}
+}
+
+// TestReadTruncatedEveryLength truncates a v2 store at every possible
+// length and asserts Read errors each time — short headers, half
+// tables, sections cut mid-payload, and a missing trailing checksum all
+// included.
+func TestReadTruncatedEveryLength(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		path, data := writeSampleFile(t, shards)
+		for n := 0; n < len(data); n++ {
+			if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Read(path); err == nil {
+				t.Fatalf("shards=%d: truncation to %d/%d bytes accepted", shards, n, len(data))
+			}
+		}
+	}
+}
+
+// TestVerifyReport pins the verify walk: a clean store reports every
+// section ok; a flipped byte in the last shard section is attributed to
+// that section while the rest stay ok; a clean WAL is scanned.
+func TestVerifyReport(t *testing.T) {
+	path, data := writeSampleFile(t, 3)
+	rep, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || !rep.Verified || rep.Version != 2 || rep.Shards != 3 {
+		t.Fatalf("clean store: %+v", rep)
+	}
+	// header + table + 3 shards
+	if len(rep.Sections) != 5 {
+		t.Fatalf("sections: %+v", rep.Sections)
+	}
+
+	// Damage the final shard's payload (its trailing CRC is the last 4
+	// bytes of the file; the byte before that is payload).
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-5] ^= 0x01
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("corrupt shard not reported")
+	}
+	var bad []string
+	for _, sec := range rep.Sections {
+		if !sec.OK {
+			bad = append(bad, sec.Name)
+		}
+	}
+	if len(bad) != 1 || bad[0] != "shard 2" {
+		t.Fatalf("corruption attributed to %v, want [shard 2]; report %+v", bad, rep.Sections)
+	}
+
+	// The legacy report path: verify falls back to a decode check.
+	legacy := filepath.Join(t.TempDir(), "old.idx")
+	if err := os.WriteFile(legacy, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Verify(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("garbage verified ok")
+	}
+}
+
+// TestDegradedShardedOracle corrupts one shard section and checks the
+// degraded open against an oracle: a store built from the original
+// dataset minus exactly the quarantined shard's triples. Every query
+// must return identical result streams — the quarantined shard
+// disappears, nothing else shifts.
+func TestDegradedShardedOracle(t *testing.T) {
+	const n = 3
+	var ts []core.Triple
+	for i := 0; i < 900; i++ {
+		ts = append(ts, core.Triple{
+			S: core.ID(i % 97), P: core.ID(i % 7), O: core.ID((i * 13) % 83),
+		})
+	}
+	d := core.NewDataset(ts)
+	sh, err := shard.BuildSharded(d, core.Layout2Tp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.idx")
+	if err := Write(path, &Store{Index: sh}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file ends with shard n-1's payload + CRC: damage its payload.
+	quarantine := n - 1
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict read refuses; degraded read quarantines exactly that shard.
+	if _, err := Read(path); err == nil {
+		t.Fatal("strict Read accepted the corrupt shard")
+	}
+	got, err := ReadDegraded(path)
+	if err != nil {
+		t.Fatalf("degraded open: %v", err)
+	}
+	if q := got.Integrity.Quarantined; len(q) != 1 || q[0] != quarantine {
+		t.Fatalf("quarantined %v, want [%d]", q, quarantine)
+	}
+	if got.Integrity.Version != 2 || !got.Integrity.Verified {
+		t.Fatalf("integrity %+v", got.Integrity)
+	}
+
+	// Oracle: the same dataset minus the quarantined shard's triples,
+	// partitioned identically (same shard count over the same ID space).
+	var kept []core.Triple
+	for _, tr := range ts {
+		if shard.ShardOf(tr.S, n) != quarantine {
+			kept = append(kept, tr)
+		}
+	}
+	od := core.NewDataset(kept)
+	// Preserve the ID-space bounds of the full dataset so routing and
+	// bounds checks agree with the degraded store.
+	od.NS, od.NP, od.NO = d.NS, d.NP, d.NO
+	oracle, err := shard.BuildSharded(od, core.Layout2Tp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One subject routed into the quarantined shard, one routed elsewhere.
+	sIn, sOut := -1, -1
+	for s := 0; s < 97; s++ {
+		if shard.ShardOf(core.ID(s), n) == quarantine {
+			sIn = s
+		} else {
+			sOut = s
+		}
+	}
+	patterns := []core.Pattern{
+		core.NewPattern(-1, -1, -1),   // full scan
+		core.NewPattern(-1, 4, -1),    // fan-out
+		core.NewPattern(-1, -1, 13),   // fan-out by object
+		core.NewPattern(sIn, -1, -1),  // routed into the quarantined shard
+		core.NewPattern(sOut, -1, -1), // routed to a healthy shard
+		core.NewPattern(17, -1, -1),
+	}
+	for _, p := range patterns {
+		want := oracle.Select(p).Collect(-1)
+		have := got.Index.Select(p).Collect(-1)
+		if len(want) != len(have) {
+			t.Fatalf("pattern %v: %d results degraded, oracle %d", p, len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("pattern %v: result %d = %v, oracle %v", p, i, have[i], want[i])
+			}
+		}
+	}
+
+	// A degraded store must refuse to serialize: writing it out would
+	// make the data loss permanent and silent.
+	if err := Write(filepath.Join(t.TempDir(), "out.idx"), got); err == nil {
+		t.Fatal("degraded store serialized")
+	}
+}
+
+// TestWALCorruptMiddle damages a record in the middle of the WAL and
+// checks the recovery contract: the open succeeds, replay stops at the
+// last verifiable prefix (applying nothing after the damage), the loss
+// is reported, and the truncated WAL accepts new writes cleanly.
+func TestWALCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	path := buildTestStore(t, dir, core.Layout2Tp)
+	m, err := OpenMutable(path, -1) // manual merges: the WAL keeps all records
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"<http://ex/w1>", "<http://ex/w2>", "<http://ex/w3>"} {
+		if _, err := m.Insert(s, "<http://ex/knows>", "<http://ex/alice>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec := m.Recovery(); rec.Corrupt || rec.Replayed != 0 {
+		t.Fatalf("fresh open recovery %+v", rec)
+	}
+	m.Close()
+
+	// Flip one byte inside the second record's term bytes.
+	walPath := path + WALSuffix
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("unexpected WAL shape: %q", data)
+	}
+	off := len(lines[0]) + len(lines[1])/2
+	data[off] ^= 0x20
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err = OpenMutable(path, -1)
+	if err != nil {
+		t.Fatalf("corrupt middle failed the open: %v", err)
+	}
+	rec := m.Recovery()
+	if !rec.Corrupt || rec.Replayed != 1 || rec.DroppedRecords != 2 {
+		t.Fatalf("recovery %+v, want corrupt with 1 replayed / 2 dropped", rec)
+	}
+	if !strings.Contains(rec.Error, "checksum mismatch") {
+		t.Fatalf("recovery error %q", rec.Error)
+	}
+	st := m.View()
+	if got := countMatches(t, st, "<http://ex/w1>", "?", "?"); got != 1 {
+		t.Fatalf("valid prefix record lost: %d", got)
+	}
+	// Nothing past the damage was applied — not even the intact third
+	// record, whose placement can no longer be trusted.
+	for _, s := range []string{"<http://ex/w2>", "<http://ex/w3>"} {
+		if _, err := st.ParseTerm(s, false); err == nil {
+			t.Fatalf("record after the corruption was applied: %s", s)
+		}
+	}
+	// The damage is truncated away; appends and replays work again.
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != int64(len(lines[0])) {
+		t.Fatalf("WAL not truncated to the valid prefix: %v bytes, want %d", fi.Size(), len(lines[0]))
+	}
+	if _, err := m.Insert("<http://ex/w4>", "<http://ex/knows>", "<http://ex/alice>"); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m, err = OpenMutable(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if rec := m.Recovery(); rec.Corrupt || rec.Replayed != 2 {
+		t.Fatalf("post-repair recovery %+v", rec)
+	}
+	if got := countMatches(t, m.View(), "<http://ex/w4>", "?", "?"); got != 1 {
+		t.Fatalf("append after repair lost: %d", got)
+	}
+}
+
+// TestWALSequenceSplice deletes a whole record from the middle of the
+// WAL: both neighbors are individually intact, so only the sequence
+// numbers reveal the gap — replay must stop before the spliced record
+// rather than apply operations out of order.
+func TestWALSequenceSplice(t *testing.T) {
+	dir := t.TempDir()
+	path := buildTestStore(t, dir, core.Layout2Tp)
+	m, err := OpenMutable(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"<http://ex/w1>", "<http://ex/w2>", "<http://ex/w3>"} {
+		if _, err := m.Insert(s, "<http://ex/knows>", "<http://ex/alice>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	walPath := path + WALSuffix
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	spliced := lines[0] + lines[2] // record 2 lost in its entirety
+	if err := os.WriteFile(walPath, []byte(spliced), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = OpenMutable(path, -1)
+	if err != nil {
+		t.Fatalf("spliced WAL failed the open: %v", err)
+	}
+	defer m.Close()
+	rec := m.Recovery()
+	if !rec.Corrupt || rec.Replayed != 1 || !strings.Contains(rec.Error, "sequence jump") {
+		t.Fatalf("recovery %+v, want a sequence-jump stop after 1 record", rec)
+	}
+	if _, err := m.View().ParseTerm("<http://ex/w3>", false); err == nil {
+		t.Fatal("out-of-place record was applied")
+	}
+}
+
+// FuzzStoreRead feeds arbitrary bytes to the container reader: whatever
+// the input, Read and ReadDegraded must return (a store or an error)
+// without panicking or over-allocating.
+func FuzzStoreRead(f *testing.F) {
+	dir := f.TempDir()
+	var seedStore *Store
+	{
+		// Seed with real containers (v2 single and sharded) so the fuzzer
+		// starts from deep coverage, plus edge-case fragments.
+		st := &Store{}
+		statements := []core.Triple{{S: 0, P: 0, O: 1}, {S: 1, P: 0, O: 0}}
+		x, err := core.Build(core.NewDataset(statements), core.Layout2Tp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		st.Index = x
+		seedStore = st
+	}
+	single := filepath.Join(dir, "single.idx")
+	if err := Write(single, seedStore); err != nil {
+		f.Fatal(err)
+	}
+	if data, err := os.ReadFile(single); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	sh, err := shard.BuildSharded(core.NewDataset([]core.Triple{{S: 0, P: 0, O: 1}, {S: 1, P: 0, O: 0}}), core.Layout2Tp, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sharded := filepath.Join(dir, "sharded.idx")
+	if err := Write(sharded, &Store{Index: sh}); err != nil {
+		f.Fatal(err)
+	}
+	if data, err := os.ReadFile(sharded); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte(MagicSharded))
+	f.Add([]byte(MagicV1))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.idx")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Read(path)
+		if err == nil && st.Index == nil {
+			t.Fatal("Read returned a store with no index")
+		}
+		st, err = ReadDegraded(path)
+		if err == nil && st.Index == nil {
+			t.Fatal("ReadDegraded returned a store with no index")
+		}
+	})
+}

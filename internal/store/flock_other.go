@@ -2,8 +2,6 @@
 
 package store
 
-import "os"
-
 // flockExclusive is a no-op on platforms without flock semantics; the
 // single-writer guarantee then only holds within one process.
-func flockExclusive(*os.File) error { return nil }
+func flockExclusive(interface{ Fd() uintptr }) error { return nil }

@@ -3,13 +3,13 @@
 package store
 
 import (
-	"os"
 	"syscall"
 )
 
 // flockExclusive takes a non-blocking exclusive advisory lock on f,
 // held until the file handle closes (including on process death, which
-// is what makes it safe as a liveness-scoped store lock).
-func flockExclusive(f *os.File) error {
+// is what makes it safe as a liveness-scoped store lock). The interface
+// admits both *os.File and the faultfs wrappers.
+func flockExclusive(f interface{ Fd() uintptr }) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,8 +13,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/dict"
+	"rdfindexes/internal/faultfs"
 	"rdfindexes/internal/rdf"
 )
 
@@ -42,9 +45,11 @@ type Mutable struct {
 	mu        sync.Mutex // serializes writers and merges
 	path      string
 	walPath   string
-	wal       *os.File
+	wal       faultfs.File
 	threshold int
 	layout    core.Layout
+	integrity Integrity   // of the store file this Mutable was opened from
+	recovery  WALRecovery // what replayWAL found at open
 
 	dyn *core.DynamicIndex
 	so  *dict.Overlay // nil for integer-only stores
@@ -69,6 +74,34 @@ const walChurnFactor = 4
 
 // WALSuffix is appended to the store path to name its write-ahead log.
 const WALSuffix = ".wal"
+
+// WALRecovery reports what replayWAL found at open. A WAL damaged in the
+// middle (bit flip, partial page loss) no longer fails the open: replay
+// stops at the last verifiable record prefix, the writing opener
+// truncates the damage away, and the loss is surfaced here so operators
+// can tell "clean start" from "recovered with N records dropped".
+type WALRecovery struct {
+	// Replayed is the number of records successfully re-applied.
+	Replayed int `json:"replayed"`
+	// Corrupt is true when a damaged record stopped the replay before
+	// the end of the file.
+	Corrupt bool `json:"corrupt"`
+	// TornTail is true when an unterminated final record (a crash
+	// mid-append) was discarded; unlike Corrupt this is an expected
+	// crash artifact, not data damage.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// DroppedRecords counts complete records discarded after the valid
+	// prefix (the corrupt record and everything behind it).
+	DroppedRecords int `json:"dropped_records,omitempty"`
+	// DroppedBytes counts WAL bytes discarded (corrupt suffix plus any
+	// torn tail).
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
+	// Error describes the first corruption encountered.
+	Error string `json:"error,omitempty"`
+}
+
+// Recovery returns what the opening WAL replay found.
+func (m *Mutable) Recovery() WALRecovery { return m.recovery }
 
 // WriteResult reports the effect of one Insert or Delete.
 type WriteResult struct {
@@ -117,6 +150,7 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 		path:      path,
 		walPath:   path + WALSuffix,
 		threshold: threshold,
+		integrity: st.Integrity,
 		layout:    st.Index.Layout(),
 		// The DynamicIndex never merges on its own (threshold -1): the
 		// store drives merges so dictionaries fold and files rewrite in
@@ -138,7 +172,7 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 	if lock {
 		// Only a writing open touches the WAL file: read views must work
 		// without write permission and must never create or recreate it.
-		m.wal, err = os.OpenFile(m.walPath, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		m.wal, err = fsys.OpenFile(m.walPath, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -153,8 +187,8 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 		return nil, err
 	}
 	if lock {
-		// Drop a torn tail record (a crash mid-append) so later appends
-		// cannot weld onto it; read-only opens just ignore it.
+		// Drop a torn tail or corrupt suffix so later appends cannot weld
+		// onto it; read-only opens just ignore it.
 		if fi, err := m.wal.Stat(); err == nil && fi.Size() > validLen {
 			if err := m.wal.Truncate(validLen); err != nil {
 				m.wal.Close()
@@ -197,7 +231,16 @@ func (m *Mutable) mergeDueLocked() bool {
 // the replay and retries, so the returned view is always a state the
 // serving process actually published. Without a WAL this is a plain
 // Read.
-func ReadView(path string) (*Store, error) {
+func ReadView(path string) (*Store, error) { return readView(path, Read) }
+
+// ReadViewDegraded is ReadView for serving: a sharded store with
+// checksum-failed shard sections opens degraded (ReadDegraded) instead
+// of failing, so one bad sector quarantines one shard rather than the
+// whole store. Non-sharded stores are unaffected — a single corrupt
+// index section has nothing to degrade to.
+func ReadViewDegraded(path string) (*Store, error) { return readView(path, ReadDegraded) }
+
+func readView(path string, read func(string) (*Store, error)) (*Store, error) {
 	const attempts = 5
 	var lastErr error
 	for try := 0; try < attempts; try++ {
@@ -207,7 +250,7 @@ func ReadView(path string) (*Store, error) {
 		}
 		if _, err := os.Stat(path + WALSuffix); err != nil {
 			if os.IsNotExist(err) {
-				return Read(path)
+				return read(path)
 			}
 			return nil, err
 		}
@@ -217,7 +260,7 @@ func ReadView(path string) (*Store, error) {
 			// rebuild replaced an updatable store); the sharded store
 			// itself is complete without it.
 			if errors.Is(err, ErrSharded) {
-				return Read(path)
+				return read(path)
 			}
 			// A merge mid-read can also surface as a parse failure
 			// (store and WAL from different generations); retry those
@@ -280,7 +323,7 @@ func (m *Mutable) Threshold() int { return m.threshold }
 // with one pointer load, so a cache key built from the generation can
 // never describe IDs resolved against a different view's dictionaries.
 func (m *Mutable) publishLocked() {
-	st := &Store{Index: m.dyn.Snapshot(), Gen: m.gen.Add(1)}
+	st := &Store{Index: m.dyn.Snapshot(), Gen: m.gen.Add(1), Integrity: m.integrity}
 	if m.so != nil {
 		st.Dicts = &rdf.Dicts{SO: m.so.View(), P: m.p.View()}
 	}
@@ -347,7 +390,7 @@ var ErrSharded = errors.New("sharded store is read-only (rebuild with -shards to
 // missing WAL needs no preparation.
 func PrepareRebuild(path string) error {
 	walPath := path + WALSuffix
-	f, err := os.OpenFile(walPath, os.O_RDWR, 0)
+	f, err := fsys.OpenFile(walPath, os.O_RDWR, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -365,7 +408,7 @@ func PrepareRebuild(path string) error {
 	if fi.Size() > 0 {
 		return fmt.Errorf("store: %s holds pending writes for the previous store; merge them or delete the WAL before rebuilding", walPath)
 	}
-	return os.Remove(walPath)
+	return fsys.Remove(walPath)
 }
 
 // writeTerm is one resolved write-side term: its canonical WAL
@@ -519,19 +562,31 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 }
 
 // appendWAL writes one durable log record. Dictionary stores log
-// canonical N-Triples statements; integer-only stores log raw IDs. Any
-// failure rolls the file back to its pre-append length: a half-written
-// record must not linger for the next append to weld onto (which would
-// make the WAL permanently unparseable), and a record whose fsync
-// failed must not resurface on replay after the caller was told the
-// write failed.
+// canonical N-Triples statements; integer-only stores log raw IDs.
+//
+// Record framing (v2): "CCCCCCCC SEQ OP TERMS...\n" — an 8-hex-digit
+// CRC32C over everything after its trailing space, then a monotonic
+// sequence number (the record's 1-based position in the WAL, resetting
+// when a merge truncates it). The CRC turns a bit flip anywhere in the
+// record into a detected stop point for replay instead of applied
+// garbage; the sequence number additionally catches records that are
+// individually intact but out of place (a lost middle page splicing two
+// valid regions together). Records written by older versions ("OP
+// TERMS...") still replay, unverified.
+//
+// Any failure rolls the file back to its pre-append length: a
+// half-written record must not linger for the next append to weld onto
+// (which would make the WAL permanently unparseable), and a record
+// whose fsync failed must not resurface on replay after the caller was
+// told the write failed.
 func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
-	var line string
+	var body string
 	if m.so != nil {
-		line = fmt.Sprintf("%c %s %s %s .\n", op, skey, pkey, okey)
+		body = fmt.Sprintf("%d %c %s %s %s .", m.walRecords+1, op, skey, pkey, okey)
 	} else {
-		line = fmt.Sprintf("%c %s %s %s\n", op, skey, pkey, okey)
+		body = fmt.Sprintf("%d %c %s %s %s", m.walRecords+1, op, skey, pkey, okey)
 	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum([]byte(body), codec.Castagnoli), body)
 	fi, err := m.wal.Stat()
 	if err != nil {
 		return fmt.Errorf("store: WAL stat: %w", err)
@@ -554,12 +609,19 @@ func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
 // replayWAL re-applies pending operations left by a previous process,
 // in order, through the same resolution path that wrote them — so
 // overlay IDs are re-assigned deterministically. It returns the byte
-// length of the valid record prefix: a final record without its
-// terminating newline is a torn append from a crash mid-write and is
-// skipped (the writing opener truncates it away); a malformed
-// *complete* record is genuine corruption and fails the open.
+// length of the valid record prefix and fills m.recovery:
+//
+//   - a final record without its terminating newline is a torn append
+//     from a crash mid-write and is skipped;
+//   - a complete record that fails its CRC, carries the wrong sequence
+//     number, or does not parse is corruption: replay stops at the last
+//     verifiable prefix and everything behind the damage is discarded
+//     (the writing opener truncates it away) — applying records past an
+//     undetected splice could resurrect deleted triples;
+//   - a record that verifies but whose terms cannot be re-applied is
+//     not a storage fault and still fails the open.
 func (m *Mutable) replayWAL() (validLen int64, err error) {
-	f, err := os.Open(m.walPath)
+	f, err := fsys.Open(m.walPath)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -569,10 +631,33 @@ func (m *Mutable) replayWAL() (validLen int64, err error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	lineNo := 0
+	// corrupt stops the replay, recording the damage; the remaining
+	// complete records are counted so the loss is quantified.
+	corrupt := func(format string, args ...any) (int64, error) {
+		m.recovery.Corrupt = true
+		m.recovery.Error = fmt.Sprintf("%s line %d: %s", m.walPath, lineNo, fmt.Sprintf(format, args...))
+		m.recovery.DroppedRecords = 1
+		for {
+			rest, rerr := br.ReadString('\n')
+			if rerr != nil {
+				m.recovery.TornTail = rest != ""
+				break
+			}
+			m.recovery.DroppedRecords++
+		}
+		if fi, serr := f.Stat(); serr == nil {
+			m.recovery.DroppedBytes = fi.Size() - validLen
+		}
+		return validLen, nil
+	}
 	for {
 		line, rerr := br.ReadString('\n')
 		if rerr == io.EOF {
 			// Any unterminated tail in line is a torn append: skip it.
+			if line != "" {
+				m.recovery.TornTail = true
+				m.recovery.DroppedBytes += int64(len(line))
+			}
 			return validLen, nil
 		}
 		if rerr != nil {
@@ -585,21 +670,40 @@ func (m *Mutable) replayWAL() (validLen int64, err error) {
 			validLen += recLen
 			continue
 		}
+		if crcField, rest, ok := splitWALCRC(line); ok {
+			// v2 record: verify the checksum before even looking inside,
+			// then the sequence number against this record's position.
+			if crc32.Checksum([]byte(rest), codec.Castagnoli) != crcField {
+				return corrupt("record checksum mismatch")
+			}
+			seqStr, body, ok := strings.Cut(rest, " ")
+			if !ok {
+				return corrupt("bad record %q", line)
+			}
+			seq, perr := strconv.ParseUint(seqStr, 10, 64)
+			if perr != nil {
+				return corrupt("bad sequence number %q", seqStr)
+			}
+			if seq != uint64(m.walRecords+1) {
+				return corrupt("sequence jump: record claims %d, expected %d", seq, m.walRecords+1)
+			}
+			line = body
+		}
 		op := line[0]
 		if (op != opInsert && op != opDelete) || len(line) < 2 || line[1] != ' ' {
-			return validLen, fmt.Errorf("store: WAL %s line %d: bad record %q", m.walPath, lineNo, line)
+			return corrupt("bad record %q", line)
 		}
 		var s, p, o string
 		if m.so != nil {
 			st, ok, perr := rdf.ParseLine(line[2:])
 			if perr != nil || !ok {
-				return validLen, fmt.Errorf("store: WAL %s line %d: %v", m.walPath, lineNo, perr)
+				return corrupt("unparsable statement: %v", perr)
 			}
 			s, p, o = st.S.Key(), st.P.Key(), st.O.Key()
 		} else {
 			fields := strings.Fields(line[2:])
 			if len(fields) != 3 {
-				return validLen, fmt.Errorf("store: WAL %s line %d: want 3 IDs, got %q", m.walPath, lineNo, line)
+				return corrupt("want 3 IDs, got %q", line)
 			}
 			s, p, o = fields[0], fields[1], fields[2]
 		}
@@ -607,8 +711,23 @@ func (m *Mutable) replayWAL() (validLen int64, err error) {
 			return validLen, fmt.Errorf("store: WAL %s line %d: %w", m.walPath, lineNo, err)
 		}
 		m.walRecords++
+		m.recovery.Replayed++
 		validLen += recLen
 	}
+}
+
+// splitWALCRC detects the v2 record framing: an 8-hex-digit CRC field
+// followed by a space. Legacy records start with "I " or "D ", which
+// cannot collide with eight hex digits.
+func splitWALCRC(line string) (crc uint32, rest string, ok bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return 0, "", false
+	}
+	v, err := strconv.ParseUint(line[:8], 16, 32)
+	if err != nil {
+		return 0, "", false
+	}
+	return uint32(v), line[9:], true
 }
 
 // mergeLocked folds the pending log and overlay dictionaries into a
@@ -661,7 +780,7 @@ func (m *Mutable) mergeLocked() error {
 	if err := Write(tmp, &Store{Index: x, Dicts: dicts}); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, m.path); err != nil {
+	if err := fsys.Rename(tmp, m.path); err != nil {
 		return err
 	}
 	// Best-effort directory sync so the rename itself is durable before
@@ -684,6 +803,10 @@ func (m *Mutable) mergeLocked() error {
 		m.p = dict.NewOverlay(pDict)
 	}
 	m.walRecords = 0
+	// The rewritten file is the current checksummed format; views
+	// published from here on no longer inherit a legacy "unverified"
+	// badge from the file this Mutable was originally opened from.
+	m.integrity = Integrity{Version: CurrentVersion, Verified: true}
 	m.merges.Add(1)
 	return nil
 }

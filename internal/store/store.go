@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
@@ -20,20 +21,61 @@ import (
 	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/dict"
+	"rdfindexes/internal/faultfs"
 	"rdfindexes/internal/rdf"
 	"rdfindexes/internal/shard"
 )
 
-// Magic is the single-index store file signature.
-const Magic = "RDFSTORE1"
+// MagicV1 is the legacy (unchecksummed) single-index store signature.
+// V1 files still open — read-compat — but nothing verifies their bytes,
+// which stats and verify surface as "unverified".
+const MagicV1 = "RDFSTORE1"
 
-// MagicSharded is the multi-shard store file signature. The layout is:
-// magic, the optional dictionaries (shared by all shards), the shard
-// count, a table of per-shard section byte lengths, then the shards'
-// serialized indexes back to back. The length table gives every shard's
-// file offset up front, so Read decodes the sections in parallel with
-// independent readers.
-const MagicSharded = "RDFSHARD1"
+// MagicShardedV1 is the legacy multi-shard store signature: magic, the
+// optional dictionaries (shared by all shards), the shard count, a table
+// of per-shard section byte lengths, then the shards' serialized indexes
+// back to back. The length table gives every shard's file offset up
+// front, so Read decodes the sections in parallel with independent
+// readers.
+const MagicShardedV1 = "RDFSHARD1"
+
+// Magic is the current single-index store signature. Version 2 carries
+// per-section CRC32C checksums so a flipped byte anywhere in the file is
+// detected at open instead of decoding into silent garbage:
+//
+//	magic
+//	header  = dict flag, dictionaries            | CRC32C
+//	table   = one uint64 section payload length  | CRC32C
+//	section = serialized index                   | CRC32C
+//
+// Every checksum covers exactly the bytes of its section and trails
+// them, written through a counting/hashing writer at O(1) extra memory.
+const Magic = "RDFSTORE2"
+
+// MagicSharded is the current multi-shard store signature: as Magic, but
+// the header additionally ends with the shard count, the table holds one
+// payload length per shard, and one checksummed section follows per
+// shard. Sections are still decoded in parallel; each section reader
+// hashes its bytes as it goes and verifies its own trailing CRC.
+const MagicSharded = "RDFSHARD2"
+
+// CurrentVersion is the container format version Write produces.
+const CurrentVersion = 2
+
+// Integrity describes what Read verified about the container a Store
+// was loaded from.
+type Integrity struct {
+	// Version is the container format version: 1 for the legacy
+	// unchecksummed formats, 2 for the checksummed ones. 0 for views
+	// that never touched disk (fresh mutable snapshots inherit the
+	// loaded store's value).
+	Version int
+	// Verified is true when every section's CRC32C was checked at open.
+	Verified bool
+	// Quarantined lists shard sections that failed their checksum and
+	// were excluded by a degraded open (nil after a strict Read).
+	Quarantined []int
+}
 
 // Store is an index plus its dictionaries (nil Dicts for integer-only
 // datasets that were built from binary triple files).
@@ -47,7 +89,14 @@ type Store struct {
 	// response caches sound across merges (a merge remaps dictionary
 	// IDs, so the same ID text means different terms across generations).
 	Gen uint64
+	// Integrity records the container version and checksum verification
+	// outcome of the load that produced this store.
+	Integrity Integrity
 }
+
+// fsys is the filesystem the write paths go through; the crash-torture
+// tests swap in a faultfs.Injector.
+var fsys faultfs.FS = faultfs.OS{}
 
 // Write serializes the store to path: magic, optional dictionaries, then
 // the index — the single-index format for plain indexes, the multi-shard
@@ -69,7 +118,12 @@ func Write(path string, st *Store) error {
 		}
 	}
 	sh, sharded := st.Index.(*shard.Store)
-	f, err := os.Create(path)
+	if sharded {
+		if q := sh.Quarantined(); len(q) > 0 {
+			return fmt.Errorf("store: refusing to serialize a degraded store (shards %v quarantined); rebuild from the source data", q)
+		}
+	}
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -86,6 +140,9 @@ func Write(path string, st *Store) error {
 	} else {
 		w.String(Magic)
 	}
+	// The header section (dictionaries, shard count) streams through the
+	// writer's CRC32C tee; its checksum trails it.
+	w.StartChecksum()
 	if st.Dicts != nil {
 		w.Byte(1)
 		so.Encode(w)
@@ -96,14 +153,16 @@ func Write(path string, st *Store) error {
 	if sharded {
 		w.Uvarint(uint64(sh.NumShards()))
 	}
+	w.Uint32(w.StopChecksum())
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	if sharded {
-		if err := writeShards(f, sh); err != nil {
-			return err
-		}
-	} else if err := core.WriteIndex(f, st.Index); err != nil {
+		err = writeSections(f, sh.NumShards(), sh.Shard)
+	} else {
+		err = writeSections(f, 1, func(int) core.Index { return st.Index })
+	}
+	if err != nil {
 		return err
 	}
 	// The merge path renames this file over the live store and then
@@ -117,29 +176,36 @@ func Write(path string, st *Store) error {
 	return err
 }
 
-// writeShards streams every shard's serialized section straight to the
-// file and then patches the section-length table in place: a
-// placeholder table is written first, each section streams through a
-// counting writer (no section is ever buffered whole, so writing costs
-// O(1) extra memory regardless of store size), and a final seek pair
-// fills in the measured lengths.
-func writeShards(f *os.File, sh *shard.Store) error {
+// writeSections streams the n index sections straight to the file and
+// then patches the section-length table in place: a placeholder table is
+// written first, each section streams through a counting/hashing writer
+// (no section is ever buffered whole, so writing costs O(1) extra memory
+// regardless of store size) with its CRC32C appended right behind it,
+// and a final seek pair fills in the measured lengths plus the table's
+// own checksum.
+func writeSections(f faultfs.File, n int, section func(int) core.Index) error {
 	tablePos, err := f.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return err
 	}
-	n := sh.NumShards()
-	table := make([]byte, 8*n)
+	// n uint64 payload lengths followed by the table's CRC32C.
+	table := make([]byte, 8*n+4)
 	if _, err := f.Write(table); err != nil {
 		return err
 	}
+	var crcBuf [4]byte
 	for i := 0; i < n; i++ {
 		cw := &countingWriter{w: f}
-		if err := core.WriteIndex(cw, sh.Shard(i)); err != nil {
+		if err := core.WriteIndex(cw, section(i)); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+		if _, err := f.Write(crcBuf[:]); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint64(table[8*i:], cw.n)
 	}
+	binary.LittleEndian.PutUint32(table[8*n:], crc32.Checksum(table[:8*n], codec.Castagnoli))
 	if _, err := f.Seek(tablePos, io.SeekStart); err != nil {
 		return err
 	}
@@ -150,35 +216,78 @@ func writeShards(f *os.File, sh *shard.Store) error {
 	return err
 }
 
-// countingWriter counts the bytes passed through to w.
+// countingWriter counts and CRC32C-hashes the bytes passed through to w.
 type countingWriter struct {
-	w io.Writer
-	n uint64
+	w   io.Writer
+	n   uint64
+	crc uint32
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += uint64(n)
+	c.crc = crc32.Update(c.crc, codec.Castagnoli, p[:n])
 	return n, err
 }
 
-// Read loads a store written by Write, auto-detecting the single-index
-// and multi-shard formats by their magic. Multi-shard files decode their
-// shard sections in parallel.
-func Read(path string) (*Store, error) {
+// Read loads a store written by Write, auto-detecting the four
+// container formats (v1/v2, single/sharded) by their magic. Version-2
+// files verify every section checksum during the load; any mismatch
+// fails the open with the offending section named. Multi-shard files
+// decode their shard sections in parallel.
+func Read(path string) (*Store, error) { return readStore(path, false) }
+
+// ReadDegraded loads a store like Read, but a v2 shard section that
+// fails its checksum is quarantined instead of failing the open: the
+// remaining shards keep serving (routed queries to the quarantined
+// shard return no matches, fan-outs skip it) and the loss is recorded
+// in Integrity.Quarantined for /stats and /healthz to surface. Header,
+// dictionary or table corruption still fails — there is nothing to
+// degrade to — as does a store with no healthy shard left.
+func ReadDegraded(path string) (*Store, error) { return readStore(path, true) }
+
+func readStore(path string, degraded bool) (st *Store, err error) {
+	// Decoders assume length fields they read are self-consistent; on a
+	// corrupted file that assumption can surface as a slice-bounds panic
+	// before a checksum is reached. This boundary converts any such
+	// panic into a corruption error: Read never takes the process down.
+	defer func() {
+		if p := recover(); p != nil {
+			st, err = nil, fmt.Errorf("store: %s: %w: decoder panic: %v", path, codec.ErrCorrupt, p)
+		}
+	}()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	// One buffered stream shared by the header decoder and ReadIndex.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	// One buffered stream shared by the header decoder and the section
+	// loads of the single-index legacy format.
 	br := bufio.NewReader(f)
 	r := codec.NewReader(br)
+	r.SetAllocLimit(fi.Size())
 	magic := r.String()
-	if magic != Magic && magic != MagicSharded {
+	var v2, sharded bool
+	switch magic {
+	case MagicV1:
+	case MagicShardedV1:
+		sharded = true
+	case Magic:
+		v2 = true
+	case MagicSharded:
+		v2, sharded = true, true
+	default:
 		return nil, fmt.Errorf("not an rdfstore file (magic %q)", magic)
 	}
-	st := &Store{}
+	st = &Store{Integrity: Integrity{Version: 1}}
+	if v2 {
+		st.Integrity = Integrity{Version: 2, Verified: true}
+		r.StartChecksum()
+	}
 	if r.Byte() == 1 {
 		so, err := dict.Decode(r)
 		if err != nil {
@@ -194,36 +303,163 @@ func Read(path string) (*Store, error) {
 		p.BuildLocateHash()
 		st.Dicts = &rdf.Dicts{SO: so, P: p}
 	}
-	if magic == MagicSharded {
-		st.Index, err = readShards(f, r)
+	n := 1
+	if sharded {
+		n = int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n < 1 || n > shard.MaxShards {
+			return nil, fmt.Errorf("%w: shard count %d out of range [1, %d]", codec.ErrCorrupt, n, shard.MaxShards)
+		}
+	}
+	if v2 {
+		sum := r.StopChecksum()
+		stored := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if sum != stored {
+			return nil, fmt.Errorf("%w: section header checksum mismatch (stored %08x, computed %08x)",
+				codec.ErrCorrupt, stored, sum)
+		}
+	}
+	if !v2 {
+		// Legacy formats: no table for single indexes, an unchecksummed
+		// length table for sharded ones. Nothing is verified.
+		if sharded {
+			st.Index, err = readShardsV1(f, fi.Size(), r, n)
+		} else {
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			st.Index, err = core.ReadIndexLimited(br, fi.Size())
+		}
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
 	}
+
+	// V2: checksummed section-length table, then one checksummed section
+	// per index.
+	lengths := make([]int64, n)
+	var total int64
+	r.StartChecksum()
+	for i := range lengths {
+		v := r.Uint64()
+		if v > 1<<62 || int64(v) < 0 {
+			return nil, fmt.Errorf("%w: section %d length %d", codec.ErrCorrupt, i, v)
+		}
+		lengths[i] = int64(v)
+		total += lengths[i] + 4
+	}
+	tableSum := r.StopChecksum()
+	tableStored := r.Uint32()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	st.Index, err = core.ReadIndex(br)
+	if tableSum != tableStored {
+		return nil, fmt.Errorf("%w: section table checksum mismatch (stored %08x, computed %08x)",
+			codec.ErrCorrupt, tableStored, tableSum)
+	}
+	base := r.Read()
+	if base+total != fi.Size() {
+		return nil, fmt.Errorf("%w: sections cover %d bytes, file has %d after the header",
+			codec.ErrCorrupt, total, fi.Size()-base)
+	}
+	shards := make([]core.Index, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	off := base
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int, off, length int64) {
+			defer wg.Done()
+			shards[i], errs[i] = readSectionChecksummed(f, off, length, sectionName(sharded, i))
+		}(i, off, lengths[i])
+		off += lengths[i] + 4
+	}
+	wg.Wait()
+	if !sharded {
+		if errs[0] != nil {
+			return nil, errs[0]
+		}
+		st.Index = shards[0]
+		return st, nil
+	}
+	var quarantined []int
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !degraded {
+			return nil, err
+		}
+		quarantined = append(quarantined, i)
+		shards[i] = nil
+	}
+	if len(quarantined) == n {
+		return nil, fmt.Errorf("store: %s: all %d shard sections failed verification: %w", path, n, errs[0])
+	}
+	if len(quarantined) > 0 {
+		st.Index, err = shard.NewDegraded(shards)
+	} else {
+		st.Index, err = shard.New(shards)
+	}
 	if err != nil {
 		return nil, err
 	}
+	st.Integrity.Quarantined = quarantined
 	return st, nil
 }
 
-// readShards decodes the shard table of a multi-shard store and loads
-// every shard section concurrently through an independent section
-// reader. r must be positioned at the shard count; its consumed-byte
-// counter gives the file offset of the first section (every header byte
-// passes through it).
-func readShards(f *os.File, r *codec.Reader) (*shard.Store, error) {
-	n := int(r.Uvarint())
-	if err := r.Err(); err != nil {
-		return nil, err
+// sectionName names an index section for error reports.
+func sectionName(sharded bool, i int) string {
+	if sharded {
+		return fmt.Sprintf("shard %d", i)
 	}
-	if n < 1 || n > shard.MaxShards {
-		return nil, fmt.Errorf("%w: shard count %d out of range [1, %d]", codec.ErrCorrupt, n, shard.MaxShards)
+	return "index"
+}
+
+// readSectionChecksummed loads one v2 index section: the payload bytes
+// at [off, off+length) are decoded while streaming through a CRC32C
+// hash, and the section's trailing stored checksum must match — whether
+// or not the decode succeeded, so a flipped byte that still parses is
+// caught, and one that breaks parsing is reported as the checksum
+// mismatch it is.
+func readSectionChecksummed(f *os.File, off, length int64, name string) (core.Index, error) {
+	sr := io.NewSectionReader(f, off, length)
+	h := crc32.New(codec.Castagnoli)
+	br := bufio.NewReader(io.TeeReader(sr, h))
+	x, decodeErr := core.ReadIndexLimited(br, length)
+	// Hash whatever the decoder did not consume so the checksum always
+	// covers the full section.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		return nil, fmt.Errorf("store: section %s: %w", name, err)
 	}
+	var crcb [4]byte
+	if _, err := f.ReadAt(crcb[:], off+length); err != nil {
+		return nil, fmt.Errorf("%w: section %s checksum missing: %v", codec.ErrCorrupt, name, err)
+	}
+	if stored := binary.LittleEndian.Uint32(crcb[:]); h.Sum32() != stored {
+		return nil, fmt.Errorf("%w: section %s checksum mismatch (stored %08x, computed %08x)",
+			codec.ErrCorrupt, name, stored, h.Sum32())
+	}
+	if decodeErr != nil {
+		// The bytes verify but do not parse: a writer/decoder version
+		// mismatch rather than storage corruption.
+		return nil, fmt.Errorf("store: section %s: %w", name, decodeErr)
+	}
+	return x, nil
+}
+
+// readShardsV1 decodes the unchecksummed shard table of a legacy
+// multi-shard store and loads every shard section concurrently through
+// an independent section reader. r must be positioned at the length
+// table; its consumed-byte counter gives the file offset of the first
+// section (every header byte passes through it).
+func readShardsV1(f *os.File, size int64, r *codec.Reader, n int) (*shard.Store, error) {
 	lengths := make([]int64, n)
 	var total int64
 	for i := range lengths {
@@ -238,9 +474,9 @@ func readShards(f *os.File, r *codec.Reader) (*shard.Store, error) {
 		return nil, err
 	}
 	base := r.Read()
-	if fi, err := f.Stat(); err == nil && base+total != fi.Size() {
+	if base+total != size {
 		return nil, fmt.Errorf("%w: shard sections cover %d bytes, file has %d after the header",
-			codec.ErrCorrupt, total, fi.Size()-base)
+			codec.ErrCorrupt, total, size-base)
 	}
 	shards := make([]core.Index, n)
 	errs := make([]error, n)
@@ -250,7 +486,7 @@ func readShards(f *os.File, r *codec.Reader) (*shard.Store, error) {
 		wg.Add(1)
 		go func(i int, off, length int64) {
 			defer wg.Done()
-			shards[i], errs[i] = core.ReadIndex(io.NewSectionReader(f, off, length))
+			shards[i], errs[i] = core.ReadIndexLimited(io.NewSectionReader(f, off, length), length)
 		}(i, off, lengths[i])
 		off += lengths[i]
 	}
@@ -278,10 +514,13 @@ func IsSharded(path string) (bool, error) {
 	if err := r.Err(); err != nil {
 		return false, err
 	}
-	if magic != Magic && magic != MagicSharded {
-		return false, fmt.Errorf("not an rdfstore file (magic %q)", magic)
+	switch magic {
+	case MagicV1, Magic:
+		return false, nil
+	case MagicShardedV1, MagicSharded:
+		return true, nil
 	}
-	return magic == MagicSharded, nil
+	return false, fmt.Errorf("not an rdfstore file (magic %q)", magic)
 }
 
 // Shards returns the shard count of the store's index: the partition
