@@ -26,7 +26,12 @@
 // the static index untouched until the pending log reaches the merge
 // threshold (or merge is run), at which point the store file is rewritten
 // atomically. serve recovers the pending log on startup and accepts
-// writes on /insert and /delete.
+// writes on /v1/insert and /v1/delete.
+//
+// serve answers standard SPARQL 1.1 Protocol queries on /sparql (GET
+// ?query= or POST, results as SPARQL JSON/XML/CSV/TSV by Accept header)
+// and the deprecated private NDJSON dialect under /v1/; see
+// internal/server for the endpoint table.
 //
 // build -shards N partitions the index by subject hash into N shards
 // built in parallel; query, sparql, stats and serve auto-detect the
@@ -473,7 +478,7 @@ func serveCmd(args []string, out io.Writer) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	cfg := server.Config{
+	cfg := server.Options{
 		Workers:          *workers,
 		Timeout:          *timeout,
 		CacheEntries:     *cache,
@@ -482,6 +487,9 @@ func serveCmd(args []string, out io.Writer) error {
 		RateBurst:        *burst,
 		BreakerThreshold: *brkN,
 		BreakerCooldown:  *brkCool,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	var srv *server.Server
 	var st *store.Store

@@ -11,6 +11,7 @@ import (
 	"rdfindexes/internal/dict"
 	"rdfindexes/internal/gen"
 	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/server/results"
 	"rdfindexes/internal/sparql"
 	"rdfindexes/internal/store"
 )
@@ -123,27 +124,55 @@ func pooledMaterialize(st *store.Store, q sparql.Query, order []int, w io.Writer
 	return rows, nw.Flush()
 }
 
+// protocolMaterialize runs the same query through one of the protocol
+// endpoint's standard serializers (SPARQL JSON/XML/CSV/TSV), mirroring
+// the live /sparql serving path.
+func protocolMaterialize(st *store.Store, q sparql.Query, order []int, f results.Format, w io.Writer) (int, error) {
+	wr := results.Acquire(f, st, w)
+	defer wr.Release()
+	wr.Begin(q.Vars)
+	rows := 0
+	_, err := sparql.StreamWithOrder(nil, q, st.Index, order, func(b sparql.Bindings) {
+		wr.WriteSolution(b)
+		rows++
+	})
+	if err != nil {
+		return rows, err
+	}
+	wr.End()
+	return rows, wr.Flush()
+}
+
+// materializeFixture builds the dictionary-backed store and densest-
+// predicate scan the materialization measurements share.
+func materializeFixture(d *core.Dataset) (*store.Store, sparql.Query, []int, error) {
+	dicts, err := SynthDicts(d)
+	if err != nil {
+		return nil, sparql.Query{}, nil, err
+	}
+	x, err := core.Build2Tp(d)
+	if err != nil {
+		return nil, sparql.Query{}, nil, err
+	}
+	st := &store.Store{Index: x, Dicts: dicts}
+	p, _ := densestPredicate(d)
+	q, err := sparql.Parse(fmt.Sprintf("SELECT ?s ?o WHERE { ?s <%d> ?o . }", p))
+	if err != nil {
+		return nil, sparql.Query{}, nil, err
+	}
+	return st, q, sparql.Plan(q), nil
+}
+
 // MaterializeRowsPerSec measures the pooled /sparql row path on a
 // dictionary-backed store built from the preset dataset: the densest
 // predicate's ?s/?o scan is executed, rendered and NDJSON-encoded to a
 // discarding writer, and the best of runs is reported as rows/sec. This
 // is the number the BENCH_<preset>.json gate tracks.
 func MaterializeRowsPerSec(d *core.Dataset, runs int) (float64, int, error) {
-	dicts, err := SynthDicts(d)
+	st, q, order, err := materializeFixture(d)
 	if err != nil {
 		return 0, 0, err
 	}
-	x, err := core.Build2Tp(d)
-	if err != nil {
-		return 0, 0, err
-	}
-	st := &store.Store{Index: x, Dicts: dicts}
-	p, _ := densestPredicate(d)
-	q, err := sparql.Parse(fmt.Sprintf("SELECT ?s ?o WHERE { ?s <%d> ?o . }", p))
-	if err != nil {
-		return 0, 0, err
-	}
-	order := sparql.Plan(q)
 	rows := 0
 	el := bestOfRuns(runs, func() {
 		var rerr error
@@ -156,6 +185,33 @@ func MaterializeRowsPerSec(d *core.Dataset, runs int) (float64, int, error) {
 		return 0, 0, err
 	}
 	return perSec(rows, el), rows, nil
+}
+
+// MaterializeFormatRowsPerSec measures the same scan through each of the
+// protocol endpoint's serializers, keyed by format name. The row count
+// is identical across formats (same seeded query), so the per-format
+// numbers gate against a baseline exactly like the NDJSON one.
+func MaterializeFormatRowsPerSec(d *core.Dataset, runs int) (map[string]float64, int, error) {
+	st, q, order, err := materializeFixture(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]float64, len(results.Formats()))
+	rows := 0
+	for _, f := range results.Formats() {
+		el := bestOfRuns(runs, func() {
+			var rerr error
+			rows, rerr = protocolMaterialize(st, q, order, f, io.Discard)
+			if rerr != nil {
+				err = rerr
+			}
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		out[f.String()] = perSec(rows, el)
+	}
+	return out, rows, nil
 }
 
 // DictMaterialization measures the dictionary access path end to end:
@@ -294,5 +350,20 @@ func DictMaterialization(cfg Config) ([]*Table, error) {
 	lr, pr := perSec(rows, legacy), perSec(rows, pooled)
 	mat.Add("legacy (map + Render + json.Encoder)", N(int(lr)), "1.0x")
 	mat.Add("pooled (stream + cursor + term cache)", N(int(pr)), fmt.Sprintf("%.1fx", pr/lr))
-	return []*Table{extract, locate, mat}, nil
+
+	// --- protocol serializers ---
+	proto := &Table{
+		Title: "Materialized protocol rows/sec by serializer (/sparql endpoint)",
+		Note: fmt.Sprintf("same densest-predicate scan through each standard result format, best of %d runs; all four share the pooled escaped-term arena, so none gives back the pooled-path win",
+			cfg.Runs),
+		Header: []string{"format", "rows/s", "vs NDJSON"},
+	}
+	for _, f := range results.Formats() {
+		el := bestOfRuns(cfg.Runs, func() {
+			rows, _ = protocolMaterialize(st, q, order, f, io.Discard)
+		})
+		fr := perSec(rows, el)
+		proto.Add(f.String()+" ("+f.ContentType()+")", N(int(fr)), fmt.Sprintf("%.2fx", fr/pr))
+	}
+	return []*Table{extract, locate, mat, proto}, nil
 }

@@ -37,6 +37,13 @@ type JSONReport struct {
 	// Compare treats as "no baseline".
 	MaterializedRowsPerSec float64 `json:"materialized_rows_per_sec,omitempty"`
 	MaterializedRows       int     `json:"materialized_rows,omitempty"`
+	// MaterializedFormatRowsPerSec is the same scan through each of the
+	// protocol endpoint's serializers (SPARQL json/xml/csv/tsv), keyed by
+	// format name. The row count equals MaterializedRows (same seeded
+	// query), so the per-format throughputs gate downward against a
+	// baseline exactly like the NDJSON number. Absent in reports from
+	// before the protocol endpoint existed, which Compare skips.
+	MaterializedFormatRowsPerSec map[string]float64 `json:"materialized_format_rows_per_sec,omitempty"`
 }
 
 // MeasureJSON builds every layout over the preset's synthetic dataset
@@ -85,6 +92,14 @@ func MeasureJSON(cfg Config, preset string) (*JSONReport, error) {
 	}
 	rep.MaterializedRowsPerSec = rowsPerSec
 	rep.MaterializedRows = rows
+	formats, frows, err := MaterializeFormatRowsPerSec(d, cfg.Runs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: format materialization: %w", err)
+	}
+	if frows != rows {
+		return nil, fmt.Errorf("bench: format materialization rows %d != %d", frows, rows)
+	}
+	rep.MaterializedFormatRowsPerSec = formats
 	return rep, nil
 }
 
@@ -184,6 +199,22 @@ func Compare(base, cur *JSONReport, tolerance float64) []Regression {
 			regs = append(regs, Regression{
 				Layout: "materialize", Shape: "-", Metric: "rows/sec",
 				Base: base.MaterializedRowsPerSec, Current: cur.MaterializedRowsPerSec,
+			})
+		}
+	}
+	// Per-format protocol serializer throughput gates the same way, one
+	// entry per format present in both reports. Row-count comparability
+	// is already covered by the MaterializedRows check above (the formats
+	// measure the identical seeded scan).
+	for format, b := range base.MaterializedFormatRowsPerSec {
+		c, ok := cur.MaterializedFormatRowsPerSec[format]
+		if !ok || b <= 0 || c <= 0 {
+			continue
+		}
+		if c < b*(1-tolerance) {
+			regs = append(regs, Regression{
+				Layout: "materialize/" + format, Shape: "-", Metric: "rows/sec",
+				Base: b, Current: c,
 			})
 		}
 	}

@@ -135,13 +135,51 @@ func TestCompareMaterializedRows(t *testing.T) {
 	})
 }
 
+func TestCompareMaterializedFormats(t *testing.T) {
+	base := report(nil, nil, nil)
+	base.MaterializedRowsPerSec, base.MaterializedRows = 1000, 50
+	base.MaterializedFormatRowsPerSec = map[string]float64{
+		"json": 900, "xml": 800, "csv": 1100, "tsv": 1200,
+	}
+
+	t.Run("equal or faster passes", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 1000, 50
+		cur.MaterializedFormatRowsPerSec = map[string]float64{
+			"json": 900, "xml": 850, "csv": 2000, "tsv": 1200,
+		}
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("non-regressing formats gated: %v", regs)
+		}
+	})
+	t.Run("one slow format fails", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 1000, 50
+		cur.MaterializedFormatRowsPerSec = map[string]float64{
+			"json": 900, "xml": 500, "csv": 1100, "tsv": 1200,
+		}
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Layout != "materialize/xml" || regs[0].Metric != "rows/sec" {
+			t.Fatalf("expected one xml rows/sec regression, got %v", regs)
+		}
+	})
+	t.Run("format missing from either side skips", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.MaterializedRowsPerSec, cur.MaterializedRows = 1000, 50
+		cur.MaterializedFormatRowsPerSec = map[string]float64{"json": 900, "newfmt": 1}
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("asymmetric format maps gated: %v", regs)
+		}
+	})
+}
+
 func TestDictMaterializationExperiment(t *testing.T) {
 	tables, err := DictMaterialization(Config{Triples: 6000, Queries: 50, Runs: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 3 {
-		t.Fatalf("%d tables, want 3", len(tables))
+	if len(tables) != 4 {
+		t.Fatalf("%d tables, want 4", len(tables))
 	}
 	for _, tb := range tables {
 		if len(tb.Rows) == 0 {

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/server/results"
+	"rdfindexes/internal/sparql"
+)
+
+// The SPARQL 1.1 Protocol endpoint. Queries arrive as GET ?query=, as a
+// POST body with Content-Type application/sparql-query, or as the query
+// field of a POST form; results stream in whichever SPARQL result
+// format (JSON, XML, CSV, TSV) the Accept header negotiates. Responses
+// carry an ETag derived from the store's write generation, so a client
+// or intermediary cache revalidates with one conditional request and a
+// 304 for as long as no write has been merged — and no longer.
+
+// sparqlQueryType is the protocol's direct-POST media type.
+const sparqlQueryType = "application/sparql-query"
+
+// maxQueryBytes bounds a POSTed query body; a store query is text a
+// human or planner wrote, not bulk data.
+const maxQueryBytes = 1 << 20
+
+// Deprecation metadata for the /v1/ NDJSON dialect and its root
+// aliases: deprecated as of 2026-01-01 (RFC 9745 @unix-time form),
+// removal not before 2027-01-01, successor is the protocol endpoint.
+const (
+	deprecationDate = "@1767225600"
+	sunsetDate      = "Fri, 01 Jan 2027 00:00:00 GMT"
+	successorLink   = `</sparql>; rel="successor-version"`
+)
+
+// deprecated stamps the dialect-retirement headers on a legacy
+// endpoint's responses before the handler runs.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set("Deprecation", deprecationDate)
+		hd.Set("Sunset", sunsetDate)
+		hd.Set("Link", successorLink)
+		h(w, r)
+	}
+}
+
+// gzipPool recycles gzip writers across responses; a gzip.Writer holds
+// ~1.4 MiB of window state, far too much to build per request.
+var gzipPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// wantsGzip reports whether the Accept-Encoding header admits gzip with
+// a nonzero quality.
+func wantsGzip(accept string) bool {
+	for _, elem := range strings.Split(accept, ",") {
+		parts := strings.Split(elem, ";")
+		if strings.ToLower(strings.TrimSpace(parts[0])) != "gzip" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			if k, v, ok := strings.Cut(p, "="); ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && f <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// etagMatch reports whether an If-None-Match header matches the entity
+// tag. Weak-validator prefixes compare equal: byte-identical bodies are
+// a stronger guarantee than the weak comparison needs.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || strings.TrimPrefix(c, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// protocolQuery extracts the query text from whichever of the three
+// protocol request forms was used, or describes the failure as an HTTP
+// status.
+func protocolQuery(r *http.Request) (string, int, error) {
+	switch r.Method {
+	case http.MethodGet:
+		if qs := r.URL.Query().Get("query"); qs != "" {
+			return qs, 0, nil
+		}
+		return "", http.StatusBadRequest, errors.New("missing query parameter")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		switch strings.ToLower(strings.TrimSpace(ct)) {
+		case sparqlQueryType:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+			if err != nil {
+				return "", http.StatusBadRequest, fmt.Errorf("reading query body: %w", err)
+			}
+			if len(body) > maxQueryBytes {
+				return "", http.StatusRequestEntityTooLarge,
+					fmt.Errorf("query body exceeds %d bytes", maxQueryBytes)
+			}
+			if len(body) == 0 {
+				return "", http.StatusBadRequest, errors.New("empty query body")
+			}
+			return string(body), 0, nil
+		case "application/x-www-form-urlencoded", "":
+			if qs := r.PostFormValue("query"); qs != "" {
+				return qs, 0, nil
+			}
+			return "", http.StatusBadRequest, errors.New("missing query form field")
+		default:
+			return "", http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported request media type %q (use %s or a form)", ct, sparqlQueryType)
+		}
+	default:
+		return "", http.StatusMethodNotAllowed, errors.New("protocol queries use GET or POST")
+	}
+}
+
+// handleProtocol serves one SPARQL protocol query.
+func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
+	s.protocols.Add(1)
+	qs, status, err := protocolQuery(r)
+	if err != nil {
+		if status == http.StatusMethodNotAllowed {
+			w.Header().Set("Allow", "GET, POST")
+		}
+		s.failed.Add(1)
+		httpError(w, status, err)
+		return
+	}
+	f, ok := results.Negotiate(r.Header.Get("Accept"))
+	if !ok {
+		s.failed.Add(1)
+		httpError(w, http.StatusNotAcceptable,
+			fmt.Errorf("no acceptable result format; supported: %s", results.SupportedTypes()))
+		return
+	}
+	limit, err := parseLimitValue(r.URL.Query().Get("limit"))
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	st, gen := s.view()
+	// The representation is fully determined by (write generation,
+	// format): the view is immutable and query evaluation is
+	// deterministic over it. That makes the pair a sound strong
+	// validator — a matching If-None-Match revalidates without parsing,
+	// planning or touching the index, which is the entire point of
+	// keying revalidation on the RCU generation.
+	h := w.Header()
+	etag := `"g` + strconv.FormatUint(gen, 10) + `-` + f.String() + `"`
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept, Accept-Encoding")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	translated, err := st.TranslateQuery(qs)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := sparql.Parse(translated)
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// norm matches the NDJSON dialect's plan-cache key on purpose: both
+	// endpoints evaluate the same BGP, so they share cached orders. The
+	// result-cache key adds the format — the cached bytes are the
+	// serialized (uncompressed) response body.
+	norm := fmt.Sprintf("g%d|%s", gen, q.String())
+	key := "p|" + f.String() + "|" + norm + "|" + strconv.Itoa(limit)
+	gz := wantsGzip(r.Header.Get("Accept-Encoding"))
+	if body, ok := s.results.Get(key); ok {
+		serveProtocolCached(w, f, body, gz)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejectBusy(w)
+		return
+	}
+	defer s.release()
+
+	order, planCached := s.plans.Get(norm)
+	if !planCached {
+		order = sparql.Plan(q)
+		s.plans.Put(norm, order)
+	}
+
+	qc := core.AcquireQueryCtx()
+	defer qc.Release()
+
+	// The write path is serializer -> capture -> gzip -> client: the
+	// capture tees the uncompressed serialization (so a cache entry
+	// serves later clients with or without gzip), and compression
+	// happens once, downstream of it.
+	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
+	h.Set("Content-Type", f.ContentType())
+	h.Set("X-Cache", "miss")
+	var zw *gzip.Writer
+	if gz {
+		h.Set("Content-Encoding", "gzip")
+		zw = gzipPool.Get().(*gzip.Writer)
+		zw.Reset(w)
+		cw.w = zw
+	}
+
+	wr := results.Acquire(f, st, cw)
+	defer wr.Release()
+	wr.Begin(q.Vars)
+
+	execCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	rows, truncated := 0, false
+	_, err = sparql.StreamWithOrder(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, func(b sparql.Bindings) {
+		if limit >= 0 && rows >= limit {
+			if !truncated {
+				truncated = true
+				stop()
+			}
+			return
+		}
+		wr.WriteSolution(b)
+		rows++
+	})
+	if err != nil && !truncated {
+		// The status line and head are already on the wire, so a
+		// mid-stream failure cannot become an error response; ending the
+		// stream early leaves a syntactically truncated body the client
+		// detects, and poisoning the capture keeps it out of the cache.
+		cw.poisoned = true
+		s.failed.Add(1)
+	} else {
+		wr.End()
+	}
+	if err := wr.Flush(); err != nil {
+		cw.poisoned = true
+	}
+	if zw != nil {
+		// Close flushes the gzip trailer but Reset reopens the writer,
+		// so pooled reuse is safe.
+		zw.Close()
+		gzipPool.Put(zw)
+	}
+	if body, ok := cw.cacheable(); ok {
+		s.results.Put(key, body)
+	}
+}
+
+// serveProtocolCached answers from a cached uncompressed serialization,
+// compressing per this client's Accept-Encoding.
+func serveProtocolCached(w http.ResponseWriter, f results.Format, body []byte, gz bool) {
+	h := w.Header()
+	h.Set("Content-Type", f.ContentType())
+	h.Set("X-Cache", "hit")
+	if !gz {
+		w.Write(body)
+		return
+	}
+	h.Set("Content-Encoding", "gzip")
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	zw.Write(body)
+	zw.Close()
+	gzipPool.Put(zw)
+}

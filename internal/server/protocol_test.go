@@ -1,0 +1,487 @@
+package server
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfindexes/internal/server/results"
+)
+
+const knowsQuery = "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"
+
+// do issues a protocol request with full control over method, headers
+// and body, returning the response and its raw body bytes.
+func do(t *testing.T, req *http.Request) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func protocolGet(t *testing.T, ts *httptest.Server, query, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(query), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	return do(t, req)
+}
+
+// jsonBindings decodes a SPARQL JSON results body and returns its rows.
+func jsonBindings(t *testing.T, body []byte) (vars []string, rows []map[string]map[string]string) {
+	t.Helper()
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]map[string]string `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("bad SPARQL JSON %s: %v", body, err)
+	}
+	return doc.Head.Vars, doc.Results.Bindings
+}
+
+// errorShape decodes the unified error document and checks its code
+// matches the HTTP status.
+func errorShape(t *testing.T, resp *http.Response, body []byte) string {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("error Content-Type = %q", ct)
+	}
+	var doc struct {
+		Error struct {
+			Code    int    `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("bad error body %s: %v", body, err)
+	}
+	if doc.Error.Code != resp.StatusCode || doc.Error.Message == "" {
+		t.Fatalf("error doc %+v vs status %d", doc, resp.StatusCode)
+	}
+	return doc.Error.Message
+}
+
+// TestProtocolFormats runs one BGP through all four negotiated formats
+// and checks each body parses as its advertised media type.
+func TestProtocolFormats(t *testing.T) {
+	st := testStore(t, 40, 3)
+	ts := httptest.NewServer(New(st, Options{Workers: 4}))
+	defer ts.Close()
+
+	for _, f := range results.Formats() {
+		ct := f.ContentType()
+		resp, body := protocolGet(t, ts, knowsQuery, strings.Split(ct, ";")[0])
+		if resp.StatusCode != 200 {
+			t.Fatalf("%v: status %d body %s", f, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("Content-Type"); got != ct {
+			t.Fatalf("%v: Content-Type %q, want %q", f, got, ct)
+		}
+		switch f {
+		case results.JSON:
+			vars, rows := jsonBindings(t, body)
+			if len(vars) != 2 || len(rows) != 40 {
+				t.Fatalf("json: vars %v rows %d", vars, len(rows))
+			}
+			if b := rows[0]["x"]; b["type"] != "uri" || !strings.HasPrefix(b["value"], "http://ex/p") {
+				t.Fatalf("json binding %v", rows[0])
+			}
+		case results.XML:
+			var doc struct {
+				XMLName xml.Name `xml:"sparql"`
+				Results []struct {
+					Bindings []struct {
+						URI string `xml:"uri"`
+					} `xml:"binding"`
+				} `xml:"results>result"`
+			}
+			if err := xml.Unmarshal(body, &doc); err != nil {
+				t.Fatalf("xml: %v", err)
+			}
+			if len(doc.Results) != 40 || len(doc.Results[0].Bindings) != 2 {
+				t.Fatalf("xml rows %d", len(doc.Results))
+			}
+		case results.CSV:
+			lines := strings.Split(strings.TrimSpace(string(body)), "\r\n")
+			if len(lines) != 41 || lines[0] != "x,y" {
+				t.Fatalf("csv: %d lines, header %q", len(lines), lines[0])
+			}
+		case results.TSV:
+			lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+			if len(lines) != 41 || lines[0] != "?x\t?y" {
+				t.Fatalf("tsv: %d lines, header %q", len(lines), lines[0])
+			}
+			if !strings.HasPrefix(lines[1], "<http://ex/p") {
+				t.Fatalf("tsv row %q", lines[1])
+			}
+		}
+	}
+}
+
+// TestProtocolRequestForms covers the three request shapes the protocol
+// defines plus the rejections around them, all answered in the unified
+// error document.
+func TestProtocolRequestForms(t *testing.T) {
+	st := testStore(t, 10, 2)
+	ts := httptest.NewServer(New(st, Options{Workers: 2}))
+	defer ts.Close()
+
+	post := func(ct, body string) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/sparql", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		return do(t, req)
+	}
+
+	t.Run("post direct", func(t *testing.T) {
+		resp, body := post("application/sparql-query; charset=utf-8", knowsQuery)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d body %s", resp.StatusCode, body)
+		}
+		if _, rows := jsonBindings(t, body); len(rows) != 10 {
+			t.Fatalf("rows %d", len(rows))
+		}
+	})
+	t.Run("post form", func(t *testing.T) {
+		resp, body := post("application/x-www-form-urlencoded",
+			url.Values{"query": {knowsQuery}}.Encode())
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d body %s", resp.StatusCode, body)
+		}
+		if _, rows := jsonBindings(t, body); len(rows) != 10 {
+			t.Fatalf("rows %d", len(rows))
+		}
+	})
+	t.Run("unsupported media type", func(t *testing.T) {
+		resp, body := post("text/turtle", knowsQuery)
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("status %d, want 415", resp.StatusCode)
+		}
+		errorShape(t, resp, body)
+	})
+	t.Run("method", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/sparql", nil)
+		resp, body := do(t, req)
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, POST" {
+			t.Fatalf("status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+		}
+		errorShape(t, resp, body)
+	})
+	t.Run("missing query param", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/sparql", nil)
+		resp, body := do(t, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		errorShape(t, resp, body)
+	})
+	t.Run("parse error", func(t *testing.T) {
+		resp, body := protocolGet(t, ts, "SELECT WHERE", "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		errorShape(t, resp, body)
+	})
+	t.Run("bad limit", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet,
+			ts.URL+"/sparql?limit=-3&query="+url.QueryEscape(knowsQuery), nil)
+		resp, body := do(t, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		errorShape(t, resp, body)
+	})
+	t.Run("limit", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet,
+			ts.URL+"/sparql?limit=3&query="+url.QueryEscape(knowsQuery), nil)
+		resp, body := do(t, req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, rows := jsonBindings(t, body); len(rows) != 3 {
+			t.Fatalf("rows %d, want 3", len(rows))
+		}
+	})
+}
+
+// TestProtocolNegotiationHTTP exercises negotiation end to end: q-value
+// ordering, wildcard defaulting, and the 406 for unacceptable types.
+func TestProtocolNegotiationHTTP(t *testing.T) {
+	st := testStore(t, 10, 2)
+	ts := httptest.NewServer(New(st, Options{Workers: 2}))
+	defer ts.Close()
+
+	cases := []struct {
+		accept string
+		wantCT string
+	}{
+		{"", "application/sparql-results+json"},
+		{"*/*", "application/sparql-results+json"},
+		{"application/sparql-results+xml;q=0.5, text/csv", "text/csv; charset=utf-8"},
+		{"text/tab-separated-values;q=0.9, text/csv;q=0.2", "text/tab-separated-values; charset=utf-8"},
+	}
+	for _, c := range cases {
+		resp, _ := protocolGet(t, ts, knowsQuery, c.accept)
+		if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != c.wantCT {
+			t.Fatalf("Accept %q: status %d Content-Type %q, want %q",
+				c.accept, resp.StatusCode, resp.Header.Get("Content-Type"), c.wantCT)
+		}
+	}
+
+	resp, body := protocolGet(t, ts, knowsQuery, "text/html, image/png;q=0.8")
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("406 case: status %d", resp.StatusCode)
+	}
+	if msg := errorShape(t, resp, body); !strings.Contains(msg, "text/csv") {
+		t.Fatalf("406 message %q does not list supported types", msg)
+	}
+}
+
+// TestProtocolGzip checks the gzip × chunked-streaming interaction: a
+// compressed response still streams (no Content-Length), decompresses
+// to exactly the identity body, and the result cache — which stores the
+// uncompressed serialization — serves both encodings correctly.
+func TestProtocolGzip(t *testing.T) {
+	// Enough rows that the serialized response overflows both the
+	// serializer's 8 KiB flush batches and net/http's small-response
+	// buffer, forcing a real chunked stream even after compression.
+	st := testStore(t, 3000, 0)
+	ts := httptest.NewServer(New(st, Options{Workers: 2}))
+	defer ts.Close()
+
+	gzGet := func() (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(knowsQuery), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", "application/sparql-results+json")
+		// An explicit Accept-Encoding disables the transport's
+		// transparent decompression, exposing the raw wire bytes.
+		req.Header.Set("Accept-Encoding", "gzip")
+		return do(t, req)
+	}
+
+	resp, wire := gzGet()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("status %d encoding %q", resp.StatusCode, resp.Header.Get("Content-Encoding"))
+	}
+	if resp.ContentLength >= 0 {
+		t.Fatalf("compressed stream has Content-Length %d; want chunked", resp.ContentLength)
+	}
+	zr, err := gzip.NewReader(strings.NewReader(string(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainFromGz, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity request: decompressed body and plain body are identical,
+	// and the plain client is served from the cache entry the gzip
+	// request populated.
+	respPlain, plain := protocolGet(t, ts, knowsQuery, "application/sparql-results+json")
+	if respPlain.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity response has Content-Encoding %q", respPlain.Header.Get("Content-Encoding"))
+	}
+	if respPlain.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("plain request after gzip: X-Cache %q, want hit", respPlain.Header.Get("X-Cache"))
+	}
+	if string(plain) != string(plainFromGz) {
+		t.Fatalf("gzip and identity bodies differ:\n%s\nvs\n%s", plainFromGz, plain)
+	}
+
+	// A second gzip request hits the cache and re-compresses.
+	resp2, wire2 := gzGet()
+	if resp2.Header.Get("X-Cache") != "hit" || resp2.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("cached gzip: X-Cache %q encoding %q", resp2.Header.Get("X-Cache"), resp2.Header.Get("Content-Encoding"))
+	}
+	zr2, err := gzip.NewReader(strings.NewReader(string(wire2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := io.ReadAll(zr2); string(b) != string(plain) {
+		t.Fatalf("cached gzip body differs")
+	}
+}
+
+// TestProtocolETag checks conditional revalidation across the RCU
+// generations: hits while the store is unchanged, misses after an
+// insert bumps the generation and again after a merge remaps it.
+func TestProtocolETag(t *testing.T) {
+	dir := t.TempDir()
+	m := mutableStore(t, dir, 10, 2, 0)
+	ts := httptest.NewServer(NewMutable(m, Options{Workers: 2}))
+	defer ts.Close()
+
+	conditional := func(etag string) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(knowsQuery), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		return do(t, req)
+	}
+
+	resp, _ := conditional("")
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || etag == "" {
+		t.Fatalf("initial: status %d etag %q", resp.StatusCode, etag)
+	}
+	if vary := resp.Header.Get("Vary"); !strings.Contains(vary, "Accept") {
+		t.Fatalf("Vary = %q", vary)
+	}
+
+	// Unchanged store: the validator holds, including as a weak match.
+	if resp, _ := conditional(etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: status %d, want 304", resp.StatusCode)
+	}
+	if resp, _ := conditional("W/" + etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak revalidation: status %d, want 304", resp.StatusCode)
+	}
+	// A different format under the same generation is a different
+	// representation, so a JSON validator must not revalidate CSV.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(knowsQuery), nil)
+	req.Header.Set("Accept", "text/csv")
+	req.Header.Set("If-None-Match", etag)
+	if resp, _ := do(t, req); resp.StatusCode != 200 {
+		t.Fatalf("cross-format revalidation: status %d, want 200", resp.StatusCode)
+	}
+
+	// An insert bumps the generation: the old validator misses and the
+	// fresh response carries a new one.
+	if resp, body := postForm(t, ts, "/v1/insert", url.Values{
+		"s": {"<http://ex/p0>"}, "p": {"<http://ex/knows>"}, "o": {"<http://ex/p5>"},
+	}); resp.StatusCode != 200 {
+		t.Fatalf("insert: status %d body %s", resp.StatusCode, body)
+	}
+	resp, _ = conditional(etag)
+	etag2 := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || etag2 == etag || etag2 == "" {
+		t.Fatalf("post-insert: status %d etag %q (was %q)", resp.StatusCode, etag2, etag)
+	}
+	if resp, _ := conditional(etag2); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("post-insert revalidation: status %d, want 304", resp.StatusCode)
+	}
+
+	// A merge rebuilds the store and remaps dictionary IDs under yet
+	// another generation; the pre-merge validator must miss.
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := conditional(etag2)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-merge: status %d", resp.StatusCode)
+	}
+	if etag3 := resp.Header.Get("ETag"); etag3 == etag2 || etag3 == "" {
+		t.Fatalf("post-merge etag %q unchanged", etag3)
+	}
+	if _, rows := jsonBindings(t, body); len(rows) != 11 {
+		t.Fatalf("post-merge rows %d, want 11", len(rows))
+	}
+}
+
+// TestDeprecatedDialectHeaders pins the migration headers on the legacy
+// NDJSON dialect — under /v1/ and at the pre-versioning root aliases —
+// and their absence from the successor endpoint.
+func TestDeprecatedDialectHeaders(t *testing.T) {
+	st := testStore(t, 10, 2)
+	ts := httptest.NewServer(New(st, Options{Workers: 2}))
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/v1/query?p=" + url.QueryEscape("<http://ex/knows>"),
+		"/v1/sparql?q=" + url.QueryEscape(knowsQuery),
+		"/query?p=" + url.QueryEscape("<http://ex/knows>"),
+	} {
+		resp, _ := get(t, ts, path)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if d := resp.Header.Get("Deprecation"); d == "" {
+			t.Errorf("%s: no Deprecation header", path)
+		}
+		if s := resp.Header.Get("Sunset"); s == "" {
+			t.Errorf("%s: no Sunset header", path)
+		}
+		if l := resp.Header.Get("Link"); !strings.Contains(l, `rel="successor-version"`) {
+			t.Errorf("%s: Link %q lacks successor-version", path, l)
+		}
+	}
+
+	resp, _ := protocolGet(t, ts, knowsQuery, "")
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/sparql carries a Deprecation header")
+	}
+}
+
+// TestProtocolStats checks the protocol counter is split from the
+// legacy dialect counter.
+func TestProtocolStats(t *testing.T) {
+	st := testStore(t, 10, 2)
+	srv := New(st, Options{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	protocolGet(t, ts, knowsQuery, "")
+	get(t, ts, "/v1/sparql?q="+url.QueryEscape(knowsQuery))
+	snap := srv.Snapshot()
+	if snap.ProtocolQueries != 1 || snap.SparqlQueries != 1 {
+		t.Fatalf("protocol %d sparql %d, want 1 and 1", snap.ProtocolQueries, snap.SparqlQueries)
+	}
+}
+
+// TestOptionsValidate covers the new Options surface: rejected
+// negatives and the accepted meaningful ones.
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options invalid: %v", err)
+	}
+	// Negative CacheEntries (cache off) and BreakerThreshold (breaker
+	// off) carry meaning and validate.
+	if err := (Options{CacheEntries: -1, BreakerThreshold: -1}).Validate(); err != nil {
+		t.Fatalf("meaningful negatives rejected: %v", err)
+	}
+	for _, bad := range []Options{
+		{Workers: -1},
+		{Timeout: -time.Second},
+		{CacheMaxBytes: -1},
+		{PlanEntries: -1},
+		{RateLimit: -0.5},
+		{RateBurst: -2},
+		{BreakerCooldown: -time.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+}

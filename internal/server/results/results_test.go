@@ -1,0 +1,425 @@
+package results
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/dict"
+	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/store"
+)
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   Format
+		ok     bool
+	}{
+		{"", JSON, true},
+		{"   ", JSON, true},
+		{"application/sparql-results+json", JSON, true},
+		{"application/json", JSON, true},
+		{"application/sparql-results+xml", XML, true},
+		{"application/xml", XML, true},
+		{"text/csv", CSV, true},
+		{"TEXT/CSV", CSV, true},
+		{"text/tab-separated-values", TSV, true},
+		// q-value ordering: the higher quality wins regardless of list
+		// position.
+		{"application/sparql-results+xml;q=0.9, text/csv", CSV, true},
+		{"text/csv;q=0.5, application/sparql-results+xml;q=0.4", CSV, true},
+		{"text/tab-separated-values;q=1.0, text/csv;q=0.9", TSV, true},
+		// Wildcards: */* accepts everything (server preference JSON),
+		// type/* narrows to that top-level type.
+		{"*/*", JSON, true},
+		{"application/*", JSON, true},
+		{"text/*", CSV, true},
+		{"image/png, */*;q=0.1", JSON, true},
+		// An exact q=0 excludes the type even when a wildcard would
+		// otherwise readmit it.
+		{"text/csv;q=0, text/*", TSV, true},
+		{"text/csv;q=0, */*", JSON, true},
+		// Equal quality ties break toward the server preference order.
+		{"text/csv, application/sparql-results+json", JSON, true},
+		{"text/csv;q=0.8, application/sparql-results+xml;q=0.8", XML, true},
+		// Nothing acceptable.
+		{"image/png", 0, false},
+		{"text/html;q=0.9, application/pdf", 0, false},
+		{"*/*;q=0", 0, false},
+		// Malformed q parameters read as the default 1.0.
+		{"text/csv;q=abc", CSV, true},
+		{"text/csv;level=1;q=0.3, application/xml;q=0.2", CSV, true},
+	}
+	for _, c := range cases {
+		got, ok := Negotiate(c.accept)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Negotiate(%q) = %v, %v; want %v, %v", c.accept, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// termStore builds a dictionary store over the given already-serialized
+// N-Triples terms (sorted internally) and one predicate.
+func termStore(t testing.TB, terms []string) (*store.Store, []string) {
+	t.Helper()
+	sorted := append([]string(nil), terms...)
+	sort.Strings(sorted)
+	so, err := dict.New(sorted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dict.New([]string{"<http://ex/p>"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store.Store{Dicts: &rdf.Dicts{SO: so, P: p}}, sorted
+}
+
+// testTerms covers every term kind and escape class the serializers
+// must handle: IRIs with query metacharacters, blank nodes, plain,
+// language-tagged and datatyped literals, and a literal whose lexical
+// form holds quotes, commas, tabs, newlines and markup bytes (stored in
+// the canonical escaped N-Triples serialization the dictionary holds).
+var testTerms = []string{
+	`<http://ex/iri?a=1&b=2>`,
+	`_:bn7`,
+	`"plain"`,
+	`"hello"@en-US`,
+	`"3.14"^^<http://www.w3.org/2001/XMLSchema#decimal>`,
+	`"quo\"te, comma\nand\ttab & <angle>"`,
+}
+
+// expectedParts derives the oracle (kind, value, lang, datatype) for a
+// stored term through the N-Triples parser.
+func expectedParts(t *testing.T, stored string) (kind rdf.TermKind, value, lang, dtype string) {
+	t.Helper()
+	term, err := rdf.ParseTerm(stored)
+	if err != nil {
+		t.Fatalf("oracle parse %q: %v", stored, err)
+	}
+	if term.Kind == rdf.Literal {
+		if strings.HasPrefix(term.Qualifier, "@") {
+			lang = term.Qualifier[1:]
+		} else {
+			dtype = term.Qualifier
+		}
+	}
+	return term.Kind, term.Value, lang, dtype
+}
+
+// writeAll streams one solution per term through a writer of format f
+// and returns the serialized body.
+func writeAll(t *testing.T, f Format, st *store.Store, n int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	wr := Acquire(f, st, &out)
+	defer wr.Release()
+	wr.Begin([]string{"x"})
+	for id := 0; id < n; id++ {
+		wr.WriteSolution(map[string]core.ID{"x": core.ID(id)})
+	}
+	wr.End()
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Rows() != n {
+		t.Fatalf("Rows() = %d, want %d", wr.Rows(), n)
+	}
+	return out.Bytes()
+}
+
+func TestWriterJSON(t *testing.T) {
+	st, sorted := termStore(t, testTerms)
+	body := writeAll(t, JSON, st, len(sorted))
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Type     string `json:"type"`
+				Value    string `json:"value"`
+				Lang     string `json:"xml:lang"`
+				Datatype string `json:"datatype"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid JSON %s: %v", body, err)
+	}
+	if len(doc.Head.Vars) != 1 || doc.Head.Vars[0] != "x" {
+		t.Fatalf("head vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != len(sorted) {
+		t.Fatalf("%d bindings, want %d", len(doc.Results.Bindings), len(sorted))
+	}
+	for i, stored := range sorted {
+		kind, value, lang, dtype := expectedParts(t, stored)
+		b, ok := doc.Results.Bindings[i]["x"]
+		if !ok {
+			t.Fatalf("row %d missing x", i)
+		}
+		wantType := map[rdf.TermKind]string{rdf.IRI: "uri", rdf.BlankNode: "bnode", rdf.Literal: "literal"}[kind]
+		if b.Type != wantType || b.Value != value || b.Lang != lang || b.Datatype != dtype {
+			t.Errorf("row %d (%q): got %+v, want type=%s value=%q lang=%q dt=%q",
+				i, stored, b, wantType, value, lang, dtype)
+		}
+	}
+}
+
+func TestWriterXML(t *testing.T) {
+	st, sorted := termStore(t, testTerms)
+	body := writeAll(t, XML, st, len(sorted))
+	var doc struct {
+		XMLName xml.Name `xml:"sparql"`
+		Vars    []struct {
+			Name string `xml:"name,attr"`
+		} `xml:"head>variable"`
+		Results []struct {
+			Bindings []struct {
+				Name    string  `xml:"name,attr"`
+				URI     *string `xml:"uri"`
+				BNode   *string `xml:"bnode"`
+				Literal *struct {
+					Lang     string `xml:"lang,attr"`
+					Datatype string `xml:"datatype,attr"`
+					Value    string `xml:",chardata"`
+				} `xml:"literal"`
+			} `xml:"binding"`
+		} `xml:"results>result"`
+	}
+	if err := xml.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid XML %s: %v", body, err)
+	}
+	if doc.XMLName.Space != "http://www.w3.org/2005/sparql-results#" {
+		t.Fatalf("namespace = %q", doc.XMLName.Space)
+	}
+	if len(doc.Vars) != 1 || doc.Vars[0].Name != "x" {
+		t.Fatalf("head vars = %v", doc.Vars)
+	}
+	if len(doc.Results) != len(sorted) {
+		t.Fatalf("%d results, want %d", len(doc.Results), len(sorted))
+	}
+	for i, stored := range sorted {
+		kind, value, lang, dtype := expectedParts(t, stored)
+		bs := doc.Results[i].Bindings
+		if len(bs) != 1 || bs[0].Name != "x" {
+			t.Fatalf("row %d bindings = %+v", i, bs)
+		}
+		b := bs[0]
+		switch kind {
+		case rdf.IRI:
+			if b.URI == nil || *b.URI != value {
+				t.Errorf("row %d (%q): uri = %v, want %q", i, stored, b.URI, value)
+			}
+		case rdf.BlankNode:
+			if b.BNode == nil || *b.BNode != value {
+				t.Errorf("row %d (%q): bnode = %v, want %q", i, stored, b.BNode, value)
+			}
+		default:
+			if b.Literal == nil || b.Literal.Value != value || b.Literal.Lang != lang || b.Literal.Datatype != dtype {
+				t.Errorf("row %d (%q): literal = %+v, want value=%q lang=%q dt=%q",
+					i, stored, b.Literal, value, lang, dtype)
+			}
+		}
+	}
+}
+
+func TestWriterCSV(t *testing.T) {
+	st, sorted := termStore(t, testTerms)
+	body := writeAll(t, CSV, st, len(sorted))
+	rows, err := csv.NewReader(bytes.NewReader(body)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV %q: %v", body, err)
+	}
+	if len(rows) != len(sorted)+1 {
+		t.Fatalf("%d rows, want %d", len(rows), len(sorted)+1)
+	}
+	if len(rows[0]) != 1 || rows[0][0] != "x" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	for i, stored := range sorted {
+		kind, value, _, _ := expectedParts(t, stored)
+		want := value
+		if kind == rdf.BlankNode {
+			want = "_:" + value
+		}
+		if len(rows[i+1]) != 1 || rows[i+1][0] != want {
+			t.Errorf("row %d (%q): %v, want %q", i, stored, rows[i+1], want)
+		}
+	}
+}
+
+func TestWriterTSV(t *testing.T) {
+	st, sorted := termStore(t, testTerms)
+	body := writeAll(t, TSV, st, len(sorted))
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) != len(sorted)+1 {
+		t.Fatalf("%d lines, want %d: %q", len(lines), len(sorted)+1, body)
+	}
+	if lines[0] != "?x" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// TSV carries the dictionary's exact N-Triples serialization.
+	for i, stored := range sorted {
+		if lines[i+1] != stored {
+			t.Errorf("row %d: %q, want %q", i, lines[i+1], stored)
+		}
+	}
+}
+
+// TestWriterUnboundAndRepeats pins the unbound-variable behavior (JSON
+// and XML omit the binding, CSV and TSV leave an empty field) and that
+// cache-served repeats render identically to first encodings.
+func TestWriterUnboundAndRepeats(t *testing.T) {
+	st, _ := termStore(t, testTerms)
+	for _, f := range Formats() {
+		var out bytes.Buffer
+		wr := Acquire(f, st, &out)
+		wr.Begin([]string{"a", "b"})
+		wr.WriteSolution(map[string]core.ID{"a": 0, "b": 1})
+		wr.WriteSolution(map[string]core.ID{"a": 0}) // b unbound; a repeats
+		wr.End()
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wr.Release()
+		body := out.String()
+		switch f {
+		case JSON:
+			var doc struct {
+				Results struct {
+					Bindings []map[string]any `json:"bindings"`
+				} `json:"results"`
+			}
+			if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			rows := doc.Results.Bindings
+			if len(rows) != 2 || len(rows[0]) != 2 || len(rows[1]) != 1 {
+				t.Fatalf("json rows = %v", rows)
+			}
+			if fmt.Sprint(rows[0]["a"]) != fmt.Sprint(rows[1]["a"]) {
+				t.Fatalf("cached repeat differs: %v vs %v", rows[0]["a"], rows[1]["a"])
+			}
+			if _, ok := rows[1]["b"]; ok {
+				t.Fatalf("unbound b emitted: %v", rows[1])
+			}
+		case XML:
+			if got := strings.Count(body, "<binding"); got != 3 {
+				t.Fatalf("xml bindings = %d, want 3: %s", got, body)
+			}
+		case CSV:
+			lines := strings.Split(strings.TrimSpace(body), "\r\n")
+			if len(lines) != 3 || !strings.HasSuffix(lines[2], ",") {
+				t.Fatalf("csv lines = %q", lines)
+			}
+		case TSV:
+			lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+			if len(lines) != 3 || !strings.HasSuffix(lines[2], "\t") {
+				t.Fatalf("tsv lines = %q", lines)
+			}
+		}
+	}
+}
+
+// TestWriterIntsFallback: a store without dictionaries renders the <id>
+// fallback, which every format treats as an IRI.
+func TestWriterIntsFallback(t *testing.T) {
+	st := &store.Store{}
+	var out bytes.Buffer
+	wr := Acquire(JSON, st, &out)
+	wr.Begin([]string{"x"})
+	wr.WriteSolution(map[string]core.ID{"x": 42})
+	wr.End()
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wr.Release()
+	if !strings.Contains(out.String(), `{"type":"uri","value":"42"}`) {
+		t.Fatalf("ints fallback body = %s", out.String())
+	}
+}
+
+// manyTerms builds a wider dictionary so the allocation test exercises
+// arena growth, cache fills and bucket-cursor movement before measuring.
+func manyTerms(n int) []string {
+	terms := make([]string, n)
+	for i := range terms {
+		switch i % 3 {
+		case 0:
+			terms[i] = fmt.Sprintf("<http://ex/entity/%06d?k=v&x=y>", i)
+		case 1:
+			terms[i] = fmt.Sprintf(`"literal value %06d, with\ttabs"@en`, i)
+		default:
+			terms[i] = fmt.Sprintf(`"%06d"^^<http://www.w3.org/2001/XMLSchema#integer>`, i)
+		}
+	}
+	return terms
+}
+
+// TestWriterAllocs pins the zero-allocations-per-row property of every
+// serializer: after the first pass fills the term cache, the steady
+// state row path allocates nothing in any format.
+func TestWriterAllocs(t *testing.T) {
+	st, sorted := termStore(t, manyTerms(512))
+	n := len(sorted)
+	for _, f := range Formats() {
+		t.Run(f.String(), func(t *testing.T) {
+			wr := Acquire(f, st, io.Discard)
+			defer wr.Release()
+			wr.Begin([]string{"x", "y"})
+			sol := map[string]core.ID{}
+			// Warm: fill the term cache and grow every scratch buffer.
+			for i := 0; i < n; i++ {
+				sol["x"], sol["y"] = core.ID(i), core.ID((i+7)%n)
+				wr.WriteSolution(sol)
+			}
+			wr.Flush()
+			i := 0
+			if a := testing.AllocsPerRun(500, func() {
+				sol["x"], sol["y"] = core.ID(i%n), core.ID((i+13)%n)
+				wr.WriteSolution(sol)
+				i++
+			}); a != 0 {
+				t.Errorf("%v WriteSolution allocs/row = %v, want 0", f, a)
+			}
+			wr.End()
+			wr.Flush()
+		})
+	}
+}
+
+// BenchmarkSerializerRows measures rows/sec per format over a warm term
+// cache — the steady state the protocol endpoint serves from.
+func BenchmarkSerializerRows(b *testing.B) {
+	st, sorted := termStore(b, manyTerms(2048))
+	n := len(sorted)
+	for _, f := range Formats() {
+		b.Run(f.String(), func(b *testing.B) {
+			wr := Acquire(f, st, io.Discard)
+			defer wr.Release()
+			wr.Begin([]string{"x", "y"})
+			sol := map[string]core.ID{}
+			for i := 0; i < n; i++ {
+				sol["x"], sol["y"] = core.ID(i), core.ID((i+7)%n)
+				wr.WriteSolution(sol)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol["x"], sol["y"] = core.ID(i%n), core.ID((i+13)%n)
+				wr.WriteSolution(sol)
+			}
+			wr.End()
+			wr.Flush()
+		})
+	}
+}

@@ -1,0 +1,529 @@
+package results
+
+import (
+	"io"
+	"sync"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/store"
+)
+
+// span is one cached encoded term inside the writer's arena.
+type span struct{ start, end int }
+
+// flushAt is the pending-output size that triggers a flush to the
+// underlying writer, batching syscalls exactly like the NDJSON path.
+const flushAt = 8 << 10
+
+// maxCachedTerms bounds the per-request encoded-term cache; streams
+// wider than this render the overflow terms directly without caching.
+const maxCachedTerms = 1 << 14
+
+// trimCap is the largest buffer capacity a pooled writer retains across
+// requests; pathological growth beyond it is released to the GC.
+const trimCap = 1 << 20
+
+// Writer streams one SPARQL result set in one of the four standard
+// formats. It is built exactly like store.NDJSONWriter: rows are
+// hand-assembled into a batched output buffer, terms resolve through the
+// pooled dictionary cursors of a store.Renderer, and each distinct ID is
+// format-encoded once per request and replayed from an arena cache after
+// that — the steady-state row path performs no allocations in any
+// format. A Writer serves one request on one goroutine; the sequence is
+// Begin, any number of WriteSolution, End, Flush, Release.
+type Writer struct {
+	f    Format
+	w    io.Writer
+	rend *store.Renderer
+	err  error
+
+	buf   []byte // pending output
+	raw   []byte // raw N-Triples term scratch
+	val   []byte // unescaped literal value scratch
+	arena []byte // encoded-term cache backing
+	cache map[core.ID]span
+
+	vars   []string
+	keybuf []byte // per-variable key fragments back to back
+	keyoff []span
+	nrows  int
+}
+
+var writerPool = sync.Pool{New: func() any {
+	return &Writer{cache: map[core.ID]span{}}
+}}
+
+// Acquire takes a pooled writer streaming format f to w, with terms
+// resolved against st's dictionaries (integer-only stores render the
+// documented <id> fallback notation).
+func Acquire(f Format, st *store.Store, w io.Writer) *Writer {
+	wr := writerPool.Get().(*Writer)
+	wr.f = f
+	wr.w = w
+	wr.rend = store.AcquireRenderer(st)
+	wr.err = nil
+	wr.nrows = 0
+	return wr
+}
+
+// Release clears the per-request state and returns the writer to the
+// pool. Call Flush first; Release drops any pending bytes.
+func (wr *Writer) Release() {
+	if wr == nil {
+		return
+	}
+	wr.rend.Release()
+	wr.rend, wr.w = nil, nil
+	clear(wr.cache)
+	wr.buf = trim(wr.buf)
+	wr.raw = trim(wr.raw)
+	wr.val = trim(wr.val)
+	wr.arena = trim(wr.arena)
+	wr.keybuf = trim(wr.keybuf)
+	wr.vars = wr.vars[:0]
+	wr.keyoff = wr.keyoff[:0]
+	writerPool.Put(wr)
+}
+
+func trim(b []byte) []byte {
+	if cap(b) > trimCap {
+		return nil
+	}
+	return b[:0]
+}
+
+// Format returns the format the writer was acquired for.
+func (wr *Writer) Format() Format { return wr.f }
+
+// Rows returns the number of solutions written so far.
+func (wr *Writer) Rows() int { return wr.nrows }
+
+// Err returns the sticky stream error.
+func (wr *Writer) Err() error { return wr.err }
+
+// Flush writes any pending bytes to the underlying writer and reports
+// the first write error seen on this stream.
+func (wr *Writer) Flush() error {
+	if len(wr.buf) > 0 && wr.err == nil {
+		_, wr.err = wr.w.Write(wr.buf)
+	}
+	wr.buf = wr.buf[:0]
+	return wr.err
+}
+
+func (wr *Writer) maybeFlush() {
+	if len(wr.buf) >= flushAt {
+		wr.Flush()
+	}
+}
+
+// Begin writes the result set header and fixes the variable set and
+// order of the subsequent WriteSolution rows, pre-encoding every
+// per-variable key fragment once.
+func (wr *Writer) Begin(vars []string) {
+	wr.vars = append(wr.vars[:0], vars...)
+	wr.keybuf = wr.keybuf[:0]
+	wr.keyoff = wr.keyoff[:0]
+	switch wr.f {
+	case JSON:
+		wr.buf = append(wr.buf, `{"head":{"vars":[`...)
+		for i, v := range vars {
+			if i > 0 {
+				wr.buf = append(wr.buf, ',')
+			}
+			wr.raw = append(wr.raw[:0], v...)
+			wr.buf = appendJSONString(wr.buf, wr.raw)
+			start := len(wr.keybuf)
+			wr.keybuf = appendJSONString(wr.keybuf, wr.raw)
+			wr.keybuf = append(wr.keybuf, ':')
+			wr.keyoff = append(wr.keyoff, span{start, len(wr.keybuf)})
+		}
+		wr.buf = append(wr.buf, `]},"results":{"bindings":[`...)
+	case XML:
+		wr.buf = append(wr.buf, xmlHeader...)
+		for _, v := range vars {
+			wr.raw = append(wr.raw[:0], v...)
+			wr.buf = append(wr.buf, `<variable name="`...)
+			wr.buf = appendXMLAttr(wr.buf, wr.raw)
+			wr.buf = append(wr.buf, `"/>`...)
+			start := len(wr.keybuf)
+			wr.keybuf = append(wr.keybuf, `<binding name="`...)
+			wr.keybuf = appendXMLAttr(wr.keybuf, wr.raw)
+			wr.keybuf = append(wr.keybuf, '"', '>')
+			wr.keyoff = append(wr.keyoff, span{start, len(wr.keybuf)})
+		}
+		wr.buf = append(wr.buf, `</head><results>`...)
+	case CSV:
+		for i, v := range vars {
+			if i > 0 {
+				wr.buf = append(wr.buf, ',')
+			}
+			wr.raw = append(wr.raw[:0], v...)
+			wr.buf = appendCSVField(wr.buf, wr.raw)
+		}
+		wr.buf = append(wr.buf, '\r', '\n')
+	case TSV:
+		for i, v := range vars {
+			if i > 0 {
+				wr.buf = append(wr.buf, '\t')
+			}
+			wr.buf = append(wr.buf, '?')
+			wr.buf = append(wr.buf, v...)
+		}
+		wr.buf = append(wr.buf, '\n')
+	}
+	wr.maybeFlush()
+}
+
+const xmlHeader = `<?xml version="1.0"?>` + "\n" +
+	`<sparql xmlns="http://www.w3.org/2005/sparql-results#"><head>`
+
+// WriteSolution emits one solution row over the Begin variables.
+// Variables absent from b are omitted (JSON/XML) or left as empty fields
+// (CSV/TSV), per each format's specification.
+func (wr *Writer) WriteSolution(b map[string]core.ID) {
+	switch wr.f {
+	case JSON:
+		if wr.nrows > 0 {
+			wr.buf = append(wr.buf, ',')
+		}
+		wr.buf = append(wr.buf, '{')
+		first := true
+		for i, v := range wr.vars {
+			id, ok := b[v]
+			if !ok {
+				continue
+			}
+			if !first {
+				wr.buf = append(wr.buf, ',')
+			}
+			first = false
+			sp := wr.keyoff[i]
+			wr.buf = append(wr.buf, wr.keybuf[sp.start:sp.end]...)
+			wr.appendTerm(id)
+		}
+		wr.buf = append(wr.buf, '}')
+	case XML:
+		wr.buf = append(wr.buf, `<result>`...)
+		for i, v := range wr.vars {
+			id, ok := b[v]
+			if !ok {
+				continue
+			}
+			sp := wr.keyoff[i]
+			wr.buf = append(wr.buf, wr.keybuf[sp.start:sp.end]...)
+			wr.appendTerm(id)
+			wr.buf = append(wr.buf, `</binding>`...)
+		}
+		wr.buf = append(wr.buf, `</result>`...)
+	case CSV:
+		for i, v := range wr.vars {
+			if i > 0 {
+				wr.buf = append(wr.buf, ',')
+			}
+			if id, ok := b[v]; ok {
+				wr.appendTerm(id)
+			}
+		}
+		wr.buf = append(wr.buf, '\r', '\n')
+	case TSV:
+		for i, v := range wr.vars {
+			if i > 0 {
+				wr.buf = append(wr.buf, '\t')
+			}
+			if id, ok := b[v]; ok {
+				wr.appendTerm(id)
+			}
+		}
+		wr.buf = append(wr.buf, '\n')
+	}
+	wr.nrows++
+	wr.maybeFlush()
+}
+
+// End writes the result set trailer. The buffered tail still needs a
+// Flush.
+func (wr *Writer) End() {
+	switch wr.f {
+	case JSON:
+		wr.buf = append(wr.buf, `]}}`...)
+		wr.buf = append(wr.buf, '\n')
+	case XML:
+		wr.buf = append(wr.buf, `</results></sparql>`...)
+		wr.buf = append(wr.buf, '\n')
+	}
+}
+
+// appendTerm appends the format-encoded term for id, serving repeats
+// from the arena cache. Solution IDs resolve through the subject/object
+// dictionary, matching the NDJSON dialect's behavior.
+func (wr *Writer) appendTerm(id core.ID) {
+	if sp, ok := wr.cache[id]; ok {
+		wr.buf = append(wr.buf, wr.arena[sp.start:sp.end]...)
+		return
+	}
+	wr.raw = wr.rend.AppendTerm(wr.raw[:0], id)
+	if len(wr.cache) < maxCachedTerms {
+		start := len(wr.arena)
+		wr.arena = wr.encodeTerm(wr.arena, wr.raw)
+		wr.cache[id] = span{start, len(wr.arena)}
+		wr.buf = append(wr.buf, wr.arena[start:]...)
+		return
+	}
+	wr.buf = wr.encodeTerm(wr.buf, wr.raw)
+}
+
+// encodeTerm appends the format encoding of one raw N-Triples term.
+func (wr *Writer) encodeTerm(dst, raw []byte) []byte {
+	kind, body, lang, dtype := splitTerm(raw)
+	switch wr.f {
+	case JSON:
+		switch kind {
+		case termIRI:
+			dst = append(dst, `{"type":"uri","value":`...)
+			dst = appendJSONString(dst, body)
+		case termBlank:
+			dst = append(dst, `{"type":"bnode","value":`...)
+			dst = appendJSONString(dst, body)
+		default:
+			wr.val = appendNTUnescape(wr.val[:0], body)
+			dst = append(dst, `{"type":"literal","value":`...)
+			dst = appendJSONString(dst, wr.val)
+			if len(lang) > 0 {
+				dst = append(dst, `,"xml:lang":`...)
+				dst = appendJSONString(dst, lang)
+			} else if len(dtype) > 0 {
+				dst = append(dst, `,"datatype":`...)
+				dst = appendJSONString(dst, dtype)
+			}
+		}
+		return append(dst, '}')
+	case XML:
+		switch kind {
+		case termIRI:
+			dst = append(dst, `<uri>`...)
+			dst = appendXMLText(dst, body)
+			dst = append(dst, `</uri>`...)
+		case termBlank:
+			dst = append(dst, `<bnode>`...)
+			dst = appendXMLText(dst, body)
+			dst = append(dst, `</bnode>`...)
+		default:
+			wr.val = appendNTUnescape(wr.val[:0], body)
+			dst = append(dst, `<literal`...)
+			if len(lang) > 0 {
+				dst = append(dst, ` xml:lang="`...)
+				dst = appendXMLAttr(dst, lang)
+				dst = append(dst, '"')
+			} else if len(dtype) > 0 {
+				dst = append(dst, ` datatype="`...)
+				dst = appendXMLAttr(dst, dtype)
+				dst = append(dst, '"')
+			}
+			dst = append(dst, '>')
+			dst = appendXMLText(dst, wr.val)
+			dst = append(dst, `</literal>`...)
+		}
+		return dst
+	case CSV:
+		// CSV carries plain string values: the IRI without brackets, the
+		// blank node label with its _: prefix, the literal's lexical form
+		// with language tag and datatype dropped (the W3C CSV profile is
+		// deliberately lossy).
+		switch kind {
+		case termIRI:
+			return appendCSVField(dst, body)
+		case termBlank:
+			wr.val = append(wr.val[:0], '_', ':')
+			wr.val = append(wr.val, body...)
+			return appendCSVField(dst, wr.val)
+		default:
+			wr.val = appendNTUnescape(wr.val[:0], body)
+			return appendCSVField(dst, wr.val)
+		}
+	default: // TSV
+		// TSV carries full Turtle-syntax terms, which is exactly the
+		// dictionary's stored N-Triples serialization: IRIs bracketed,
+		// literals quoted with their escapes, tags and datatypes attached.
+		return append(dst, raw...)
+	}
+}
+
+// Term kinds as classified by splitTerm.
+const (
+	termIRI = iota
+	termBlank
+	termLiteral
+)
+
+// splitTerm decomposes a raw N-Triples term: IRIs yield the bracketless
+// IRI, blank nodes their label, literals the still-escaped lexical body
+// plus the bare language tag or datatype IRI when present. Anything
+// unrecognized is treated as an IRI value verbatim, so a malformed
+// dictionary entry degrades to visible text instead of a panic.
+func splitTerm(raw []byte) (kind int, body, lang, dtype []byte) {
+	if len(raw) >= 2 {
+		switch raw[0] {
+		case '<':
+			if raw[len(raw)-1] == '>' {
+				return termIRI, raw[1 : len(raw)-1], nil, nil
+			}
+		case '_':
+			if raw[1] == ':' {
+				return termBlank, raw[2:], nil, nil
+			}
+		case '"':
+			// Find the closing quote, honoring backslash escapes.
+			i := 1
+			for i < len(raw) {
+				if raw[i] == '\\' && i+1 < len(raw) {
+					i += 2
+					continue
+				}
+				if raw[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= len(raw) {
+				break // unterminated: fall through to the verbatim case
+			}
+			body = raw[1:i]
+			rest := raw[i+1:]
+			switch {
+			case len(rest) > 1 && rest[0] == '@':
+				lang = rest[1:]
+			case len(rest) > 3 && rest[0] == '^' && rest[1] == '^' && rest[2] == '<' && rest[len(rest)-1] == '>':
+				dtype = rest[3 : len(rest)-1]
+			}
+			return termLiteral, body, lang, dtype
+		}
+	}
+	return termIRI, raw, nil, nil
+}
+
+// appendNTUnescape decodes the N-Triples escape set the dictionary
+// serializer emits (\\ \" \n \r \t; an unknown escape passes its byte
+// through, matching the parser).
+func appendNTUnescape(dst, s []byte) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			dst = append(dst, c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			dst = append(dst, '\n')
+		case 'r':
+			dst = append(dst, '\r')
+		case 't':
+			dst = append(dst, '\t')
+		default: // covers \" and \\ and passes unknown escapes through
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control bytes; valid UTF-8 passes through verbatim.
+func appendJSONString(dst, s []byte) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendXMLText appends s as XML character data, escaping the markup
+// bytes.
+func appendXMLText(dst, s []byte) []byte {
+	for _, c := range s {
+		switch c {
+		case '&':
+			dst = append(dst, `&amp;`...)
+		case '<':
+			dst = append(dst, `&lt;`...)
+		case '>':
+			dst = append(dst, `&gt;`...)
+		case '\r':
+			// Bare CR would be normalized away by XML parsers; a numeric
+			// reference round-trips.
+			dst = append(dst, `&#13;`...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// appendXMLAttr appends s as the body of a double-quoted XML attribute.
+func appendXMLAttr(dst, s []byte) []byte {
+	for _, c := range s {
+		switch c {
+		case '&':
+			dst = append(dst, `&amp;`...)
+		case '<':
+			dst = append(dst, `&lt;`...)
+		case '"':
+			dst = append(dst, `&quot;`...)
+		case '\n':
+			dst = append(dst, `&#10;`...)
+		case '\r':
+			dst = append(dst, `&#13;`...)
+		case '\t':
+			dst = append(dst, `&#9;`...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// appendCSVField appends s as one RFC 4180 field, quoting only when the
+// content demands it (comma, quote, CR or LF).
+func appendCSVField(dst, s []byte) []byte {
+	need := false
+	for _, c := range s {
+		if c == ',' || c == '"' || c == '\r' || c == '\n' {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return append(dst, s...)
+	}
+	dst = append(dst, '"')
+	for _, c := range s {
+		if c == '"' {
+			dst = append(dst, '"', '"')
+			continue
+		}
+		dst = append(dst, c)
+	}
+	return append(dst, '"')
+}

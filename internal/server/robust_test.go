@@ -120,7 +120,7 @@ func TestBreakerLifecycle(t *testing.T) {
 // counts the rejection under its cause.
 func TestRateLimitHTTP(t *testing.T) {
 	st := testStore(t, 6, 2)
-	srv := New(st, Config{RateLimit: 1, RateBurst: 2})
+	srv := New(st, Options{RateLimit: 1, RateBurst: 2})
 	for i := 0; i < 2; i++ {
 		rec := httptest.NewRecorder()
 		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?limit=1", nil))
@@ -170,7 +170,7 @@ func TestBreakerHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	srv := NewMutable(m, Config{BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	srv := NewMutable(m, Options{BreakerThreshold: 2, BreakerCooldown: time.Minute})
 	now := time.Now()
 	for i := 0; i < 2; i++ {
 		srv.brk.result(true, false, now)
@@ -220,7 +220,7 @@ func TestBreakerHTTP(t *testing.T) {
 // 500 with the panic counted, and the server keeps serving.
 func TestPanicRecovery(t *testing.T) {
 	st := testStore(t, 4, 1)
-	srv := New(st, Config{})
+	srv := New(st, Options{})
 	srv.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})
@@ -246,7 +246,7 @@ func TestPanicRecovery(t *testing.T) {
 // 503 carries Retry-After and is counted under its own cause.
 func TestBusyRetryAfter(t *testing.T) {
 	st := testStore(t, 4, 1)
-	srv := New(st, Config{Workers: 1, Timeout: 50 * time.Millisecond, CacheEntries: -1})
+	srv := New(st, Options{Workers: 1, Timeout: 50 * time.Millisecond, CacheEntries: -1})
 	srv.sem <- struct{}{} // steal the only worker slot
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?limit=1", nil))
@@ -273,7 +273,7 @@ func TestBusyRetryAfter(t *testing.T) {
 func TestDegradedSurfacing(t *testing.T) {
 	st := testStore(t, 4, 1)
 	st.Integrity = store.Integrity{Version: 2, Verified: true, Quarantined: []int{1}}
-	srv := New(st, Config{})
+	srv := New(st, Options{})
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "degraded") {

@@ -2,22 +2,32 @@
 // serving. Every view served is immutable (see the concurrency contract
 // in internal/core), so requests share it with no locking on the read
 // path: each request draws a pooled core.QueryCtx for its scratch,
-// executes under a deadline, and streams results as NDJSON. A server
-// over a store.Mutable additionally accepts single-writer updates; reads
-// then resolve against the RCU-published snapshot view current at
-// request start.
+// executes under a deadline, and streams results. A server over a
+// store.Mutable additionally accepts single-writer updates; reads then
+// resolve against the RCU-published snapshot view current at request
+// start.
 //
 // Endpoints:
 //
-//	GET  /query?s=&p=&o=&limit=   triple selection pattern -> NDJSON triples
-//	GET  /sparql?q=&limit=        BGP query -> NDJSON solutions (POST form works too)
-//	POST /insert?s=&p=&o=         add one triple (mutable stores; new terms allowed)
-//	POST /delete?s=&p=&o=         remove one triple (mutable stores)
-//	GET  /stats                   store + server statistics as JSON
-//	GET  /healthz                 liveness probe
-//	GET  /debug/pprof/*           runtime profiles (only with Config.Pprof)
+//	GET/POST /sparql              SPARQL 1.1 Protocol query endpoint:
+//	                              GET ?query= or POST (application/sparql-query
+//	                              body, or form with query=); results stream as
+//	                              SPARQL JSON, XML, CSV or TSV per the Accept
+//	                              header (see internal/server/results)
+//	GET  /v1/query?s=&p=&o=&limit= triple pattern -> NDJSON triples (deprecated)
+//	GET  /v1/sparql?q=&limit=      BGP query -> NDJSON solutions (deprecated)
+//	POST /v1/insert?s=&p=&o=       add one triple (mutable stores)
+//	POST /v1/delete?s=&p=&o=       remove one triple (mutable stores)
+//	GET  /stats                    store + server statistics as JSON
+//	GET  /healthz                  liveness probe
+//	GET  /debug/pprof/*            runtime profiles (only with Options.Pprof)
 //
-// Admission is a bounded worker pool: at most Config.Workers queries
+// The /v1/ endpoints are the private NDJSON dialect that predates the
+// protocol endpoint; they and their pre-versioning root aliases
+// (/query, /insert, /delete) answer with Deprecation, Sunset and
+// successor-version Link headers pointing clients at /sparql.
+//
+// Admission is a bounded worker pool: at most Options.Workers queries
 // execute at once, later arrivals queue on their request context and are
 // rejected with 503 when it expires before a slot frees. Repeated
 // queries are answered from an LRU result cache keyed on the normalized
@@ -32,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -44,8 +55,12 @@ import (
 	"rdfindexes/internal/store"
 )
 
-// Config tunes the server; zero fields take the documented defaults.
-type Config struct {
+// Options tunes the server; zero fields take the documented defaults.
+// It is the one public configuration surface: construction goes through
+// New or NewMutable with an Options value, defaults are applied
+// internally, and Validate rejects nonsense combinations up front for
+// callers (like the CLI) that assemble Options from external input.
+type Options struct {
 	// Workers bounds the number of concurrently executing queries
 	// (default runtime.GOMAXPROCS(0)).
 	Workers int
@@ -87,7 +102,39 @@ type Config struct {
 	BreakerCooldown time.Duration
 }
 
-func (c Config) withDefaults() Config {
+// Config is the former name of Options.
+//
+// Deprecated: use Options. The fields are identical (Config is an
+// alias), so existing callers compile unchanged; new code should name
+// Options directly.
+type Config = Options
+
+// Validate reports the first nonsensical field combination, before
+// withDefaults silently papers over it. The zero value is always valid.
+// Negative values that carry meaning (CacheEntries disables the result
+// cache, BreakerThreshold disables the breaker) pass; negatives that a
+// default would mask do not.
+func (c Options) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("options: Workers %d is negative", c.Workers)
+	case c.Timeout < 0:
+		return fmt.Errorf("options: Timeout %v is negative", c.Timeout)
+	case c.CacheMaxBytes < 0:
+		return fmt.Errorf("options: CacheMaxBytes %d is negative", c.CacheMaxBytes)
+	case c.PlanEntries < 0:
+		return fmt.Errorf("options: PlanEntries %d is negative", c.PlanEntries)
+	case c.RateLimit < 0:
+		return fmt.Errorf("options: RateLimit %g is negative", c.RateLimit)
+	case c.RateBurst < 0:
+		return fmt.Errorf("options: RateBurst %d is negative", c.RateBurst)
+	case c.BreakerCooldown < 0:
+		return fmt.Errorf("options: BreakerCooldown %v is negative", c.BreakerCooldown)
+	}
+	return nil
+}
+
+func (c Options) withDefaults() Options {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -119,7 +166,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	st  *store.Store   // fixed read-only store (nil when mut is set)
 	mut *store.Mutable // updatable store (nil when read-only)
-	cfg Config
+	cfg Options
 	mux *http.ServeMux
 
 	sem     chan struct{} // bounded worker pool
@@ -132,7 +179,8 @@ type Server struct {
 
 	start        time.Time
 	queries      atomic.Uint64 // pattern queries accepted
-	sparqls      atomic.Uint64 // BGP queries accepted
+	sparqls      atomic.Uint64 // BGP queries accepted (NDJSON dialect)
+	protocols    atomic.Uint64 // SPARQL protocol queries accepted
 	inserts      atomic.Uint64 // /insert requests accepted
 	deletes      atomic.Uint64 // /delete requests accepted
 	rejected     atomic.Uint64 // all rejections (the three causes below)
@@ -144,7 +192,7 @@ type Server struct {
 }
 
 // New builds a read-only server over a loaded store.
-func New(st *store.Store, cfg Config) *Server {
+func New(st *store.Store, cfg Options) *Server {
 	s := newServer(cfg)
 	s.st = st
 	return s
@@ -153,13 +201,13 @@ func New(st *store.Store, cfg Config) *Server {
 // NewMutable builds a server over an updatable store: reads resolve
 // against the store's current snapshot view, and the /insert and
 // /delete endpoints accept writes.
-func NewMutable(m *store.Mutable, cfg Config) *Server {
+func NewMutable(m *store.Mutable, cfg Options) *Server {
 	s := newServer(cfg)
 	s.mut = m
 	return s
 }
 
-func newServer(cfg Config) *Server {
+func newServer(cfg Options) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -176,12 +224,20 @@ func newServer(cfg Config) *Server {
 		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	s.mux = http.NewServeMux()
+	// The root /sparql is the standards-compliant SPARQL 1.1 Protocol
+	// endpoint. The private NDJSON dialect lives under /v1/ (and its
+	// pre-versioning root aliases), answered with deprecation headers
+	// steering clients to the protocol endpoint.
+	s.mux.HandleFunc("/sparql", s.limited(s.handleProtocol))
+	s.mux.HandleFunc("/v1/query", s.deprecated(s.limited(s.handleQuery)))
+	s.mux.HandleFunc("/v1/sparql", s.deprecated(s.limited(s.handleSparql)))
+	s.mux.HandleFunc("/v1/insert", s.deprecated(s.limited(s.handleInsert)))
+	s.mux.HandleFunc("/v1/delete", s.deprecated(s.limited(s.handleDelete)))
+	s.mux.HandleFunc("/query", s.deprecated(s.limited(s.handleQuery)))
+	s.mux.HandleFunc("/insert", s.deprecated(s.limited(s.handleInsert)))
+	s.mux.HandleFunc("/delete", s.deprecated(s.limited(s.handleDelete)))
 	// The probes (/stats, /healthz) stay unlimited: rate-limiting them
 	// would blind the monitoring that explains the 429s.
-	s.mux.HandleFunc("/query", s.limited(s.handleQuery))
-	s.mux.HandleFunc("/sparql", s.limited(s.handleSparql))
-	s.mux.HandleFunc("/insert", s.limited(s.handleInsert))
-	s.mux.HandleFunc("/delete", s.limited(s.handleDelete))
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.Pprof {
@@ -268,18 +324,41 @@ func (s *Server) acquire(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
+// errorDoc is the unified error body every 4xx/5xx carries, across the
+// protocol endpoint and the legacy dialect alike:
+//
+//	{"error":{"code":404,"message":"…"}}
+//
+// One shape with an explicit Content-Type means clients branch on one
+// parser instead of sniffing which handler produced the failure.
+type errorDoc struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
 // httpError answers a pre-stream failure as a JSON error document.
 func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
+	var doc errorDoc
+	doc.Error.Code = status
+	doc.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(doc)
 }
 
 // parseLimit reads the limit form value; absent means unlimited (-1).
 // Explicit negative limits are rejected — only absence spells
 // "unlimited" — and limit=0 is valid: zero result rows, summary only.
 func parseLimit(r *http.Request) (int, error) {
-	v := r.FormValue("limit")
+	return parseLimitValue(r.FormValue("limit"))
+}
+
+// parseLimitValue is the form-independent core of parseLimit, shared
+// with the protocol endpoint (which must not trigger form parsing after
+// reading an application/sparql-query body).
+func parseLimitValue(v string) (int, error) {
 	if v == "" {
 		return -1, nil
 	}
@@ -296,7 +375,7 @@ func parseLimit(r *http.Request) (int, error) {
 // capture tees the streamed response into a bounded buffer so complete,
 // small responses can enter the result cache after the stream ends.
 type capture struct {
-	w        http.ResponseWriter
+	w        io.Writer // the client side: http.ResponseWriter, possibly behind gzip
 	buf      []byte
 	max      int
 	overflow bool
@@ -661,8 +740,11 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Queries       uint64  `json:"queries"`
 	SparqlQueries uint64  `json:"sparql_queries"`
-	Inserts       uint64  `json:"inserts"`
-	Deletes       uint64  `json:"deletes"`
+	// ProtocolQueries counts requests on the standards /sparql endpoint;
+	// SparqlQueries counts the deprecated NDJSON dialect.
+	ProtocolQueries uint64 `json:"protocol_queries"`
+	Inserts         uint64 `json:"inserts"`
+	Deletes         uint64 `json:"deletes"`
 	// Rejected totals the three rejection causes broken out below.
 	Rejected            uint64 `json:"rejected"`
 	RejectedBusy        uint64 `json:"rejected_busy"`
@@ -702,6 +784,7 @@ func (s *Server) Snapshot() Stats {
 		UptimeSeconds:       time.Since(s.start).Seconds(),
 		Queries:             s.queries.Load(),
 		SparqlQueries:       s.sparqls.Load(),
+		ProtocolQueries:     s.protocols.Load(),
 		Inserts:             s.inserts.Load(),
 		Deletes:             s.deletes.Load(),
 		Rejected:            s.rejected.Load(),

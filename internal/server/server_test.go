@@ -83,7 +83,7 @@ func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string
 
 func TestServerEndpoints(t *testing.T) {
 	st := testStore(t, 40, 3)
-	srv := New(st, Config{Workers: 4})
+	srv := New(st, Options{Workers: 4})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -159,7 +159,7 @@ func TestServerEndpoints(t *testing.T) {
 
 	t.Run("sparql", func(t *testing.T) {
 		q := "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"
-		resp, body := get(t, ts, "/sparql?q="+url.QueryEscape(q))
+		resp, body := get(t, ts, "/v1/sparql?q="+url.QueryEscape(q))
 		if resp.StatusCode != 200 {
 			t.Fatalf("sparql: status %d body %q", resp.StatusCode, body)
 		}
@@ -174,7 +174,7 @@ func TestServerEndpoints(t *testing.T) {
 		// Different spelling of the same BGP: plan cache hit, result
 		// cache keyed on normalized text serves it without execution.
 		q2 := "SELECT ?x ?y WHERE   {   ?x   <http://ex/knows>   ?y   . }"
-		resp2, body2 := get(t, ts, "/sparql?q="+url.QueryEscape(q2))
+		resp2, body2 := get(t, ts, "/v1/sparql?q="+url.QueryEscape(q2))
 		if resp2.Header.Get("X-Cache") != "hit" {
 			t.Fatalf("normalized respelling not served from result cache")
 		}
@@ -185,7 +185,7 @@ func TestServerEndpoints(t *testing.T) {
 
 	t.Run("sparql join", func(t *testing.T) {
 		q := "SELECT ?x WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> <http://ex/item1> . }"
-		resp, body := get(t, ts, "/sparql?q="+url.QueryEscape(q))
+		resp, body := get(t, ts, "/v1/sparql?q="+url.QueryEscape(q))
 		if resp.StatusCode != 200 {
 			t.Fatalf("sparql join: status %d", resp.StatusCode)
 		}
@@ -200,7 +200,7 @@ func TestServerEndpoints(t *testing.T) {
 	})
 
 	t.Run("sparql parse error", func(t *testing.T) {
-		resp, _ := get(t, ts, "/sparql?q="+url.QueryEscape("SELECT WHERE"))
+		resp, _ := get(t, ts, "/v1/sparql?q="+url.QueryEscape("SELECT WHERE"))
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("parse error: status %d, want 400", resp.StatusCode)
 		}
@@ -230,7 +230,7 @@ func TestServerEndpoints(t *testing.T) {
 // worker pool, result cache, QueryCtx pooling, executor).
 func TestServerSharedStoreStress(t *testing.T) {
 	st := testStore(t, 60, 4)
-	srv := New(st, Config{Workers: 8, CacheEntries: 32})
+	srv := New(st, Options{Workers: 8, CacheEntries: 32})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -240,9 +240,9 @@ func TestServerSharedStoreStress(t *testing.T) {
 		"/query?o=" + url.QueryEscape("<http://ex/item2>"),
 		"/query?s=" + url.QueryEscape("<http://ex/p3>") + "&o=" + url.QueryEscape("<http://ex/p4>"),
 		"/query",
-		"/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
-		"/sparql?q=" + url.QueryEscape("SELECT ?x WHERE { ?x <http://ex/likes> <http://ex/item1> . ?x <http://ex/likes> <http://ex/item2> . }"),
-		"/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
+		"/v1/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+		"/v1/sparql?q=" + url.QueryEscape("SELECT ?x WHERE { ?x <http://ex/likes> <http://ex/item1> . ?x <http://ex/likes> <http://ex/item2> . }"),
+		"/v1/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
 		"/stats",
 		"/healthz",
 	}
@@ -346,14 +346,14 @@ func postForm(t *testing.T, ts *httptest.Server, path string, vals url.Values) (
 // zero result rows plus the summary line.
 func TestServerLimitValidation(t *testing.T) {
 	st := testStore(t, 10, 2)
-	srv := New(st, Config{Workers: 2})
+	srv := New(st, Options{Workers: 2})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
 	for _, path := range []string{
 		"/query?limit=-5",
 		"/query?limit=-1",
-		"/sparql?limit=-1&q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+		"/v1/sparql?limit=-1&q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
 	} {
 		resp, _ := get(t, ts, path)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -373,7 +373,7 @@ func TestServerLimitValidation(t *testing.T) {
 		t.Fatalf("limit=0 summary %v, want 0 matches and truncated", lines[0])
 	}
 
-	resp, body = get(t, ts, "/sparql?limit=0&q="+url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"))
+	resp, body = get(t, ts, "/v1/sparql?limit=0&q="+url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"))
 	if resp.StatusCode != 200 {
 		t.Fatalf("sparql limit=0 status %d", resp.StatusCode)
 	}
@@ -387,7 +387,7 @@ func TestServerLimitValidation(t *testing.T) {
 // its immutability contract on the write endpoints.
 func TestServerReadOnlyRejectsWrites(t *testing.T) {
 	st := testStore(t, 10, 2)
-	srv := New(st, Config{Workers: 2})
+	srv := New(st, Options{Workers: 2})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	resp, _ := postForm(t, ts, "/insert", url.Values{
@@ -406,7 +406,7 @@ func TestServerReadOnlyRejectsWrites(t *testing.T) {
 func TestServerWriteEndpoints(t *testing.T) {
 	dir := t.TempDir()
 	m := mutableStore(t, dir, 20, 2, 0)
-	srv := NewMutable(m, Config{Workers: 4})
+	srv := NewMutable(m, Options{Workers: 4})
 	ts := httptest.NewServer(srv)
 
 	newbie := "<http://ex/newcomer>"
@@ -474,7 +474,7 @@ func TestServerWriteEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m2.Close()
-	srv = NewMutable(m2, Config{Workers: 4})
+	srv = NewMutable(m2, Options{Workers: 4})
 	ts = httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -535,7 +535,7 @@ func TestServerWriteEndpoints(t *testing.T) {
 func TestServerWriterReaderStress(t *testing.T) {
 	dir := t.TempDir()
 	m := mutableStore(t, dir, 40, 3, 64)
-	srv := NewMutable(m, Config{Workers: 8, CacheEntries: 64})
+	srv := NewMutable(m, Options{Workers: 8, CacheEntries: 64})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -544,8 +544,8 @@ func TestServerWriterReaderStress(t *testing.T) {
 		"/query?p=" + url.QueryEscape("<http://ex/knows>"),
 		"/query?o=" + url.QueryEscape("<http://ex/item2>"),
 		"/query",
-		"/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
-		"/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
+		"/v1/sparql?q=" + url.QueryEscape("SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . }"),
+		"/v1/sparql?q=" + url.QueryEscape("SELECT ?x ?z WHERE { <http://ex/p0> <http://ex/knows> ?x . ?x <http://ex/likes> ?z . }"),
 		"/stats",
 	}
 
@@ -635,7 +635,7 @@ func TestServerWriterReaderStress(t *testing.T) {
 // running away.
 func TestServerDeadline(t *testing.T) {
 	st := testStore(t, 300, 30)
-	srv := New(st, Config{Workers: 2, Timeout: 1 * time.Nanosecond, CacheEntries: -1})
+	srv := New(st, Options{Workers: 2, Timeout: 1 * time.Nanosecond, CacheEntries: -1})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -657,7 +657,7 @@ func TestServerDeadline(t *testing.T) {
 // pool never runs more than one query at once.
 func TestWorkerPoolBounds(t *testing.T) {
 	st := testStore(t, 50, 3)
-	srv := New(st, Config{Workers: 1, CacheEntries: -1})
+	srv := New(st, Options{Workers: 1, CacheEntries: -1})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

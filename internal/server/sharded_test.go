@@ -43,7 +43,7 @@ func testShardedStore(t testing.TB, people, likesPer, shards int) *store.Store {
 // reporting the shard count.
 func TestServerShardedStore(t *testing.T) {
 	st := testShardedStore(t, 24, 3, 4)
-	srv := New(st, Config{Workers: 4})
+	srv := New(st, Options{Workers: 4})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -68,7 +68,7 @@ func TestServerShardedStore(t *testing.T) {
 	}
 
 	// BGP through the executor over the sharded index.
-	resp, body = get(t, ts, "/sparql?q="+
+	resp, body = get(t, ts, "/v1/sparql?q="+
 		"SELECT+%3Fx+%3Fy+WHERE+%7B+%3Fx+%3Chttp%3A%2F%2Fex%2Fknows%3E+%3Fy+.+%7D")
 	if resp.StatusCode != 200 {
 		t.Fatalf("sparql: status %d: %s", resp.StatusCode, body)
@@ -93,13 +93,13 @@ func TestServerShardedStore(t *testing.T) {
 func TestPprofEndpoints(t *testing.T) {
 	st := testStore(t, 6, 1)
 
-	off := httptest.NewServer(New(st, Config{}))
+	off := httptest.NewServer(New(st, Options{}))
 	defer off.Close()
 	if resp, _ := get(t, off, "/debug/pprof/"); resp.StatusCode != 404 {
 		t.Fatalf("pprof off: /debug/pprof/ status %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(New(st, Config{Pprof: true}))
+	on := httptest.NewServer(New(st, Options{Pprof: true}))
 	defer on.Close()
 	resp, body := get(t, on, "/debug/pprof/")
 	if resp.StatusCode != 200 {
