@@ -1,0 +1,191 @@
+// Command rdflint is the repository's vettool: it runs the
+// internal/analysis suite (hotpath, poolhygiene, nonretention) under
+// `go vet -vettool=<path-to-rdflint> ./...`.
+//
+// The program speaks go vet's unitchecker protocol directly so that it
+// needs nothing beyond the standard library: vet probes it with
+// -V=full (version fingerprint for build caching) and -flags (the
+// tool's flag schema, empty here), then invokes it once per package
+// with a vet.cfg JSON file as the last argument. Dependency packages
+// arrive with VetxOnly set — for those the tool only extracts the
+// //rdf: annotation facts (a parse-only scan) into the .vetx slot vet
+// provides, so that call-site checks in dependent packages can see
+// annotations on functions declared elsewhere. For the package under
+// analysis it type-checks the sources against the export data vet
+// lists in PackageFile, runs the analyzers, and prints diagnostics to
+// stderr in the file:line:col form vet relays; exit status 2 tells vet
+// findings were reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"rdfindexes/internal/analysis"
+)
+
+// vetConfig mirrors the fields of go vet's per-package vet.cfg file
+// that rdflint consumes.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=$(which rdflint) ./...")
+		return 1
+	}
+	switch args[0] {
+	case "-V=full", "--V=full":
+		// The version line is hashed into vet's action cache; bump the
+		// suffix when analyzer behavior changes to invalidate cached
+		// results.
+		fmt.Println("rdflint version rdflint-1")
+		return 0
+	case "-flags", "--flags":
+		fmt.Println("[]")
+		return 0
+	case "-print-path", "--print-path":
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(exe)
+		return 0
+	}
+
+	cfgPath := args[len(args)-1]
+	if !strings.HasSuffix(cfgPath, ".cfg") {
+		fmt.Fprintf(os.Stderr, "rdflint: expected a vet.cfg path, got %q\n", cfgPath)
+		return 1
+	}
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rdflint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	return analyze(&cfg)
+}
+
+func analyze(cfg *vetConfig) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	// Standard-library units can't carry //rdf: annotations; skip even
+	// the parse and publish empty facts.
+	if !cfg.Standard[cfg.ImportPath] {
+		for _, name := range cfg.GoFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				if cfg.SucceedOnTypecheckFailure {
+					return 0
+				}
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			files = append(files, f)
+		}
+	}
+
+	facts := analysis.ScanFacts(files)
+	if cfg.VetxOutput != "" {
+		if err := analysis.WriteFacts(cfg.VetxOutput, facts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rdflint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	factMap := analysis.FactMap{cfg.ImportPath: facts}
+	for path, vetx := range cfg.PackageVetx {
+		factMap[path] = analysis.ReadFacts(vetx)
+	}
+
+	pass := analysis.NewPass(fset, files, pkg, info, factMap)
+	diags := pass.Run(analysis.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck resolves the package against the export data files vet
+// listed for its dependencies, using the gc importer's lookup hook.
+func typecheck(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd drives the real protocol: build rdflint, then run
+// `go vet -vettool` over a throwaway module seeded with one violation
+// per analyzer. The nonretention case crosses a package boundary, so it
+// also proves the facts pipeline (annotations exported by package a,
+// consumed while vetting package b).
+func TestVettoolEndToEnd(t *testing.T) {
+	modRoot := findModRoot(t)
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "rdflint")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/rdflint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rdflint: %v\n%s", err, out)
+	}
+
+	target := filepath.Join(tmp, "mod")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(target, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module e2e\n\ngo 1.22\n")
+	write("a/a.go", `// Package a exports an annotated streaming API.
+package a
+
+//rdf:nonretaining
+func Stream(n int, emit func(map[string]uint64)) {
+	b := map[string]uint64{}
+	for i := 0; i < n; i++ {
+		b["x"] = uint64(i)
+		emit(b)
+	}
+}
+`)
+	write("b/b.go", `// Package b seeds one violation per analyzer.
+package b
+
+import (
+	"sync"
+
+	"e2e/a"
+)
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+//rdf:hotpath
+func Hot(n int) []byte {
+	return make([]byte, n) // hotpath: make in a hot function
+}
+
+func Leak() {
+	v := pool.Get().(*[]byte)
+	_ = v
+} // poolhygiene: no Put on this path
+
+func Retain() map[string]uint64 {
+	var last map[string]uint64
+	a.Stream(3, func(b map[string]uint64) {
+		last = b // nonretention: cross-package annotated callee
+	})
+	return last
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = target
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on seeded violations; output:\n%s", out)
+	}
+	text := string(out)
+	for _, wantFrag := range []string{
+		"hotpath: hot path: make allocates",
+		"poolhygiene: sync.Pool value v is not returned to the pool",
+		"nonretention: callback argument assigned outside the callback",
+	} {
+		if !strings.Contains(text, wantFrag) {
+			t.Errorf("vet output missing %q\noutput:\n%s", wantFrag, text)
+		}
+	}
+
+	// A clean module must vet clean through the same pipeline.
+	clean := filepath.Join(tmp, "clean")
+	if err := os.MkdirAll(filepath.Join(clean, "p"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(clean, "go.mod"), []byte("module clean\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(clean, "p", "p.go"), []byte(`// Package p is violation-free.
+package p
+
+//rdf:hotpath
+func Sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetClean := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vetClean.Dir = clean
+	if out, err := vetClean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+func findModRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

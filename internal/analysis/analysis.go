@@ -1,0 +1,242 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free analyzer framework (the container image carries no
+// golang.org/x/tools, so the usual go/analysis machinery is rebuilt here
+// on the standard library) plus the three repo-invariant checkers that
+// turn this codebase's performance contracts into build errors:
+//
+//   - hotpath: functions annotated //rdf:hotpath — the per-row and
+//     per-triple paths — must not contain AST-level allocation
+//     constructs (make/new, escaping composite literals, string
+//     concatenation or conversion, fmt calls, interface boxing of
+//     non-pointer values, closures capturing locals).
+//   - poolhygiene: every sync.Pool.Get must reach a Put on all return
+//     paths (or carry an //rdf:allow ownership annotation), pooled
+//     values must not be stored into fields or globals, and a value
+//     must not be used after it was Put.
+//   - nonretention: func literals passed to APIs annotated
+//     //rdf:nonretaining (the sparql streaming executors, the
+//     dictionary ExtractAppend protocol) must not let their reused
+//     arguments escape the callback, and the annotated APIs themselves
+//     must not squirrel their reference parameters away.
+//
+// The analyzers run as a vettool (cmd/rdflint) under `go vet
+// -vettool=…`, so CI and `make lint` enforce the invariants on every
+// package; the AST checks are complemented by an escape-analysis gate
+// (escape.go) that compiles the annotated packages with -gcflags=-m and
+// diffs the compiler's heap-escape report against a committed allowlist.
+//
+// # Annotations
+//
+//	//rdf:hotpath            (function doc) marks a per-row function
+//	//rdf:nonretaining       (function doc) callback/buffer args are not retained
+//	//rdf:allow(reason)      (end of line, or the line above) suppresses
+//	                         one line's diagnostics; the reason is mandatory
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named checker over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rdflint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotPath, PoolHygiene, NonRetention}
+}
+
+// Pass carries one type-checked package through an analyzer, mirroring
+// golang.org/x/tools/go/analysis.Pass. Diagnostics land in Diags after
+// //rdf:allow suppression.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Facts maps an import path to the annotation sets exported by that
+	// package (including this one), so call sites can see annotations on
+	// functions declared elsewhere.
+	Facts FactMap
+
+	allows map[string]map[int]allowComment // file -> line -> comment
+	diags  []Diagnostic
+}
+
+// allowComment is one parsed //rdf:allow(reason) comment.
+type allowComment struct {
+	reason string
+	pos    token.Position
+}
+
+var allowRE = regexp.MustCompile(`^//rdf:allow\((.*)\)\s*$`)
+
+// NewPass assembles a Pass and indexes its //rdf:allow comments.
+func NewPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts FactMap) *Pass {
+	p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Facts: facts,
+		allows: map[string]map[int]allowComment{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//rdf:allow") {
+						p.report(c.Pos(), "rdflint", "malformed //rdf:allow: want //rdf:allow(reason)")
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.allows[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]allowComment{}
+					p.allows[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = allowComment{reason: strings.TrimSpace(m[1]), pos: pos}
+			}
+		}
+	}
+	return p
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed by an
+// //rdf:allow comment on the same line or the line directly above. An
+// empty reason never suppresses — it is itself diagnosed by NewPass's
+// malformed-annotation check or here.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	where := p.Fset.Position(pos)
+	byLine := p.allows[where.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{where.Line, where.Line - 1} {
+		if a, ok := byLine[line]; ok {
+			if a.reason == "" {
+				p.report(pos, "rdflint", "//rdf:allow needs a reason: //rdf:allow(why this is safe)")
+				return true // suppress the original finding; the empty reason is the finding
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic unless an //rdf:allow covers its line.
+func (p *Pass) Reportf(name string, pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.report(pos, name, fmt.Sprintf(format, args...))
+}
+
+func (p *Pass) report(pos token.Pos, name, msg string) {
+	p.diags = append(p.diags, Diagnostic{Pos: p.Fset.Position(pos), Analyzer: name, Message: msg})
+}
+
+// Run applies every analyzer and returns the findings in file/line
+// order.
+func (p *Pass) Run(analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		a.Run(p)
+	}
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// funcDocHas reports whether a function declaration's doc comment group
+// contains the given //rdf: directive.
+func funcDocHas(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, directive); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncKey is the qualified, package-local name annotations are recorded
+// under: "Func" for package functions, "Type.Method" for methods (the
+// receiver's pointerness is erased — an annotation describes the method,
+// not the spelling of its receiver).
+func FuncKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+// recvTypeName extracts the bare receiver type name from its AST form.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// objFuncKey renders a resolved function object in FuncKey form, plus
+// the package path it belongs to. Interface methods resolve to the
+// interface type's name.
+func objFuncKey(fn *types.Func) (pkgPath, key string) {
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgPath, fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		// Receiver is an unnamed interface or similar; fall back to the
+		// bare method name.
+		return pkgPath, fn.Name()
+	}
+	return pkgPath, named.Obj().Name() + "." + fn.Name()
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The escape-analysis gate is the compiler-grade backstop behind the
+// hotpath analyzer: AST checks cannot see what the optimizer decides,
+// so the gate compiles every package containing an //rdf:hotpath
+// function with -gcflags=-m and collects the "escapes to heap" /
+// "moved to heap" reports that land inside an annotated function's
+// line range. Findings must match the committed allowlist
+// (internal/analysis/escapes.txt) exactly; a new escape — including one
+// introduced by a compiler upgrade — fails the build until it is fixed
+// or deliberately recorded. Allowlist entries are keyed by package,
+// function, and message text rather than line numbers, so ordinary
+// edits don't churn the file, and entries for functions that no longer
+// exist are rejected as stale.
+
+// HotFunc locates one //rdf:hotpath function in the module.
+type HotFunc struct {
+	Pkg   string // import path
+	Key   string // FuncKey form: "Func" or "Type.Method"
+	File  string // path relative to the module root, as the compiler prints it
+	Start int    // first line of the declaration
+	End   int    // last line of the body
+}
+
+// EscapeFinding is one compiler escape report inside a HotFunc.
+type EscapeFinding struct {
+	Pkg     string
+	Key     string
+	File    string
+	Line    int
+	Message string
+}
+
+func (f EscapeFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s.%s: %s", f.File, f.Line, f.Pkg, f.Key, f.Message)
+}
+
+// ScanHotFuncs walks the module for //rdf:hotpath annotations in
+// non-test sources. The walk is marker-first (a byte scan before any
+// parse), so adding a new annotated package automatically brings it
+// under the gate.
+func ScanHotFuncs(modRoot string) ([]HotFunc, error) {
+	modPath, err := modulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	var hot []HotFunc
+	err = filepath.WalkDir(modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor", ".github":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !bytes.Contains(src, []byte("//rdf:hotpath")) {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if dir := filepath.Dir(rel); dir != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(dir)
+		}
+		for _, fd := range hotFuncDecls(file) {
+			hot = append(hot, HotFunc{
+				Pkg:   pkgPath,
+				Key:   FuncKey(fd),
+				File:  filepath.ToSlash(rel),
+				Start: fset.Position(fd.Pos()).Line,
+				End:   fset.Position(fd.End()).Line,
+			})
+		}
+		return nil
+	})
+	return hot, err
+}
+
+// escapeRE matches one compiler diagnostic line: path:line:col: message.
+var escapeRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// EscapeGate compiles the packages owning hot with -gcflags=-m and
+// returns the escape reports inside annotated functions. Each package
+// is rebuilt through a content-changing overlay (a nonce comment
+// appended to one of its files), because the build cache does not
+// replay compiler diagnostics for up-to-date packages.
+func EscapeGate(modRoot string, hot []HotFunc) ([]EscapeFinding, error) {
+	if len(hot) == 0 {
+		return nil, nil
+	}
+	modPath, err := modulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+
+	// One representative file per package to bust the cache with.
+	repFile := map[string]string{}
+	for _, h := range hot {
+		if _, ok := repFile[h.Pkg]; !ok {
+			repFile[h.Pkg] = h.File
+		}
+	}
+	tmpDir, err := os.MkdirTemp("", "rdflint-escape-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	nonce := fmt.Sprintf("\n// escape-gate nonce %d\n", time.Now().UnixNano())
+	replace := map[string]string{}
+	pkgs := make([]string, 0, len(repFile))
+	for pkg, rel := range repFile {
+		orig := filepath.Join(modRoot, filepath.FromSlash(rel))
+		src, err := os.ReadFile(orig)
+		if err != nil {
+			return nil, err
+		}
+		copyPath := filepath.Join(tmpDir, fmt.Sprintf("nonce-%d.go", len(replace)))
+		if err := os.WriteFile(copyPath, append(src, nonce...), 0o666); err != nil {
+			return nil, err
+		}
+		replace[orig] = copyPath
+		pkgs = append(pkgs, pkg)
+	}
+	overlay, err := json.Marshal(struct{ Replace map[string]string }{replace})
+	if err != nil {
+		return nil, err
+	}
+	overlayPath := filepath.Join(tmpDir, "overlay.json")
+	if err := os.WriteFile(overlayPath, overlay, 0o666); err != nil {
+		return nil, err
+	}
+
+	args := append([]string{"build", "-overlay", overlayPath,
+		"-gcflags", modPath + "/...=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+
+	var findings []EscapeFinding
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := escapeRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		file := filepath.ToSlash(m[1])
+		for _, h := range hot {
+			if h.File == file && line >= h.Start && line <= h.End {
+				findings = append(findings, EscapeFinding{
+					Pkg: h.Pkg, Key: h.Key, File: file, Line: line,
+					Message: strings.TrimSuffix(msg, ":"),
+				})
+				break
+			}
+		}
+	}
+	return findings, sc.Err()
+}
+
+// EscapeAllow is one committed allowlist entry: a known, deliberate
+// escape inside a hot function.
+type EscapeAllow struct {
+	Pkg, Key, Message string
+}
+
+// ParseEscapeAllowlist reads escapes.txt: one entry per line in the
+// form `pkg<TAB>func<TAB>message`, with #-comments and blank lines
+// ignored. Malformed lines are an error, not a skip — a typo must not
+// silently widen the gate.
+func ParseEscapeAllowlist(data []byte) ([]EscapeAllow, error) {
+	var allows []EscapeAllow
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return nil, fmt.Errorf("escapes.txt:%d: malformed entry %q (want pkg<TAB>func<TAB>message)", i+1, line)
+		}
+		allows = append(allows, EscapeAllow{Pkg: parts[0], Key: parts[1], Message: parts[2]})
+	}
+	return allows, nil
+}
+
+// StaleEscapeAllows returns allowlist entries that no longer name an
+// annotated function; they must be deleted, or they would mask a future
+// escape at the same key.
+func StaleEscapeAllows(allows []EscapeAllow, hot []HotFunc) []EscapeAllow {
+	known := map[[2]string]bool{}
+	for _, h := range hot {
+		known[[2]string{h.Pkg, h.Key}] = true
+	}
+	var stale []EscapeAllow
+	for _, a := range allows {
+		if !known[[2]string{a.Pkg, a.Key}] {
+			stale = append(stale, a)
+		}
+	}
+	return stale
+}
+
+// UnallowedEscapes filters findings down to those not covered by the
+// allowlist.
+func UnallowedEscapes(findings []EscapeFinding, allows []EscapeAllow) []EscapeFinding {
+	allowed := map[EscapeAllow]bool{}
+	for _, a := range allows {
+		allowed[a] = true
+	}
+	var out []EscapeFinding
+	for _, f := range findings {
+		if !allowed[EscapeAllow{Pkg: f.Pkg, Key: f.Key, Message: f.Message}] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// hotFuncDecls returns the //rdf:hotpath function declarations in file.
+func hotFuncDecls(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && funcDocHas(fd, "//rdf:hotpath") {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// modulePath reads the module declaration from modRoot's go.mod.
+func modulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module declaration in %s/go.mod", modRoot)
+}

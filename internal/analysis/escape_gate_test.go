@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// findModRoot walks up from the test's working directory to go.mod.
+func findModRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestEscapeGateRepoIsClean is the gate itself: every heap escape the
+// compiler reports inside an //rdf:hotpath function must be recorded in
+// escapes.txt, and every escapes.txt entry must still name a live
+// annotated function.
+func TestEscapeGateRepoIsClean(t *testing.T) {
+	modRoot := findModRoot(t)
+	hot, err := ScanHotFuncs(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 {
+		t.Fatal("no //rdf:hotpath functions found; the gate is vacuous")
+	}
+	data, err := os.ReadFile(filepath.Join(modRoot, "internal/analysis/escapes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, err := ParseEscapeAllowlist(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range StaleEscapeAllows(allows, hot) {
+		t.Errorf("escapes.txt entry is stale (no such //rdf:hotpath function): %s\t%s\t%s — delete it", a.Pkg, a.Key, a.Message)
+	}
+	findings, err := EscapeGate(modRoot, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range UnallowedEscapes(findings, allows) {
+		t.Errorf("new heap escape in hot path: %s\n\tfix it, or record it in internal/analysis/escapes.txt as:\n\t%s\t%s\t%s", f, f.Pkg, f.Key, f.Message)
+	}
+}
+
+// TestEscapeGateCatchesSeededEscape proves the gate detects a fresh
+// escape: a throwaway module with an annotated function that leaks a
+// composite literal must produce an unallowed finding.
+func TestEscapeGateCatchesSeededEscape(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module escprobe\n\ngo 1.22\n")
+	write("p/p.go", `package p
+
+type Box struct{ v [64]uint64 }
+
+//rdf:hotpath
+func Leak() *Box {
+	b := Box{}
+	return &b
+}
+`)
+	hot, err := ScanHotFuncs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 1 || hot[0].Key != "Leak" || hot[0].Pkg != "escprobe/p" {
+		t.Fatalf("ScanHotFuncs = %+v, want one escprobe/p.Leak", hot)
+	}
+	findings, err := EscapeGate(root, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := UnallowedEscapes(findings, nil)
+	if len(un) == 0 {
+		t.Fatal("seeded escape was not detected")
+	}
+	found := false
+	for _, f := range un {
+		if f.Key == "Leak" && strings.Contains(f.Message, "moved to heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a moved-to-heap finding for Leak, got %v", un)
+	}
+	// The same finding recorded in an allowlist must pass the gate.
+	allow := []EscapeAllow{{Pkg: un[0].Pkg, Key: un[0].Key, Message: un[0].Message}}
+	rest := UnallowedEscapes(findings[:1], allow)
+	if len(rest) != 0 {
+		t.Fatalf("allowlisted finding still reported: %v", rest)
+	}
+}
+
+func TestEscapeAllowlistParser(t *testing.T) {
+	good := "# comment\n\npkg\tFunc\tx escapes to heap\n"
+	allows, err := ParseEscapeAllowlist([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allows) != 1 || allows[0] != (EscapeAllow{"pkg", "Func", "x escapes to heap"}) {
+		t.Fatalf("parsed %+v", allows)
+	}
+	for _, bad := range []string{
+		"pkg Func message with spaces not tabs\n",
+		"pkg\tFunc\n",
+		"\tFunc\tmsg\n",
+	} {
+		if _, err := ParseEscapeAllowlist([]byte(bad)); err == nil {
+			t.Errorf("ParseEscapeAllowlist(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+// TestStaleEscapeAllowsRejected pins that entries for deleted or
+// renamed functions are flagged rather than silently retained.
+func TestStaleEscapeAllowsRejected(t *testing.T) {
+	hot := []HotFunc{{Pkg: "m/p", Key: "T.Fill", File: "p/f.go", Start: 1, End: 9}}
+	allows := []EscapeAllow{
+		{Pkg: "m/p", Key: "T.Fill", Message: "make([]int, n) escapes to heap"},
+		{Pkg: "m/p", Key: "Gone", Message: "x escapes to heap"},
+		{Pkg: "m/q", Key: "T.Fill", Message: "x escapes to heap"},
+	}
+	stale := StaleEscapeAllows(allows, hot)
+	if len(stale) != 2 {
+		t.Fatalf("StaleEscapeAllows = %+v, want the Gone and m/q entries", stale)
+	}
+	for _, s := range stale {
+		if s.Key == "T.Fill" && s.Pkg == "m/p" {
+			t.Fatalf("live entry reported stale: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"os"
+	"sort"
+)
+
+// Facts are the annotation sets one package exports to its dependents:
+// the cross-package half of the annotation system. They are produced by
+// a parse-only scan (no type information needed — annotations hang off
+// declaration syntax), serialized as JSON into go vet's per-package
+// .vetx facts file, and read back through the PackageVetx table the vet
+// driver hands the tool for each dependency.
+type Facts struct {
+	// HotPath lists functions annotated //rdf:hotpath, in FuncKey form.
+	HotPath []string `json:"hotpath,omitempty"`
+	// NonRetaining lists functions and interface methods annotated
+	// //rdf:nonretaining, in FuncKey form.
+	NonRetaining []string `json:"nonretaining,omitempty"`
+}
+
+// FactMap indexes Facts by package import path.
+type FactMap map[string]*Facts
+
+// Has reports whether key carries the given annotation set membership
+// in pkgPath's facts.
+func (m FactMap) Has(pkgPath, key string, set func(*Facts) []string) bool {
+	f := m[pkgPath]
+	if f == nil {
+		return false
+	}
+	for _, k := range set(f) {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// NonRetaining is the set accessor for FactMap.Has.
+func NonRetaining(f *Facts) []string { return f.NonRetaining }
+
+// ScanFacts extracts the exported annotation sets from parsed files.
+// Both function declarations and interface method specifications are
+// scanned: //rdf:nonretaining on an interface method covers every call
+// through that interface.
+func ScanFacts(files []*ast.File) *Facts {
+	f := &Facts{}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if funcDocHas(d, "//rdf:hotpath") {
+					f.HotPath = append(f.HotPath, FuncKey(d))
+				}
+				if funcDocHas(d, "//rdf:nonretaining") {
+					f.NonRetaining = append(f.NonRetaining, FuncKey(d))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok || it.Methods == nil {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if m.Doc == nil || len(m.Names) == 0 {
+							continue
+						}
+						for _, c := range m.Doc.List {
+							if c.Text == "//rdf:nonretaining" {
+								for _, name := range m.Names {
+									f.NonRetaining = append(f.NonRetaining,
+										ts.Name.Name+"."+name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(f.HotPath)
+	sort.Strings(f.NonRetaining)
+	return f
+}
+
+// WriteFacts serializes facts to path (go vet's VetxOutput slot).
+func WriteFacts(path string, f *Facts) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o666)
+}
+
+// ReadFacts loads a facts file written by WriteFacts. A missing or
+// undecodable file yields empty facts: a dependency analyzed by a
+// different tool generation must degrade to fewer cross-package
+// findings, not an error.
+func ReadFacts(path string) *Facts {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return &Facts{}
+	}
+	f := &Facts{}
+	if json.Unmarshal(b, f) != nil {
+		return &Facts{}
+	}
+	return f
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// The golden tests mirror x/tools' analysistest: each package under
+// testdata/src/<analyzer>/ is type-checked (source importer, so the
+// fixtures can use sync and fmt offline) and run through the full
+// suite; every diagnostic must be matched by a `// want "regexp"`
+// comment on its line, and every want must fire.
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantExpect struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func TestGoldenHotPath(t *testing.T)      { runGolden(t, "hotpath") }
+func TestGoldenPoolHygiene(t *testing.T)  { runGolden(t, "poolhygiene") }
+func TestGoldenNonRetention(t *testing.T) { runGolden(t, "nonretention") }
+
+func runGolden(t *testing.T, name string) {
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	wants := map[string][]*wantExpect{} // "file:line" -> expectations
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &wantExpect{re: regexp.MustCompile(m[1])})
+				}
+			}
+		}
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := NewPass(fset, files, pkg, info, FactMap{name: ScanFacts(files)})
+	diags := pass.Run(Analyzers())
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var missed []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				missed = append(missed, fmt.Sprintf("%s: no diagnostic matched %q", key, w.re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

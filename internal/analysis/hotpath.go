@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath rejects AST-level allocation constructs inside functions
+// annotated //rdf:hotpath: the per-row / per-triple serving paths whose
+// zero-allocation steady state the repository's benchmarks and
+// AllocsPerRun pins depend on. The checks are syntactic and
+// type-informed but deliberately conservative — what the AST cannot
+// prove allocation-free is flagged, and intentional exceptions carry an
+// //rdf:allow(reason). Amortized growth (append, map insert into
+// bounded caches) is allowed by design: those are the idioms the hot
+// paths are built on.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocation constructs in //rdf:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDocHas(fd, "//rdf:hotpath") {
+				continue
+			}
+			hp := &hotPathCheck{p: p, fd: fd}
+			hp.stmtList(fd.Body.List)
+			ast.Inspect(fd.Body, hp.inspect)
+		}
+	}
+}
+
+type hotPathCheck struct {
+	p  *Pass
+	fd *ast.FuncDecl
+}
+
+func (h *hotPathCheck) reportf(pos token.Pos, format string, args ...any) {
+	h.p.Reportf("hotpath", pos, format, args...)
+}
+
+// stmtList covers the checks that need statement-level context (return
+// results, assignment targets); inspect covers the purely expression-
+// local ones.
+func (h *hotPathCheck) stmtList(stmts []ast.Stmt) {
+	sig, _ := h.p.Info.TypeOf(h.fd.Name).(*types.Signature)
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) {
+						break // x, y := f() — conversion covered at the call
+					}
+					h.boxCheck(h.p.Info.TypeOf(lhs), st.Rhs[i])
+				}
+			case *ast.ReturnStmt:
+				if sig == nil || sig.Results() == nil || len(st.Results) != sig.Results().Len() {
+					return true
+				}
+				for i, r := range st.Results {
+					h.boxCheck(sig.Results().At(i).Type(), r)
+				}
+			case *ast.ValueSpec:
+				if st.Type == nil {
+					return true
+				}
+				dt := h.p.Info.TypeOf(st.Type)
+				for _, v := range st.Values {
+					h.boxCheck(dt, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (h *hotPathCheck) inspect(n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.CallExpr:
+		h.call(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if t := h.p.Info.TypeOf(e); t != nil && isStringType(t) {
+				h.reportf(e.OpPos, "hot path: string concatenation allocates; append into a reused []byte buffer")
+			}
+		}
+	case *ast.CompositeLit:
+		t := h.p.Info.TypeOf(e)
+		if t == nil {
+			break
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			h.reportf(e.Pos(), "hot path: slice literal allocates; reuse a pooled or caller-provided buffer")
+		case *types.Map:
+			h.reportf(e.Pos(), "hot path: map literal allocates; hoist it out of the hot function")
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				h.reportf(e.Pos(), "hot path: &composite literal escapes to the heap; reuse pooled state")
+			}
+		}
+	case *ast.FuncLit:
+		if obj := h.capturedLocal(e); obj != nil {
+			h.reportf(e.Pos(), "hot path: closure captures local %q and allocates; hoist the function or pass state explicitly", obj.Name())
+		}
+	}
+	return true
+}
+
+// call flags make/new, fmt calls, allocating string conversions, and
+// interface boxing at argument positions.
+func (h *hotPathCheck) call(call *ast.CallExpr) {
+	// Conversions: T(x).
+	if tv, ok := h.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		h.conversion(call, tv.Type)
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if isBuiltin(h.p.Info, fun) {
+				h.reportf(call.Pos(), "hot path: make allocates; reuse a pooled or caller-provided buffer")
+				return
+			}
+		case "new":
+			if isBuiltin(h.p.Info, fun) {
+				h.reportf(call.Pos(), "hot path: new allocates; reuse pooled state")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := h.p.Info.Uses[fun.Sel]; ok {
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				h.reportf(call.Pos(), "hot path: fmt.%s allocates (interface boxing, reflection); use strconv/append builders", fn.Name())
+				return
+			}
+		}
+	}
+	// Interface boxing of arguments.
+	sig, ok := h.p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		h.boxCheck(pt, arg)
+	}
+}
+
+// conversion flags []byte <-> string <-> []rune conversions (which
+// copy) and conversions to interface types (which box).
+func (h *hotPathCheck) conversion(call *ast.CallExpr, target types.Type) {
+	src := h.p.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) {
+		h.boxCheck(target, call.Args[0])
+		return
+	}
+	to, from := target.Underlying(), src.Underlying()
+	switch {
+	case isStringType(to) && !isStringType(from) && !isIntegerType(from):
+		h.reportf(call.Pos(), "hot path: string(...) conversion copies; keep the bytes and compare/append directly")
+	case isStringType(to) && isIntegerType(from):
+		h.reportf(call.Pos(), "hot path: string(rune) conversion allocates; use strconv or utf8.AppendRune into a buffer")
+	case isByteOrRuneSlice(to) && isStringType(from):
+		h.reportf(call.Pos(), "hot path: []byte(string) conversion copies; append the string into a reused buffer instead")
+	}
+}
+
+// boxCheck flags storing a concrete non-pointer-shaped value into an
+// interface-typed slot: the conversion heap-allocates the value's box.
+// Pointer-shaped values (pointers, channels, maps, funcs) ride in the
+// interface word for free, constants fold into static boxes, and nil is
+// nil.
+func (h *hotPathCheck) boxCheck(dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := h.p.Info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Kind() == types.UnsafePointer {
+		return
+	}
+	h.reportf(src.Pos(), "hot path: interface boxing of non-pointer %s allocates; pass a pointer or avoid the interface", tv.Type)
+}
+
+// capturedLocal returns a variable declared in the enclosing function
+// (but outside lit) that lit references, or nil: referencing one turns
+// the literal into a heap-allocated closure.
+func (h *hotPathCheck) capturedLocal(lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := h.p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == h.p.Pkg.Scope() || obj.Parent() == types.Universe {
+			return true // package-level or universe: not a capture
+		}
+		// Declared inside the enclosing function but outside the literal.
+		if obj.Pos() >= h.fd.Pos() && obj.Pos() < h.fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			captured = obj
+		}
+		return true
+	})
+	return captured
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

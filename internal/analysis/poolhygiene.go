@@ -1,0 +1,625 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolHygiene tracks every sync.Pool.Get through the function that
+// performs it and demands the value reach a Put on all paths that leave
+// the function. Ownership transfers out of the function — factory
+// helpers that return a pooled value for a later Release — are legal
+// but must be spelled out with //rdf:allow(reason) at the escaping
+// return. The checker also rejects storing pooled values into state
+// that outlives the request (globals, fields of parameters or
+// receivers) and any use of a value after it was returned to the pool.
+//
+// The walk is a small abstract interpretation: a set of states, each
+// mapping tracked variables to live/dead, flows through the statement
+// list. Branches fork the set and path conditions prune it — `if v !=
+// nil` discards live-v states from the else branch (a Get result is
+// never nil), and the comma-ok form of `pool.Get().(*T)` forks into a
+// hit state and a miss state keyed by the ok variable — so the
+// repository's guarded-release and typed-Get idioms verify without
+// annotation.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc:  "sync.Pool values must reach Put on every path",
+	Run:  runPoolHygiene,
+}
+
+func runPoolHygiene(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &poolCheck{p: p, fd: fd, reported: map[string]bool{}, handled: map[ast.Node]bool{}}
+			out := c.exec([]*poolState{newPoolState()}, fd.Body.List)
+			c.checkExit(out, fd.Body.Rbrace, nil)
+		}
+	}
+}
+
+type poolStatus int
+
+const (
+	psLive     poolStatus = iota + 1 // holds a Get result that still owes a Put
+	psDead                           // returned to the pool; using it now is a bug
+	psDeferred                       // a deferred Put covers it on every exit
+)
+
+// poolState is one abstract execution state: which variables currently
+// hold pooled values, and which boolean facts (comma-ok results) are
+// known on this path.
+type poolState struct {
+	vars  map[*types.Var]poolStatus
+	bools map[*types.Var]bool
+}
+
+func newPoolState() *poolState {
+	return &poolState{vars: map[*types.Var]poolStatus{}, bools: map[*types.Var]bool{}}
+}
+
+func (s *poolState) clone() *poolState {
+	n := newPoolState()
+	for k, v := range s.vars {
+		n.vars[k] = v
+	}
+	for k, v := range s.bools {
+		n.bools[k] = v
+	}
+	return n
+}
+
+// maxPoolStates caps the state set; pathological branch fans degrade to
+// analyzing a prefix of the set rather than exploding.
+const maxPoolStates = 64
+
+type poolCheck struct {
+	p        *Pass
+	fd       *ast.FuncDecl
+	reported map[string]bool
+	handled  map[ast.Node]bool // Get calls consumed by a recognized pattern
+}
+
+func (c *poolCheck) reportOnce(pos token.Pos, key, format string, args ...any) {
+	where := c.p.Fset.Position(pos)
+	k := where.String() + ":" + key
+	if c.reported[k] {
+		return
+	}
+	c.reported[k] = true
+	c.p.Reportf("poolhygiene", pos, format, args...)
+}
+
+// poolMethod resolves call to (*sync.Pool).Get or Put.
+func poolMethod(p *Pass, call *ast.CallExpr) (name string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false
+	}
+	fn, fnOK := p.Info.Uses[sel.Sel].(*types.Func)
+	if !fnOK || (fn.Name() != "Get" && fn.Name() != "Put") {
+		return "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, namedOK := rt.(*types.Named)
+	if !namedOK || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// getCall unwraps expr to a (*sync.Pool).Get call, looking through one
+// type assertion (the `pool.Get().(*T)` idiom). assert reports whether
+// an assertion wrapped it.
+func (c *poolCheck) getCall(expr ast.Expr) (call *ast.CallExpr, assert bool) {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		e, assert = ast.Unparen(ta.X), true
+	}
+	if ce, ok := e.(*ast.CallExpr); ok {
+		if name, isPool := poolMethod(c.p, ce); isPool && name == "Get" {
+			return ce, assert
+		}
+	}
+	return nil, false
+}
+
+func (c *poolCheck) varOf(expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := c.p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.p.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// exec flows the state set through stmts, reporting as it goes, and
+// returns the states that fall off the end. Terminated paths (return)
+// contribute nothing. An empty input set means the code is infeasible
+// under the tracked facts and is skipped.
+func (c *poolCheck) exec(states []*poolState, stmts []ast.Stmt) []*poolState {
+	for _, stmt := range stmts {
+		if len(states) == 0 {
+			return nil
+		}
+		states = c.execStmt(states, stmt)
+	}
+	return states
+}
+
+func (c *poolCheck) execStmt(states []*poolState, stmt ast.Stmt) []*poolState {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return c.assign(states, s)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if name, isPool := poolMethod(c.p, call); isPool && name == "Put" && len(call.Args) == 1 {
+				return c.put(states, call)
+			}
+		}
+		c.useScan(states, s)
+		return states
+
+	case *ast.DeferStmt:
+		if name, isPool := poolMethod(c.p, s.Call); isPool && name == "Put" && len(s.Call.Args) == 1 {
+			if v := c.varOf(s.Call.Args[0]); v != nil {
+				for _, st := range states {
+					if st.vars[v] == psLive {
+						st.vars[v] = psDeferred
+					}
+				}
+				return states
+			}
+		}
+		c.useScan(states, s)
+		return states
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if gc, _ := c.getCall(r); gc != nil {
+				c.handled[gc] = true
+				c.reportOnce(s.Pos(), "retget", "sync.Pool.Get result escapes via return; add //rdf:allow(reason) if the caller takes ownership")
+			}
+		}
+		c.useScan(states, s)
+		c.checkExit(states, s.Pos(), s.Results)
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = c.execStmt(states, s.Init)
+		}
+		c.useScan(states, s.Cond)
+		thenStates, elseStates := c.filterCond(states, s.Cond)
+		out := c.exec(clonePoolStates(thenStates), s.Body.List)
+		switch e := s.Else.(type) {
+		case nil:
+			out = append(out, elseStates...)
+		case *ast.BlockStmt:
+			out = append(out, c.exec(clonePoolStates(elseStates), e.List)...)
+		case *ast.IfStmt:
+			out = append(out, c.execStmt(clonePoolStates(elseStates), e)...)
+		}
+		return capPoolStates(out)
+
+	case *ast.BlockStmt:
+		return c.exec(states, s.List)
+
+	case *ast.LabeledStmt:
+		return c.execStmt(states, s.Stmt)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			states = c.execStmt(states, s.Init)
+		}
+		if s.Cond != nil {
+			c.useScan(states, s.Cond)
+		}
+		return c.loop(states, s.Body.List, s.Post)
+
+	case *ast.RangeStmt:
+		c.useScan(states, s.X)
+		return c.loop(states, s.Body.List, nil)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			states = c.execStmt(states, s.Init)
+		}
+		if s.Tag != nil {
+			c.useScan(states, s.Tag)
+		}
+		return c.clauses(states, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			states = c.execStmt(states, s.Init)
+		}
+		c.useScan(states, s.Assign)
+		return c.clauses(states, s.Body)
+
+	case *ast.SelectStmt:
+		return c.clauses(states, s.Body)
+
+	default:
+		c.useScan(states, stmt)
+		return states
+	}
+}
+
+// loop approximates a loop body with two unrollings; states from zero,
+// one and two executions all flow past the loop. break/continue are
+// modeled as fallthrough, which can miss a leak on a break path but
+// never invents one.
+func (c *poolCheck) loop(states []*poolState, body []ast.Stmt, post ast.Stmt) []*poolState {
+	once := c.exec(clonePoolStates(states), body)
+	if post != nil {
+		once = c.execStmt(once, post)
+	}
+	twice := c.exec(clonePoolStates(once), body)
+	return capPoolStates(append(append(states, once...), twice...))
+}
+
+func (c *poolCheck) clauses(states []*poolState, body *ast.BlockStmt) []*poolState {
+	var out []*poolState
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch clause := cl.(type) {
+		case *ast.CaseClause:
+			stmts = clause.Body
+			hasDefault = hasDefault || clause.List == nil
+		case *ast.CommClause:
+			stmts = clause.Body
+			hasDefault = hasDefault || clause.Comm == nil
+			if clause.Comm != nil {
+				c.useScan(states, clause.Comm)
+			}
+		}
+		out = append(out, c.exec(clonePoolStates(states), stmts)...)
+	}
+	if !hasDefault {
+		out = append(out, states...)
+	}
+	return capPoolStates(out)
+}
+
+// assign handles Get-binding, overwrites of live values, and stores of
+// pooled values into long-lived locations.
+func (c *poolCheck) assign(states []*poolState, s *ast.AssignStmt) []*poolState {
+	if len(s.Rhs) == 1 {
+		if gc, asserted := c.getCall(s.Rhs[0]); gc != nil {
+			c.handled[gc] = true
+			c.useScan(states, s.Rhs[0]) // flags uses of dead vars in pool/index exprs
+			v := c.varOf(s.Lhs[0])
+			if v == nil {
+				c.reportOnce(s.Pos(), "getdst", "sync.Pool.Get result is not bound to a local variable; it cannot be tracked to a Put")
+				return states
+			}
+			c.overwrite(states, v, s.Pos())
+			if asserted && len(s.Lhs) == 2 {
+				// v, ok := pool.Get().(*T): fork hit and miss states.
+				okVar := c.varOf(s.Lhs[1])
+				var out []*poolState
+				for _, st := range states {
+					hit := st.clone()
+					hit.vars[v] = psLive
+					miss := st.clone()
+					delete(miss.vars, v)
+					if okVar != nil {
+						hit.bools[okVar] = true
+						miss.bools[okVar] = false
+					}
+					out = append(out, hit, miss)
+				}
+				return capPoolStates(out)
+			}
+			for _, st := range states {
+				st.vars[v] = psLive
+			}
+			return states
+		}
+	}
+	for _, rhs := range s.Rhs {
+		c.useScan(states, rhs)
+	}
+	for i, lhs := range s.Lhs {
+		// Reassigning a dead variable is fine; only scan the non-ident
+		// parts of the target (index bases, selector roots) for dead uses.
+		if _, plainIdent := ast.Unparen(lhs).(*ast.Ident); !plainIdent {
+			c.useScan(states, lhs)
+		}
+		if i < len(s.Rhs) {
+			c.storeCheck(states, lhs, s.Rhs[i])
+		}
+		if s.Tok != token.DEFINE {
+			if v := c.varOf(lhs); v != nil {
+				c.overwrite(states, v, s.Pos())
+			}
+		}
+	}
+	return states
+}
+
+// overwrite reports a live pooled value being clobbered, then untracks
+// the variable.
+func (c *poolCheck) overwrite(states []*poolState, v *types.Var, pos token.Pos) {
+	for _, st := range states {
+		if st.vars[v] == psLive {
+			c.reportOnce(pos, "ovw:"+v.Name(), "pooled value %s is overwritten before being returned to the pool", v.Name())
+		}
+		delete(st.vars, v)
+	}
+}
+
+// storeCheck flags `x.f = v` / `g = v` where v is a live pooled value
+// and the destination outlives the request: a package-level variable,
+// or a field or element reachable from a parameter or receiver.
+func (c *poolCheck) storeCheck(states []*poolState, lhs, rhs ast.Expr) {
+	v := c.varOf(rhs)
+	if v == nil {
+		return
+	}
+	live := false
+	for _, st := range states {
+		if st.vars[v] == psLive || st.vars[v] == psDeferred {
+			live = true
+		}
+	}
+	if !live {
+		return
+	}
+	root := rootIdentVar(c.p, lhs)
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if root != nil && root.Parent() == c.p.Pkg.Scope() {
+			c.reportOnce(lhs.Pos(), "store:"+v.Name(), "pooled value %s stored into package-level %s outlives the request", v.Name(), root.Name())
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = l
+		if root == nil || root.Parent() == c.p.Pkg.Scope() || c.isParamOrRecv(root) {
+			c.reportOnce(lhs.Pos(), "store:"+v.Name(), "pooled value %s stored into a location that may outlive the request", v.Name())
+		}
+	}
+}
+
+// isParamOrRecv reports whether v is a parameter or the receiver of the
+// function under analysis.
+func (c *poolCheck) isParamOrRecv(v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if c.p.Info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(c.fd.Recv) || check(c.fd.Type.Params) || check(c.fd.Type.Results)
+}
+
+// rootIdentVar unwraps selector/index/star/slice chains to the base
+// identifier's variable, or nil.
+func rootIdentVar(p *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := p.Info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// put transitions v live→dead, diagnosing double-Puts.
+func (c *poolCheck) put(states []*poolState, call *ast.CallExpr) []*poolState {
+	v := c.varOf(call.Args[0])
+	if v == nil {
+		return states
+	}
+	deadEverywhere := len(states) > 0
+	for _, st := range states {
+		if st.vars[v] != psDead {
+			deadEverywhere = false
+		}
+	}
+	if deadEverywhere {
+		c.reportOnce(call.Pos(), "dbl:"+v.Name(), "%s is returned to the pool twice", v.Name())
+	}
+	for _, st := range states {
+		st.vars[v] = psDead
+	}
+	return states
+}
+
+// useScan reports reads of variables that every state agrees were
+// already returned to the pool.
+func (c *poolCheck) useScan(states []*poolState, n ast.Node) {
+	if n == nil || len(states) == 0 {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if c.handled[node] {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && !c.handled[call] {
+			if name, isPool := poolMethod(c.p, call); isPool && name == "Get" {
+				c.handled[call] = true
+				c.reportOnce(call.Pos(), "naked", "sync.Pool.Get result escapes tracking here; bind it to a local so every path can Put it")
+			}
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.p.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		dead := true
+		for _, st := range states {
+			if st.vars[v] != psDead {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			c.reportOnce(id.Pos(), "uap:"+v.Name(), "use of %s after it was returned to the pool", v.Name())
+		}
+		return true
+	})
+}
+
+// checkExit reports pooled values still live when control leaves the
+// function. A live value named in the return expression is an ownership
+// transfer and gets the //rdf:allow-oriented message; anything else is
+// a leak on this path.
+func (c *poolCheck) checkExit(states []*poolState, pos token.Pos, results []ast.Expr) {
+	for _, st := range states {
+		for v, status := range st.vars {
+			if status != psLive {
+				continue
+			}
+			if exprsMention(c.p, results, v) {
+				c.reportOnce(pos, "esc:"+v.Name(), "pooled value %s escapes via return; add //rdf:allow(reason) if the caller takes ownership", v.Name())
+				continue
+			}
+			c.reportOnce(pos, "leak:"+v.Name(), "sync.Pool value %s is not returned to the pool on this path", v.Name())
+		}
+	}
+}
+
+func exprsMention(p *Pass, exprs []ast.Expr, v *types.Var) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == v {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// filterCond splits the state set by a branch condition, pruning
+// infeasible combinations: a live pooled value is never nil, and
+// comma-ok facts recorded at a Get fork are decisive.
+func (c *poolCheck) filterCond(states []*poolState, cond ast.Expr) (then, els []*poolState) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if v, eq := c.nilTest(e); v != nil {
+			for _, st := range states {
+				live := st.vars[v] == psLive || st.vars[v] == psDeferred
+				if eq { // v == nil: live states only reach else
+					if !live {
+						then = append(then, st)
+					}
+					els = append(els, st)
+				} else { // v != nil: live states only reach then
+					then = append(then, st)
+					if !live {
+						els = append(els, st)
+					}
+				}
+			}
+			return then, els
+		}
+	case *ast.Ident:
+		if v := c.varOf(e); v != nil {
+			return c.boolSplit(states, v, true)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			if v := c.varOf(e.X); v != nil {
+				return c.boolSplit(states, v, false)
+			}
+		}
+	}
+	return states, states
+}
+
+// nilTest matches `v == nil` / `v != nil` (either operand order) and
+// returns the variable and whether the operator was ==.
+func (c *poolCheck) nilTest(e *ast.BinaryExpr) (*types.Var, bool) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return nil, false
+	}
+	x, y := e.X, e.Y
+	if tv, ok := c.p.Info.Types[x]; ok && tv.IsNil() {
+		x, y = y, x
+	}
+	if tv, ok := c.p.Info.Types[y]; !ok || !tv.IsNil() {
+		return nil, false
+	}
+	return c.varOf(x), e.Op == token.EQL
+}
+
+// boolSplit routes states by a known boolean fact; states with no fact
+// go both ways.
+func (c *poolCheck) boolSplit(states []*poolState, v *types.Var, want bool) (then, els []*poolState) {
+	for _, st := range states {
+		val, known := st.bools[v]
+		if !known || val == want {
+			then = append(then, st)
+		}
+		if !known || val != want {
+			els = append(els, st)
+		}
+	}
+	return then, els
+}
+
+func clonePoolStates(states []*poolState) []*poolState {
+	out := make([]*poolState, len(states))
+	for i, st := range states {
+		out[i] = st.clone()
+	}
+	return out
+}
+
+func capPoolStates(states []*poolState) []*poolState {
+	if len(states) > maxPoolStates {
+		return states[:maxPoolStates]
+	}
+	return states
+}

@@ -1,0 +1,68 @@
+// Package hotpath is the golden fixture for the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+type row struct{ id uint64 }
+
+func sink(x any) { _ = x }
+
+//rdf:hotpath
+func allocs(ids []uint64, s string) string {
+	buf := make([]byte, 8) // want "make allocates"
+	_ = buf
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1} // want "slice literal allocates"
+	_ = sl
+	r := &row{id: 1} // want "composite literal escapes"
+	_ = r
+	fmt.Println(s) // want "fmt.Println allocates"
+	b := []byte(s) // want "conversion copies"
+	_ = b
+	s2 := s + "x" // want "string concatenation allocates"
+	return s2
+}
+
+//rdf:hotpath
+func boxes(v uint64, p *row) {
+	var a any
+	a = v // want "interface boxing of non-pointer uint64"
+	_ = a
+	sink(v)    // want "interface boxing of non-pointer uint64"
+	sink(p)    // pointers ride in the interface word: no diagnostic
+	a = any(v) // want "interface boxing of non-pointer uint64"
+	_ = a
+}
+
+//rdf:hotpath
+func closures(n int) int {
+	f := func() int { return n } // want "closure captures local"
+	g := func() int { return 42 }
+	return f() + g()
+}
+
+//rdf:hotpath
+func stringify(id uint64, out []byte) []byte {
+	out = append(out, 'x') // append is amortized by design: no diagnostic
+	return out
+}
+
+//rdf:hotpath
+func allowed() []byte {
+	//rdf:allow(setup path that runs once per process)
+	return make([]byte, 8)
+}
+
+//rdf:hotpath
+func emptyReason() {
+	//rdf:allow()
+	_ = make([]byte, 1) // want "needs a reason"
+}
+
+//rdf:allow missing parens // want "malformed //rdf:allow"
+
+// cold is not annotated; nothing in it is diagnosed.
+func cold(s string) string {
+	return s + s
+}

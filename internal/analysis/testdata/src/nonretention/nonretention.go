@@ -1,0 +1,87 @@
+// Package nonretention is the golden fixture for the nonretention
+// analyzer.
+package nonretention
+
+// ID mirrors core.ID: a plain value type, so element reads are copies.
+type ID uint64
+
+// Bindings mirrors sparql.Bindings: a reused map.
+type Bindings map[string]ID
+
+var (
+	keep  Bindings
+	saved []Bindings
+	cb    func(Bindings)
+	arena struct{ b []byte }
+)
+
+func handle(Bindings) {}
+
+// stream reuses one map across emit calls.
+//
+//rdf:nonretaining
+func stream(n int, emit func(Bindings)) {
+	b := Bindings{}
+	for i := 0; i < n; i++ {
+		b["x"] = ID(i)
+		emit(b)
+	}
+}
+
+func callers(ch chan Bindings) {
+	var last Bindings
+	stream(3, func(b Bindings) {
+		last = b // want "assigned outside the callback"
+		_ = last
+	})
+	stream(3, func(b Bindings) {
+		v := b["x"] // element copy: no diagnostic
+		_ = v
+	})
+	stream(3, func(b Bindings) {
+		local := b // local alias dies with the callback: no diagnostic
+		_ = local
+	})
+	stream(3, func(b Bindings) {
+		keep = b // want "assigned outside the callback"
+	})
+	stream(3, func(b Bindings) {
+		saved = append(saved, b) // want "assigned outside the callback"
+	})
+	stream(3, func(b Bindings) {
+		ch <- b // want "sent on a channel"
+	})
+	stream(3, func(b Bindings) {
+		go handle(b) // want "captured by a goroutine"
+	})
+	var lastAllowed Bindings
+	stream(3, func(b Bindings) {
+		lastAllowed = b //rdf:allow(this consumer checks map identity, not contents)
+		_ = lastAllowed
+	})
+}
+
+// badRetainer breaks its own annotation: the callback must not outlive
+// the call.
+//
+//rdf:nonretaining
+func badRetainer(emit func(Bindings)) {
+	cb = emit // want "assigned outside the callback"
+	emit(nil)
+}
+
+// extractAppend follows the append contract: growing and returning the
+// caller's buffer is not retention.
+//
+//rdf:nonretaining
+func extractAppend(buf []byte, id ID) ([]byte, bool) {
+	buf = append(buf, byte(id))
+	return buf, true
+}
+
+// badExtract parks the caller's buffer in a global arena.
+//
+//rdf:nonretaining
+func badExtract(buf []byte) {
+	arena.b = buf // want "assigned outside the callback"
+}

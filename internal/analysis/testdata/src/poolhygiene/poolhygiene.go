@@ -1,0 +1,121 @@
+// Package poolhygiene is the golden fixture for the poolhygiene
+// analyzer.
+package poolhygiene
+
+import "sync"
+
+type buf struct{ b []byte }
+
+type holder struct{ v *buf }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var global *buf
+
+func use(*buf) {}
+
+func leak() {
+	v := pool.Get().(*buf)
+	use(v)
+} // want "not returned to the pool"
+
+func deferred() {
+	v := pool.Get().(*buf)
+	defer pool.Put(v)
+	use(v)
+}
+
+func bothPaths(cond bool) {
+	v := pool.Get().(*buf)
+	if cond {
+		use(v)
+		pool.Put(v)
+		return
+	}
+	pool.Put(v)
+}
+
+func earlyReturn(cond bool) {
+	v := pool.Get().(*buf)
+	if cond {
+		return // want "not returned to the pool"
+	}
+	pool.Put(v)
+}
+
+// nilGuard is the gzip-writer idiom: Get on one branch, release behind
+// a nil check. The nil guard prunes the infeasible live-and-nil state,
+// so this is clean.
+func nilGuard(cond bool) {
+	var v *buf
+	if cond {
+		v = pool.Get().(*buf)
+	}
+	if v != nil {
+		use(v)
+		pool.Put(v)
+	}
+}
+
+// commaOk is the typed-Get idiom: the miss state carries ok=false, so
+// only the hit branch owes a Put.
+func commaOk() {
+	if v, ok := pool.Get().(*buf); ok {
+		pool.Put(v)
+	}
+}
+
+func transfer() *buf {
+	v := pool.Get().(*buf)
+	//rdf:allow(ownership transfers to the caller; Release returns it)
+	return v
+}
+
+func transferBad() *buf {
+	v := pool.Get().(*buf)
+	return v // want "escapes via return"
+}
+
+func useAfterPut() {
+	v := pool.Get().(*buf)
+	pool.Put(v)
+	use(v) // want "after it was returned to the pool"
+}
+
+func doublePut() {
+	v := pool.Get().(*buf)
+	pool.Put(v)
+	pool.Put(v) // want "returned to the pool twice"
+}
+
+func storeGlobal() {
+	v := pool.Get().(*buf)
+	global = v // want "outlives the request"
+	pool.Put(v)
+}
+
+func storeField(h *holder) {
+	v := pool.Get().(*buf)
+	h.v = v // want "may outlive the request"
+	pool.Put(v)
+}
+
+// storeLocalField stores into a function-local struct, which dies with
+// the call: no diagnostic.
+func storeLocalField() {
+	var h holder
+	v := pool.Get().(*buf)
+	h.v = v
+	use(h.v)
+	pool.Put(v)
+}
+
+func naked() {
+	use(pool.Get().(*buf)) // want "escapes tracking"
+}
+
+func overwritten() {
+	v := pool.Get().(*buf)
+	v = nil // want "overwritten before being returned"
+	_ = v
+}

@@ -6,6 +6,10 @@ import (
 	"rdfindexes/internal/trie"
 )
 
+// QueryCtx is the pooled per-query scratch arena for pattern
+// selection: selection states, batch buffers, and compressed-sequence
+// cursors that are reused across queries instead of reallocated.
+//
 // Concurrency contract ("one index, N goroutines"): a built Index is
 // immutable — every sequence, trie level and dictionary it holds is
 // read-only after construction — so any number of goroutines may call
@@ -66,7 +70,10 @@ const ctxMismatchCap = 4
 var queryCtxPool = sync.Pool{New: func() any { return &QueryCtx{} }}
 
 // AcquireQueryCtx takes a query context from the process-wide pool.
-func AcquireQueryCtx() *QueryCtx { return queryCtxPool.Get().(*QueryCtx) }
+func AcquireQueryCtx() *QueryCtx {
+	//rdf:allow(ownership transfers to the caller; Release returns it to the pool)
+	return queryCtxPool.Get().(*QueryCtx)
+}
 
 // Release returns the ctx to the pool. The caller must have drained or
 // abandoned every iterator obtained through it.

@@ -91,6 +91,8 @@ func (it *Iterator) drop() {
 }
 
 // Next returns the next matching triple, or ok=false when exhausted.
+//
+//rdf:hotpath
 func (it *Iterator) Next() (Triple, bool) {
 	if it.pos < it.n {
 		t := it.buf[it.pos]
@@ -102,6 +104,8 @@ func (it *Iterator) Next() (Triple, bool) {
 
 // nextSlow refills the buffer (or falls back to the scalar source) after
 // the fast path in Next misses.
+//
+//rdf:hotpath
 func (it *Iterator) nextSlow() (Triple, bool) {
 	if it.done {
 		// Literal iterators are born done with buffered content; their
@@ -149,6 +153,8 @@ func (it *Iterator) refill() int {
 // were written; 0 iff the iterator is exhausted. Block-producing
 // iterators decode straight into out, so a caller that drains through
 // NextBatch with a reusable buffer performs zero allocations per triple.
+//
+//rdf:hotpath
 func (it *Iterator) NextBatch(out []Triple) int {
 	n := 0
 	for n < len(out) {
@@ -267,6 +273,8 @@ func singleIteratorCtx(c *QueryCtx, t Triple) *Iterator {
 
 // restoreBatch writes perm.Restore(a, b, vals[i]) into out[i], hoisting
 // the permutation dispatch out of the per-triple loop.
+//
+//rdf:hotpath
 func restoreBatch(perm Perm, a, b ID, vals []uint64, out []Triple) {
 	switch perm {
 	case PermSPO:
@@ -344,6 +352,7 @@ type selectTwoState struct {
 	vals0 [8]uint64
 }
 
+//rdf:hotpath
 func (st *selectTwoState) fill(out []Triple) int {
 	k := len(out)
 	if k > st.left {
@@ -409,6 +418,7 @@ type selectOneState struct {
 	vals0     [8]uint64
 }
 
+//rdf:hotpath
 func (st *selectOneState) fill(out []Triple) int {
 	n := 0
 	for n < len(out) {
@@ -503,6 +513,7 @@ type scanAllState struct {
 	vals0     [8]uint64
 }
 
+//rdf:hotpath
 func (st *scanAllState) fill(out []Triple) int {
 	n := 0
 	for n < len(out) {
@@ -601,6 +612,7 @@ type enumerateState struct {
 	it           Iterator
 }
 
+//rdf:hotpath
 func (st *enumerateState) fill(out []Triple) int {
 	n := 0
 	for st.pos1 < st.e1 && n < len(out) {
@@ -655,6 +667,7 @@ type invertedPOSState struct {
 	vals0     [8]uint64
 }
 
+//rdf:hotpath
 func (st *invertedPOSState) fill(out []Triple) int {
 	n := 0
 	for n < len(out) {
@@ -722,6 +735,7 @@ type invertedPSState struct {
 	vals0     [8]uint64
 }
 
+//rdf:hotpath
 func (st *invertedPSState) fill(out []Triple) int {
 	n := 0
 	for n < len(out) {
@@ -792,6 +806,7 @@ type filterState struct {
 	tmp   [triBatch]Triple
 }
 
+//rdf:hotpath
 func (st *filterState) fill(out []Triple) int {
 	for {
 		k := len(out)

@@ -32,6 +32,8 @@ func (p Perm) String() string {
 }
 
 // Apply returns t's components in the permutation's order.
+//
+//rdf:hotpath
 func (p Perm) Apply(t Triple) (a, b, c ID) {
 	switch p {
 	case PermSPO:
@@ -47,11 +49,14 @@ func (p Perm) Apply(t Triple) (a, b, c ID) {
 	case PermOPS:
 		return t.O, t.P, t.S
 	}
+	//rdf:allow(unreachable panic path; every Perm constant is handled above)
 	panic(fmt.Sprintf("core: invalid permutation %d", p))
 }
 
 // Restore rebuilds a canonical triple from components in the
 // permutation's order.
+//
+//rdf:hotpath
 func (p Perm) Restore(a, b, c ID) Triple {
 	switch p {
 	case PermSPO:
@@ -67,6 +72,7 @@ func (p Perm) Restore(a, b, c ID) Triple {
 	case PermOPS:
 		return Triple{c, b, a}
 	}
+	//rdf:allow(unreachable panic path; every Perm constant is handled above)
 	panic(fmt.Sprintf("core: invalid permutation %d", p))
 }
 

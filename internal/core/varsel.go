@@ -17,6 +17,8 @@ type VarIter struct {
 }
 
 // Next returns the next candidate ID.
+//
+//rdf:hotpath
 func (v *VarIter) Next() (ID, bool) {
 	if v.empty {
 		return 0, false
@@ -27,6 +29,8 @@ func (v *VarIter) Next() (ID, bool) {
 
 // NextGEQ skips forward to the first remaining candidate >= x, consumes
 // it and returns it.
+//
+//rdf:hotpath
 func (v *VarIter) NextGEQ(x ID) (ID, bool) {
 	if v.empty {
 		return 0, false

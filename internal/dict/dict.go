@@ -32,6 +32,7 @@ type Reader interface {
 	Locate(s string) (int, bool)
 	// Extract returns the string with the given ID.
 	Extract(id int) (string, bool)
+	//rdf:nonretaining
 	// ExtractAppend appends the string with the given ID to buf and
 	// returns the extended buffer; buf is returned unchanged when the ID
 	// is out of range. It never allocates beyond growing buf.
@@ -112,6 +113,7 @@ func appendUvarint(buf []byte, v uint64) []byte {
 	return append(buf, byte(v))
 }
 
+//rdf:hotpath
 func readUvarint(data []byte, pos int) (uint64, int) {
 	var v uint64
 	var shift uint
@@ -152,6 +154,9 @@ func (d *Dict) Extract(id int) (string, bool) {
 // after the previous entry, so each step truncates to the stored LCP and
 // appends the suffix — no intermediate strings are materialized, and the
 // only allocation is growing buf when its capacity runs out.
+//
+//rdf:hotpath
+//rdf:nonretaining
 func (d *Dict) ExtractAppend(buf []byte, id int) ([]byte, bool) {
 	if id < 0 || id >= d.n {
 		return buf, false
@@ -173,6 +178,8 @@ func (d *Dict) ExtractAppend(buf []byte, id int) ([]byte, bool) {
 
 // cmpBytesStr is bytes.Compare over a []byte and a string, avoiding the
 // conversion allocation.
+//
+//rdf:hotpath
 func cmpBytesStr(b []byte, s string) int {
 	n := len(b)
 	if len(s) < n {
@@ -203,6 +210,8 @@ func cmpBytesStr(b []byte, s string) int {
 // above match means it still sorts before s (skipped without touching
 // its suffix) — and only entries whose LCP equals match compare suffix
 // bytes.
+//
+//rdf:hotpath
 func (d *Dict) searchBucket(k int, s string) (int, bool) {
 	pos := int(d.offsets.Access(k))
 	l, pos := readUvarint(d.data, pos)
@@ -262,6 +271,8 @@ func (d *Dict) searchBucket(k int, s string) (int, bool) {
 // otherwise a binary search over the verbatim bucket headers narrows to
 // one bucket, and either way the in-bucket scan compares through the
 // stored LCP values with early exit instead of materializing entries.
+//
+//rdf:hotpath
 func (d *Dict) Locate(s string) (int, bool) {
 	if d.n == 0 {
 		return 0, false

@@ -29,6 +29,7 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+//rdf:hotpath
 func hashMix(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
@@ -36,6 +37,7 @@ func hashMix(h uint64) uint64 {
 	return h
 }
 
+//rdf:hotpath
 func hashString(s string) uint64 {
 	h := uint64(fnvOffset)
 	for i := 0; i < len(s); i++ {
@@ -45,6 +47,7 @@ func hashString(s string) uint64 {
 	return hashMix(h)
 }
 
+//rdf:hotpath
 func hashBytes(b []byte) uint64 {
 	h := uint64(fnvOffset)
 	for _, c := range b {
@@ -89,6 +92,8 @@ func (d *Dict) BuildLocateHash() {
 // locate answers Locate through the fingerprint table. Fingerprint
 // collisions are harmless: verification searches the candidate's bucket
 // for s and accepts only when the found rank is the candidate itself.
+//
+//rdf:hotpath
 func (lh *locateHash) locate(d *Dict, s string) (int, bool) {
 	h := hashString(s)
 	fp := h >> 32
@@ -159,6 +164,8 @@ func (e *Extractor) Bind(r Reader) {
 // Extract returns the term bytes for id, valid until the next call on
 // this cursor. Steady state is allocation-free: the only allocations are
 // growing the cursor's term buffer toward the longest term seen.
+//
+//rdf:hotpath
 func (e *Extractor) Extract(id int) ([]byte, bool) {
 	if e.d == nil {
 		if e.gen == nil {
@@ -216,6 +223,8 @@ func (b *batchOrder) Swap(i, j int)      { b.ord[i], b.ord[j] = b.ord[j], b.ord[
 // grown arena is returned; terms[i] slices remain valid even when the
 // arena reallocates. Out-of-range IDs leave terms[i] nil and turn the
 // result false. len(terms) must equal len(ids).
+//
+//rdf:hotpath
 func (e *Extractor) ExtractBatch(ids []int, terms [][]byte, arena []byte) ([]byte, bool) {
 	e.ord = e.ord[:0]
 	for i := range ids {

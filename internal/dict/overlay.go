@@ -41,10 +41,13 @@ func (o *Overlay) str(i int32) string { return o.added[i] }
 
 // Locate returns the ID of s, or ok=false if absent from both the base
 // and the overlay.
+//
+//rdf:hotpath
 func (o *Overlay) Locate(s string) (int, bool) {
 	if id, ok := o.base.Locate(s); ok {
 		return id, true
 	}
+	//rdf:allow(sort.Search does not retain f, so the closure stays on the stack; pinned by the escape gate)
 	i := sort.Search(len(o.byStr), func(j int) bool { return o.str(o.byStr[j]) >= s })
 	if i < len(o.byStr) && o.str(o.byStr[i]) == s {
 		return o.base.Len() + int(o.byStr[i]), true
@@ -66,6 +69,9 @@ func (o *Overlay) Extract(id int) (string, bool) {
 // ExtractAppend appends the string with the given ID to buf: base IDs
 // splice through the front-coded decoder, overlay IDs copy the added
 // string. buf is returned unchanged when the ID is out of range.
+//
+//rdf:hotpath
+//rdf:nonretaining
 func (o *Overlay) ExtractAppend(buf []byte, id int) ([]byte, bool) {
 	if id < o.base.Len() {
 		return o.base.ExtractAppend(buf, id)

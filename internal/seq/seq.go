@@ -178,6 +178,7 @@ type monotone interface {
 	NextGEQ(x uint64) (int, uint64, bool)
 }
 
+//rdf:hotpath
 func monoAt(m monotone, begin, i int) uint64 {
 	v := m.Access(i)
 	if begin > 0 {
@@ -186,6 +187,7 @@ func monoAt(m monotone, begin, i int) uint64 {
 	return v
 }
 
+//rdf:hotpath
 func monoFindGEQ(m monotone, begin, end int, x uint64) (int, uint64, bool) {
 	if begin >= end {
 		return end, 0, false
@@ -209,6 +211,7 @@ func monoFindGEQ(m monotone, begin, end int, x uint64) (int, uint64, bool) {
 	return pos, val - base, true
 }
 
+//rdf:hotpath
 func monoFind(m monotone, begin, end int, x uint64) int {
 	if begin >= end {
 		return -1
@@ -260,6 +263,7 @@ type monoIter struct {
 	haveLast bool // last == stored value at pos-1
 }
 
+//rdf:hotpath
 func (it *monoIter) Next() (uint64, bool) {
 	if it.pos >= it.end {
 		return 0, false
@@ -276,6 +280,7 @@ func (it *monoIter) Next() (uint64, bool) {
 	return v - it.base, true
 }
 
+//rdf:hotpath
 func (it *monoIter) NextBatch(buf []uint64) int {
 	k := it.end - it.pos
 	if k <= 0 || len(buf) == 0 {
@@ -302,6 +307,7 @@ func (it *monoIter) NextBatch(buf []uint64) int {
 	return n
 }
 
+//rdf:hotpath
 func (it *monoIter) NextGEQ(x uint64) (uint64, bool) {
 	if it.pos >= it.end {
 		return 0, false
@@ -480,6 +486,7 @@ type compactIter struct {
 	end int
 }
 
+//rdf:hotpath
 func (it *compactIter) Next() (uint64, bool) {
 	if it.i >= it.end {
 		return 0, false
@@ -489,6 +496,7 @@ func (it *compactIter) Next() (uint64, bool) {
 	return v, true
 }
 
+//rdf:hotpath
 func (it *compactIter) NextBatch(buf []uint64) int {
 	m := it.end - it.i
 	if m <= 0 {
@@ -502,6 +510,7 @@ func (it *compactIter) NextBatch(buf []uint64) int {
 	return m
 }
 
+//rdf:hotpath
 func (it *compactIter) NextGEQ(x uint64) (uint64, bool) {
 	lo, hi := it.i, it.end
 	for lo < hi {

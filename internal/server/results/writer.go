@@ -63,6 +63,7 @@ func Acquire(f Format, st *store.Store, w io.Writer) *Writer {
 	wr.rend = store.AcquireRenderer(st)
 	wr.err = nil
 	wr.nrows = 0
+	//rdf:allow(ownership transfers to the caller; Release returns it to the pool)
 	return wr
 }
 
@@ -181,6 +182,8 @@ const xmlHeader = `<?xml version="1.0"?>` + "\n" +
 // WriteSolution emits one solution row over the Begin variables.
 // Variables absent from b are omitted (JSON/XML) or left as empty fields
 // (CSV/TSV), per each format's specification.
+//
+//rdf:hotpath
 func (wr *Writer) WriteSolution(b map[string]core.ID) {
 	switch wr.f {
 	case JSON:
@@ -257,6 +260,8 @@ func (wr *Writer) End() {
 // appendTerm appends the format-encoded term for id, serving repeats
 // from the arena cache. Solution IDs resolve through the subject/object
 // dictionary, matching the NDJSON dialect's behavior.
+//
+//rdf:hotpath
 func (wr *Writer) appendTerm(id core.ID) {
 	if sp, ok := wr.cache[id]; ok {
 		wr.buf = append(wr.buf, wr.arena[sp.start:sp.end]...)
@@ -274,6 +279,8 @@ func (wr *Writer) appendTerm(id core.ID) {
 }
 
 // encodeTerm appends the format encoding of one raw N-Triples term.
+//
+//rdf:hotpath
 func (wr *Writer) encodeTerm(dst, raw []byte) []byte {
 	kind, body, lang, dtype := splitTerm(raw)
 	switch wr.f {
@@ -361,6 +368,8 @@ const (
 // plus the bare language tag or datatype IRI when present. Anything
 // unrecognized is treated as an IRI value verbatim, so a malformed
 // dictionary entry degrades to visible text instead of a panic.
+//
+//rdf:hotpath
 func splitTerm(raw []byte) (kind int, body, lang, dtype []byte) {
 	if len(raw) >= 2 {
 		switch raw[0] {
@@ -405,6 +414,8 @@ func splitTerm(raw []byte) (kind int, body, lang, dtype []byte) {
 // appendNTUnescape decodes the N-Triples escape set the dictionary
 // serializer emits (\\ \" \n \r \t; an unknown escape passes its byte
 // through, matching the parser).
+//
+//rdf:hotpath
 func appendNTUnescape(dst, s []byte) []byte {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -429,6 +440,8 @@ func appendNTUnescape(dst, s []byte) []byte {
 
 // appendJSONString appends s as a JSON string literal, escaping quotes,
 // backslashes and control bytes; valid UTF-8 passes through verbatim.
+//
+//rdf:hotpath
 func appendJSONString(dst, s []byte) []byte {
 	dst = append(dst, '"')
 	start := 0
@@ -461,6 +474,8 @@ func appendJSONString(dst, s []byte) []byte {
 
 // appendXMLText appends s as XML character data, escaping the markup
 // bytes.
+//
+//rdf:hotpath
 func appendXMLText(dst, s []byte) []byte {
 	for _, c := range s {
 		switch c {
@@ -482,6 +497,8 @@ func appendXMLText(dst, s []byte) []byte {
 }
 
 // appendXMLAttr appends s as the body of a double-quoted XML attribute.
+//
+//rdf:hotpath
 func appendXMLAttr(dst, s []byte) []byte {
 	for _, c := range s {
 		switch c {
@@ -506,6 +523,8 @@ func appendXMLAttr(dst, s []byte) []byte {
 
 // appendCSVField appends s as one RFC 4180 field, quoting only when the
 // content demands it (comma, quote, CR or LF).
+//
+//rdf:hotpath
 func appendCSVField(dst, s []byte) []byte {
 	need := false
 	for _, c := range s {

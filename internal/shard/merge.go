@@ -35,6 +35,8 @@ type stream struct {
 
 // advance loads the stream's next head, refilling the read-ahead block
 // when drained; it reports false when the shard iterator is exhausted.
+//
+//rdf:hotpath
 func (st *stream) advance() bool {
 	if st.pos >= st.n {
 		st.n = st.it.NextBatch(st.buf[:])
@@ -77,6 +79,7 @@ func (s *Store) selectFanOut(p core.Pattern) *core.Iterator {
 		m = &mergeState{store: s}
 	}
 	m.init(p)
+	//rdf:allow(ownership transfers to the iterator; recycle() reclaims it when the merge drains)
 	return core.NewBlockIterator(m)
 }
 
@@ -125,6 +128,8 @@ func (m *mergeState) finish(i int) {
 // beats reports whether stream a's head precedes stream b's head in the
 // merge permutation. Exhausted streams (-1 or a nil iterator) compare
 // as infinity; distinct triples guarantee no ties between live streams.
+//
+//rdf:hotpath
 func (m *mergeState) beats(a, b int) bool {
 	if a < 0 || m.streams[a].it == nil {
 		return false
@@ -173,6 +178,8 @@ func (m *mergeState) build() {
 // replay re-runs the matches on the path from stream s's leaf to the
 // root after s's head changed (advanced or exhausted), restoring the
 // tree invariant and the overall winner.
+//
+//rdf:hotpath
 func (m *mergeState) replay(s int) {
 	w := s
 	for v := (m.pad + s) / 2; v >= 1; v /= 2 {
@@ -204,6 +211,8 @@ func (m *mergeState) recycle() {
 
 // Fill implements core.BlockSource: it emits the globally next triples
 // in merge order until out is full or every stream is exhausted.
+//
+//rdf:hotpath
 func (m *mergeState) Fill(out []core.Triple) int {
 	if m.winner < 0 {
 		m.recycle()
@@ -234,6 +243,8 @@ func (m *mergeState) Fill(out []core.Triple) int {
 // its head, copy its buffered block, then let it decode straight into
 // the caller's batch. The head invariant is restored before returning
 // so the next Fill continues seamlessly.
+//
+//rdf:hotpath
 func (m *mergeState) drainSolo(w int, out []core.Triple) int {
 	st := &m.streams[w]
 	out[0] = st.head

@@ -257,6 +257,7 @@ func (s *Store) SelectCtx(p core.Pattern, qc *core.QueryCtx) *core.Iterator {
 // acquireCtx takes a query context from shard i's pool.
 func (s *Store) acquireCtx(i int) *core.QueryCtx {
 	if qc, ok := s.pools[i].Get().(*core.QueryCtx); ok {
+		//rdf:allow(ownership transfers to the caller; releaseCtx returns it to the pool)
 		return qc
 	}
 	return &core.QueryCtx{}

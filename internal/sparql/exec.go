@@ -171,6 +171,8 @@ func ExecuteWithOrderContext(ctx context.Context, q Query, st Store, order []int
 // emit is valid only for the duration of the callback and must not be
 // retained or mutated; consumers that keep solutions use the Execute
 // family instead. A nil ctx disables cancellation.
+//
+//rdf:nonretaining
 func StreamWithOrder(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
 	return executeOrdered(ctx, q, st, order, emit, true)
 }

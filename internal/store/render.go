@@ -6,6 +6,7 @@
 // after the ID-level pipeline went zero-alloc (PR 1) was exactly this
 // layer re-decoding front-coded buckets and allocating a row object per
 // result.
+
 package store
 
 import (
@@ -42,6 +43,7 @@ func AcquireRenderer(st *Store) *Renderer {
 	} else {
 		r.hasDicts = false
 	}
+	//rdf:allow(ownership transfers to the caller; Release returns it to the pool)
 	return r
 }
 
@@ -63,6 +65,8 @@ func (r *Renderer) HasDicts() bool { return r.hasDicts }
 
 // AppendTerm appends the rendered subject/object term for id to buf,
 // falling back to <id> notation exactly like Store.Render.
+//
+//rdf:hotpath
 func (r *Renderer) AppendTerm(buf []byte, id core.ID) []byte {
 	if r.hasDicts {
 		if t, ok := r.so.Extract(int(id)); ok {
@@ -73,6 +77,8 @@ func (r *Renderer) AppendTerm(buf []byte, id core.ID) []byte {
 }
 
 // AppendPredicate appends the rendered predicate term for id to buf.
+//
+//rdf:hotpath
 func (r *Renderer) AppendPredicate(buf []byte, id core.ID) []byte {
 	if r.hasDicts {
 		if t, ok := r.p.Extract(int(id)); ok {
@@ -82,6 +88,7 @@ func (r *Renderer) AppendPredicate(buf []byte, id core.ID) []byte {
 	return appendIDTerm(buf, id)
 }
 
+//rdf:hotpath
 func appendIDTerm(buf []byte, id core.ID) []byte {
 	buf = append(buf, '<')
 	buf = strconv.AppendUint(buf, uint64(id), 10)
@@ -141,6 +148,7 @@ func AcquireNDJSON(st *Store, w io.Writer) *NDJSONWriter {
 	n.rend = AcquireRenderer(st)
 	n.ints = st.Dicts == nil
 	n.err = nil
+	//rdf:allow(ownership transfers to the caller; Release returns it to the pool)
 	return n
 }
 
@@ -191,6 +199,8 @@ func (n *NDJSONWriter) Err() error { return n.err }
 
 // AppendRaw appends pre-encoded bytes (a hand-built summary line) to the
 // pending output verbatim.
+//
+//rdf:hotpath
 func (n *NDJSONWriter) AppendRaw(p []byte) {
 	n.buf = append(n.buf, p...)
 	n.maybeFlush()
@@ -208,6 +218,8 @@ func (n *NDJSONWriter) WriteError(msg string) {
 // WriteTriple emits one pattern-query result row: terms when the store
 // has dictionaries, raw IDs as JSON numbers otherwise (matching the
 // pre-writer server behavior).
+//
+//rdf:hotpath
 func (n *NDJSONWriter) WriteTriple(t core.Triple) {
 	n.buf = append(n.buf, `{"s":`...)
 	n.appendID(t.S, false)
@@ -219,6 +231,7 @@ func (n *NDJSONWriter) WriteTriple(t core.Triple) {
 	n.maybeFlush()
 }
 
+//rdf:hotpath
 func (n *NDJSONWriter) appendID(id core.ID, predicate bool) {
 	if n.ints {
 		n.buf = strconv.AppendUint(n.buf, uint64(id), 10)
@@ -229,6 +242,8 @@ func (n *NDJSONWriter) appendID(id core.ID, predicate bool) {
 
 // appendTerm appends the escaped term for id, serving repeats from the
 // arena cache.
+//
+//rdf:hotpath
 func (n *NDJSONWriter) appendTerm(id core.ID, predicate bool) {
 	cache := n.so
 	if predicate {
@@ -272,6 +287,8 @@ func (n *NDJSONWriter) SetVars(vars []string) {
 // variables absent from b are omitted. Solution terms always render as
 // strings (the <id> fallback covers integer-only stores), matching the
 // pre-writer server behavior.
+//
+//rdf:hotpath
 func (n *NDJSONWriter) WriteSolution(b map[string]core.ID) {
 	n.buf = append(n.buf, '{')
 	first := true
@@ -294,6 +311,8 @@ func (n *NDJSONWriter) WriteSolution(b map[string]core.ID) {
 
 // appendJSONString appends s as a JSON string literal, escaping quotes,
 // backslashes and control bytes; valid UTF-8 passes through verbatim.
+//
+//rdf:hotpath
 func appendJSONString(dst, s []byte) []byte {
 	dst = append(dst, '"')
 	start := 0
