@@ -8,9 +8,14 @@
 //	         [-triples 300000] [-queries 2000] [-runs 3] [-seed 1]
 //
 // With -json, rdfbench instead writes machine-readable measurements —
-// ns/triple and bits/triple per layout × pattern shape — to one
-// BENCH_<preset>.json file per requested preset, so the performance
-// trajectory can be tracked across commits:
+// ns/triple and bits/triple per layout × pattern shape, materialized
+// rows/sec per serializer, and serving-path latency percentiles
+// (p50/p95/p99 at 1, 4 and 16 goroutines) — to one BENCH_<preset>.json
+// file per requested preset, so the performance trajectory can be
+// tracked across commits. -baseline gates the run against a committed
+// report: throughputs must not fall below (1-tolerance)×baseline, and
+// p50/p99 latency must not rise past the doubled tolerance plus an
+// absolute noise floor:
 //
 //	rdfbench -json [-preset dblp,watdiv] [-out .] [-triples N] [-queries N] [-runs N]
 package main

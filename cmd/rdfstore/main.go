@@ -28,10 +28,14 @@
 // atomically. serve recovers the pending log on startup and accepts
 // writes on /v1/insert and /v1/delete.
 //
-// serve answers standard SPARQL 1.1 Protocol queries on /sparql (GET
-// ?query= or POST, results as SPARQL JSON/XML/CSV/TSV by Accept header)
-// and the deprecated private NDJSON dialect under /v1/; see
-// internal/server for the endpoint table.
+// serve answers standard SPARQL 1.1 Protocol queries on /sparql (GET,
+// HEAD or POST, ?query= with results as SPARQL JSON/XML/CSV/TSV by
+// Accept header, ?explain=1 for a JSON execution profile instead of
+// results) and the deprecated private NDJSON dialect under /v1/; see
+// internal/server for the endpoint table. Prometheus metrics are
+// exposed on /metrics, a JSON summary with latency percentiles on
+// /stats, and -slow-query DURATION samples queries over the threshold
+// to stderr as JSON lines.
 //
 // build -shards N partitions the index by subject hash into N shards
 // built in parallel; query, sparql, stats and serve auto-detect the
@@ -475,6 +479,7 @@ func serveCmd(args []string, out io.Writer) error {
 	burst := fs.Int("rate-burst", 0, "per-client token-bucket burst (0 = 2x rate)")
 	brkN := fs.Int("breaker-threshold", 5, "consecutive internal write failures that open the write circuit breaker (negative disables)")
 	brkCool := fs.Duration("breaker-cooldown", 10*time.Second, "how long the opened breaker rejects writes before probing")
+	slowQ := fs.Duration("slow-query", 0, "log queries slower than this to stderr as JSON lines (0 disables)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -487,6 +492,7 @@ func serveCmd(args []string, out io.Writer) error {
 		RateBurst:        *burst,
 		BreakerThreshold: *brkN,
 		BreakerCooldown:  *brkCool,
+		SlowQuery:        *slowQ,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/gen"
+	"rdfindexes/internal/obs"
 )
 
 // ShapeResult is one (layout, pattern shape) measurement.
@@ -44,6 +45,21 @@ type JSONReport struct {
 	// baseline exactly like the NDJSON number. Absent in reports from
 	// before the protocol endpoint existed, which Compare skips.
 	MaterializedFormatRowsPerSec map[string]float64 `json:"materialized_format_rows_per_sec,omitempty"`
+	// ServeLatency is the concurrent serving-path latency distribution,
+	// keyed by goroutine count ("1", "4", "16"): the tail percentiles of
+	// per-query latency on the shared 2Tp index, measured through the
+	// same histogram type /metrics exports. Latency gates upward (higher
+	// is worse) in Compare; absent in older reports, which skips the
+	// gate.
+	ServeLatency map[string]ServeLatencyResult `json:"serve_latency,omitempty"`
+}
+
+// ServeLatencyResult is the latency profile at one concurrency level.
+type ServeLatencyResult struct {
+	QPS   float64 `json:"qps"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
 }
 
 // MeasureJSON builds every layout over the preset's synthetic dataset
@@ -100,6 +116,28 @@ func MeasureJSON(cfg Config, preset string) (*JSONReport, error) {
 		return nil, fmt.Errorf("bench: format materialization rows %d != %d", frows, rows)
 	}
 	rep.MaterializedFormatRowsPerSec = formats
+	rep.ServeLatency = map[string]ServeLatencyResult{}
+	x2tp, err := core.Build2Tp(d)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build 2tp: %w", err)
+	}
+	serve := ParallelWorkload(d, cfg.Queries, cfg.Seed+6)
+	for _, g := range parallelGoroutineCounts {
+		h := new(obs.Histogram)
+		best := 0.0
+		for r := 0; r < cfg.Runs; r++ {
+			if qps := ThroughputLatencyAt(x2tp, serve, g, 2, h); qps > best {
+				best = qps
+			}
+		}
+		snap := h.Snapshot()
+		rep.ServeLatency[fmt.Sprintf("%d", g)] = ServeLatencyResult{
+			QPS:   best,
+			P50us: float64(snap.Quantile(0.50)) / 1e3,
+			P95us: float64(snap.Quantile(0.95)) / 1e3,
+			P99us: float64(snap.Quantile(0.99)) / 1e3,
+		}
+	}
 	return rep, nil
 }
 
@@ -139,6 +177,12 @@ func (r Regression) String() string {
 // changes are treated as timer noise: sub-nanosecond measurements
 // flicker by large ratios without meaning anything.
 const regressionNsFloor = 2.0
+
+// latencyUsFloor is the absolute serving-latency slack (µs) a
+// percentile must exceed the baseline by before the relative gate
+// applies: scheduler jitter moves fast percentiles by tens of
+// microseconds run to run.
+const latencyUsFloor = 100.0
 
 // Compare checks cur against a committed baseline and returns the
 // regressions: ns/triple worse than tolerance (a ratio, e.g. 0.25 fails
@@ -216,6 +260,35 @@ func Compare(base, cur *JSONReport, tolerance float64) []Regression {
 				Layout: "materialize/" + format, Shape: "-", Metric: "rows/sec",
 				Base: b, Current: c,
 			})
+		}
+	}
+	// Serving-path latency percentiles gate upward: a regression is
+	// exceeding the baseline by more than the doubled tolerance (tails
+	// are noisier than medians on shared CI machines) AND by more than
+	// an absolute floor — sub-100µs percentiles flicker across runs
+	// without meaning anything. Goroutine counts present in only one
+	// report are skipped.
+	for g, b := range base.ServeLatency {
+		c, ok := cur.ServeLatency[g]
+		if !ok {
+			continue
+		}
+		for _, q := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"p50 us", b.P50us, c.P50us},
+			{"p99 us", b.P99us, c.P99us},
+		} {
+			if q.base <= 0 || q.cur <= 0 {
+				continue
+			}
+			if q.cur > q.base*(1+2*tolerance) && q.cur-q.base > latencyUsFloor {
+				regs = append(regs, Regression{
+					Layout: "serve/g=" + g, Shape: "-", Metric: q.name,
+					Base: q.base, Current: q.cur,
+				})
+			}
 		}
 	}
 	return regs

@@ -173,6 +173,80 @@ func TestCompareMaterializedFormats(t *testing.T) {
 	})
 }
 
+func TestCompareServeLatency(t *testing.T) {
+	base := report(nil, nil, nil)
+	base.ServeLatency = map[string]ServeLatencyResult{
+		"1":  {QPS: 100000, P50us: 50, P95us: 200, P99us: 400},
+		"16": {QPS: 800000, P50us: 80, P95us: 500, P99us: 900},
+	}
+
+	t.Run("equal or faster passes", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.ServeLatency = map[string]ServeLatencyResult{
+			"1":  {QPS: 110000, P50us: 45, P95us: 180, P99us: 390},
+			"16": {QPS: 800000, P50us: 80, P95us: 500, P99us: 900},
+		}
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("non-regressing latency gated: %v", regs)
+		}
+	})
+	t.Run("p99 regression fails", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.ServeLatency = map[string]ServeLatencyResult{
+			"1":  {QPS: 100000, P50us: 50, P95us: 200, P99us: 400},
+			"16": {QPS: 400000, P50us: 80, P95us: 500, P99us: 2000},
+		}
+		regs := Compare(base, cur, 0.25)
+		if len(regs) != 1 || regs[0].Layout != "serve/g=16" || regs[0].Metric != "p99 us" {
+			t.Fatalf("expected one p99 regression at g=16, got %v", regs)
+		}
+	})
+	t.Run("relative slip under absolute floor passes", func(t *testing.T) {
+		// 50 -> 120µs is 2.4× the baseline but only +70µs: tail noise on
+		// a shared machine, not a regression.
+		cur := report(nil, nil, nil)
+		cur.ServeLatency = map[string]ServeLatencyResult{
+			"1":  {QPS: 100000, P50us: 120, P95us: 200, P99us: 400},
+			"16": {QPS: 800000, P50us: 80, P95us: 500, P99us: 950},
+		}
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("sub-floor latency slip gated: %v", regs)
+		}
+	})
+	t.Run("missing baseline skips", func(t *testing.T) {
+		cur := report(nil, nil, nil)
+		cur.ServeLatency = map[string]ServeLatencyResult{
+			"4": {QPS: 100, P50us: 99999, P95us: 99999, P99us: 99999},
+		}
+		if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+			t.Fatalf("asymmetric latency maps gated: %v", regs)
+		}
+	})
+	t.Run("absent from both skips", func(t *testing.T) {
+		if regs := Compare(report(nil, nil, nil), report(nil, nil, nil), 0.25); len(regs) != 0 {
+			t.Fatalf("absent latency gated: %v", regs)
+		}
+	})
+}
+
+func TestServeLatencyMeasured(t *testing.T) {
+	rep, err := MeasureJSON(Config{Triples: 4000, Queries: 40, Runs: 1, Seed: 1}, "dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ServeLatency) != len(parallelGoroutineCounts) {
+		t.Fatalf("serve latency has %d levels, want %d", len(rep.ServeLatency), len(parallelGoroutineCounts))
+	}
+	for g, r := range rep.ServeLatency {
+		if r.QPS <= 0 {
+			t.Errorf("g=%s: qps %v", g, r.QPS)
+		}
+		if r.P50us <= 0 || r.P95us < r.P50us || r.P99us < r.P95us {
+			t.Errorf("g=%s: percentiles not ordered: %+v", g, r)
+		}
+	}
+}
+
 func TestDictMaterializationExperiment(t *testing.T) {
 	tables, err := DictMaterialization(Config{Triples: 6000, Queries: 50, Runs: 1, Seed: 1})
 	if err != nil {

@@ -16,6 +16,7 @@ type lruCache[V any] struct {
 	ll           *list.List // front = most recently used
 	m            map[string]*list.Element
 	hits, misses uint64
+	flushes      uint64 // Clear calls: one per changing write (generation bump)
 }
 
 type lruEntry[V any] struct {
@@ -75,6 +76,7 @@ func (c *lruCache[V]) Clear() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.m)
+	c.flushes++
 }
 
 // Len returns the number of cached entries.
@@ -95,4 +97,15 @@ func (c *lruCache[V]) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Flushes returns the number of Clear calls — per-generation flushes
+// under write invalidation.
+func (c *lruCache[V]) Flushes() uint64 {
+	if c == nil || c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushes
 }

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"rdfindexes/internal/obs"
+)
+
+// initMetrics builds the server's metric registry: request/rejection
+// counters (the same *obs.Counter values the handlers increment — one
+// write, two surfaces), latency histograms for the whole request and
+// for each pipeline stage, callback-read cache and slow-query counters
+// (maintained by the caches and the slow log themselves, so exposition
+// cannot double-count), and runtime/store gauges evaluated at scrape
+// time. Registration allocates; everything the request path touches
+// afterwards is lock-free.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	const reqName = "rdf_requests_total"
+	const reqHelp = "Requests accepted per endpoint"
+	s.protocols = r.Counter(reqName, `endpoint="sparql"`, reqHelp)
+	s.queries = r.Counter(reqName, `endpoint="query"`, reqHelp)
+	s.sparqls = r.Counter(reqName, `endpoint="ndjson"`, reqHelp)
+	s.inserts = r.Counter(reqName, `endpoint="insert"`, reqHelp)
+	s.deletes = r.Counter(reqName, `endpoint="delete"`, reqHelp)
+
+	const rejName = "rdf_rejected_total"
+	const rejHelp = "Rejected requests by cause"
+	s.rejectedBusy = r.Counter(rejName, `cause="busy"`, rejHelp)
+	s.rejectedRate = r.Counter(rejName, `cause="rate_limited"`, rejHelp)
+	s.rejectedBrk = r.Counter(rejName, `cause="breaker_open"`, rejHelp)
+
+	s.panics = r.Counter("rdf_panics_total", "", "Handler panics converted to 500s")
+	s.failed = r.Counter("rdf_failed_total", "", "Requests ending in an error")
+
+	s.reqHist = r.Histogram("rdf_request_duration_seconds", "",
+		"End-to-end latency of protocol endpoint requests")
+	for st := 0; st < obs.NumStages; st++ {
+		s.stageHist[st] = r.Histogram("rdf_stage_duration_seconds",
+			`stage="`+obs.Stage(st).String()+`"`,
+			"Per-stage latency of protocol endpoint requests")
+	}
+
+	const cacheName = "rdf_cache_events_total"
+	const cacheHelp = "Cache hits, misses and generation flushes per cache"
+	r.CounterFunc(cacheName, `cache="result",event="hit"`, cacheHelp,
+		func() uint64 { h, _ := s.results.Counters(); return h })
+	r.CounterFunc(cacheName, `cache="result",event="miss"`, cacheHelp,
+		func() uint64 { _, m := s.results.Counters(); return m })
+	r.CounterFunc(cacheName, `cache="result",event="flush"`, cacheHelp, s.results.Flushes)
+	r.CounterFunc(cacheName, `cache="plan",event="hit"`, cacheHelp,
+		func() uint64 { h, _ := s.plans.Counters(); return h })
+	r.CounterFunc(cacheName, `cache="plan",event="miss"`, cacheHelp,
+		func() uint64 { _, m := s.plans.Counters(); return m })
+	r.CounterFunc(cacheName, `cache="plan",event="flush"`, cacheHelp, s.plans.Flushes)
+
+	const slowName = "rdf_slow_queries_total"
+	const slowHelp = "Queries over the slow-query threshold, by log outcome"
+	r.CounterFunc(slowName, `outcome="logged"`, slowHelp, s.slow.Logged)
+	r.CounterFunc(slowName, `outcome="suppressed"`, slowHelp, s.slow.Suppressed)
+
+	r.GaugeFunc("rdf_goroutines", "", "Live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("rdf_heap_inuse_bytes", "", "Bytes in in-use heap spans",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	r.GaugeFunc("rdf_in_flight_requests", "", "Requests currently holding a worker slot",
+		func() float64 { return float64(len(s.sem)) })
+	r.GaugeFunc("rdf_store_generation", "", "Write generation of the serving view",
+		func() float64 { _, gen := s.view(); return float64(gen) })
+	r.GaugeFunc("rdf_store_triples", "", "Triples in the serving view",
+		func() float64 { st, _ := s.view(); return float64(st.Index.NumTriples()) })
+	r.GaugeFunc("rdf_quarantined_shards", "", "Shard sections excluded by a degraded open",
+		func() float64 { st, _ := s.view(); return float64(len(st.Integrity.Quarantined)) })
+	r.GaugeFunc("rdf_wal_bytes", "", "Size of the write-ahead log (0 on read-only stores)",
+		func() float64 {
+			if s.mut == nil {
+				return 0
+			}
+			return float64(s.mut.WALBytes())
+		})
+	r.GaugeFunc("rdf_breaker_open", "", "1 while the write-path circuit breaker is open",
+		func() float64 {
+			if s.brk != nil && s.brk.open(s.now()) {
+				return 1
+			}
+			return 0
+		})
+}
+
+// observeRequest records one finished protocol request into the
+// end-to-end and per-stage latency histograms. Stages a request never
+// entered (zero duration) are skipped so their histograms describe only
+// requests that actually exercised them.
+func (s *Server) observeRequest(tr *obs.Trace, total time.Duration) {
+	s.reqHist.Observe(total)
+	for i := range s.stageHist {
+		if d := tr.Stages[i]; d > 0 {
+			s.stageHist[i].Observe(d)
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition. Like /stats it
+// bypasses the worker pool and the rate limiter: a scrape reads atomics
+// and runtime stats, never the index, and throttling it would blind the
+// monitoring that explains the throttling.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.reg.WritePrometheus(w)
+}

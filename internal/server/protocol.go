@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rdfindexes/internal/core"
+	"rdfindexes/internal/obs"
 	"rdfindexes/internal/server/results"
 	"rdfindexes/internal/sparql"
 )
@@ -96,7 +98,7 @@ func etagMatch(header, etag string) bool {
 // status.
 func protocolQuery(r *http.Request) (string, int, error) {
 	switch r.Method {
-	case http.MethodGet:
+	case http.MethodGet, http.MethodHead:
 		if qs := r.URL.Query().Get("query"); qs != "" {
 			return qs, 0, nil
 		}
@@ -130,17 +132,72 @@ func protocolQuery(r *http.Request) (string, int, error) {
 				fmt.Errorf("unsupported request media type %q (use %s or a form)", ct, sparqlQueryType)
 		}
 	default:
-		return "", http.StatusMethodNotAllowed, errors.New("protocol queries use GET or POST")
+		return "", http.StatusMethodNotAllowed, errors.New("protocol queries use GET, HEAD or POST")
 	}
 }
 
-// handleProtocol serves one SPARQL protocol query.
+// timedWriter accumulates the wall time spent in downstream Write
+// calls. Placed between the capture tee and the compression/client
+// side, it prices the render stage — buffered flushes, gzip and client
+// I/O — at two clock reads per flushed batch (the serializers flush in
+// multi-KiB chunks), never per row.
+type timedWriter struct {
+	w io.Writer
+	d time.Duration
+}
+
+func (t *timedWriter) Write(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.w.Write(p)
+	t.d += time.Since(start)
+	return n, err
+}
+
+// serverTiming renders the pre-stream Server-Timing header: the stages
+// that completed before the first body byte, plus the result-cache
+// verdict. The exec/render/total entries arrive in an HTTP trailer
+// (chunked responses only) because they are unknowable up front.
+func serverTiming(tr *obs.Trace, cache string) string {
+	return fmt.Sprintf("cache;desc=%q, queue;dur=%.3f, parse;dur=%.3f, plan;dur=%.3f",
+		cache,
+		float64(tr.Stages[obs.StageQueue])/1e6,
+		float64(tr.Stages[obs.StageParse])/1e6,
+		float64(tr.Stages[obs.StagePlan])/1e6)
+}
+
+// notModified reports whether the request's conditional headers prove
+// the client's copy current: If-None-Match against the generation ETag
+// (which takes precedence per RFC 9110), else If-Modified-Since
+// against the view's publication time at whole-second granularity.
+func notModified(r *http.Request, etag string, modified time.Time) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		return etagMatch(inm, etag)
+	}
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" && !modified.IsZero() {
+		if t, err := http.ParseTime(ims); err == nil {
+			return !modified.Truncate(time.Second).After(t)
+		}
+	}
+	return false
+}
+
+// handleProtocol serves one SPARQL protocol query. Beyond the
+// protocol's three request forms it answers HEAD with validators only,
+// honors If-None-Match/If-Modified-Since, and accepts two extensions:
+// ?limit= (row cap) and ?explain=1 (the plan and per-operator
+// cardinalities as JSON instead of results; see explain.go). Every
+// request carries a stage trace whose timings feed the latency
+// histograms, a Server-Timing header/trailer pair and — past the
+// configured threshold — the slow-query log.
 func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	s.protocols.Add(1)
+	tr := obs.AcquireTrace()
+	defer tr.Release()
 	qs, status, err := protocolQuery(r)
 	if err != nil {
 		if status == http.StatusMethodNotAllowed {
-			w.Header().Set("Allow", "GET, POST")
+			w.Header().Set("Allow", "GET, HEAD, POST")
 		}
 		s.failed.Add(1)
 		httpError(w, status, err)
@@ -159,6 +216,7 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	explain := r.URL.Query().Get("explain") == "1"
 
 	st, gen := s.view()
 	// The representation is fully determined by (write generation,
@@ -166,16 +224,27 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 	// deterministic over it. That makes the pair a sound strong
 	// validator — a matching If-None-Match revalidates without parsing,
 	// planning or touching the index, which is the entire point of
-	// keying revalidation on the RCU generation.
+	// keying revalidation on the RCU generation. Last-Modified carries
+	// the view's publication time (the store file's mtime when
+	// read-only) as the weaker fallback validator for clients that only
+	// speak If-Modified-Since. An explain response is volatile
+	// (timings), so it neither carries the validators nor honors the
+	// conditionals.
 	h := w.Header()
-	etag := `"g` + strconv.FormatUint(gen, 10) + `-` + f.String() + `"`
-	h.Set("ETag", etag)
-	h.Set("Vary", "Accept, Accept-Encoding")
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
-		w.WriteHeader(http.StatusNotModified)
-		return
+	if !st.Modified.IsZero() {
+		h.Set("Last-Modified", st.Modified.UTC().Format(http.TimeFormat))
+	}
+	if !explain {
+		etag := `"g` + strconv.FormatUint(gen, 10) + `-` + f.String() + `"`
+		h.Set("ETag", etag)
+		h.Set("Vary", "Accept, Accept-Encoding")
+		if notModified(r, etag, st.Modified) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 	}
 
+	pt := time.Now()
 	translated, err := st.TranslateQuery(qs)
 	if err != nil {
 		s.failed.Add(1)
@@ -188,6 +257,16 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	tr.AddStage(obs.StageParse, time.Since(pt))
+
+	if r.Method == http.MethodHead {
+		// The validators and negotiated type above are everything a HEAD
+		// asks for; execution is skipped (the body would be thrown away).
+		h.Set("Content-Type", f.ContentType())
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+
 	// norm matches the NDJSON dialect's plan-cache key on purpose: both
 	// endpoints evaluate the same BGP, so they share cached orders. The
 	// result-cache key adds the format — the cached bytes are the
@@ -195,11 +274,16 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 	norm := fmt.Sprintf("g%d|%s", gen, q.String())
 	key := "p|" + f.String() + "|" + norm + "|" + strconv.Itoa(limit)
 	gz := wantsGzip(r.Header.Get("Accept-Encoding"))
-	if body, ok := s.results.Get(key); ok {
-		serveProtocolCached(w, f, body, gz)
-		return
+	if !explain {
+		if body, ok := s.results.Get(key); ok {
+			h.Set("Server-Timing", serverTiming(tr, "hit"))
+			serveProtocolCached(w, f, body, gz)
+			s.observeRequest(tr, time.Since(t0))
+			return
+		}
 	}
 
+	qt := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
@@ -207,30 +291,43 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	tr.AddStage(obs.StageQueue, time.Since(qt))
 
+	plt := time.Now()
 	order, planCached := s.plans.Get(norm)
 	if !planCached {
 		order = sparql.Plan(q)
 		s.plans.Put(norm, order)
 	}
+	tr.AddStage(obs.StagePlan, time.Since(plt))
 
 	qc := core.AcquireQueryCtx()
 	defer qc.Release()
 
-	// The write path is serializer -> capture -> gzip -> client: the
-	// capture tees the uncompressed serialization (so a cache entry
-	// serves later clients with or without gzip), and compression
-	// happens once, downstream of it.
+	if explain {
+		s.serveExplain(ctx, w, st, gen, qs, q, order, planCached, limit, qc, tr, t0)
+		return
+	}
+
+	// The write path is serializer -> capture -> timer -> gzip ->
+	// client: the capture tees the uncompressed serialization (so a
+	// cache entry serves later clients with or without gzip), and
+	// everything downstream of the tee — gzip compression and client
+	// I/O — is what the timer prices as the render stage.
 	cw := &capture{w: w, max: s.cfg.CacheMaxBytes}
 	h.Set("Content-Type", f.ContentType())
 	h.Set("X-Cache", "miss")
+	h.Set("Server-Timing", serverTiming(tr, "miss"))
 	var zw *gzip.Writer
+	out := io.Writer(w)
 	if gz {
 		h.Set("Content-Encoding", "gzip")
 		zw = gzipPool.Get().(*gzip.Writer)
 		zw.Reset(w)
-		cw.w = zw
+		out = zw
 	}
+	tw := &timedWriter{w: out}
+	cw.w = tw
 
 	wr := results.Acquire(f, st, cw)
 	defer wr.Release()
@@ -238,8 +335,9 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 
 	execCtx, stop := context.WithCancel(ctx)
 	defer stop()
+	et := time.Now()
 	rows, truncated := 0, false
-	_, err = sparql.StreamWithOrder(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, func(b sparql.Bindings) {
+	_, err = sparql.StreamTraced(execCtx, q, ctxStore{x: st.Index, qc: qc}, order, tr, func(b sparql.Bindings) {
 		if limit >= 0 && rows >= limit {
 			if !truncated {
 				truncated = true
@@ -250,6 +348,12 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		wr.WriteSolution(b)
 		rows++
 	})
+	// Execution and serialization interleave on the streaming path; the
+	// writer-side timer separates them: exec is the stream wall time
+	// minus whatever of it was spent pushing bytes downstream.
+	streamWall := time.Since(et)
+	renderDuringStream := tw.d
+	errMsg := ""
 	if err != nil && !truncated {
 		// The status line and head are already on the wire, so a
 		// mid-stream failure cannot become an error response; ending the
@@ -257,6 +361,7 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		// detects, and poisoning the capture keeps it out of the cache.
 		cw.poisoned = true
 		s.failed.Add(1)
+		errMsg = err.Error()
 	} else {
 		wr.End()
 	}
@@ -269,9 +374,24 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 		zw.Close()
 		gzipPool.Put(zw)
 	}
+	exec := streamWall - renderDuringStream
+	if exec < 0 {
+		exec = 0
+	}
+	tr.AddStage(obs.StageExec, exec)
+	tr.AddStage(obs.StageRender, tw.d)
 	if body, ok := cw.cacheable(); ok {
 		s.results.Put(key, body)
 	}
+	total := time.Since(t0)
+	// The post-stream stages travel as a trailer — best effort: they
+	// reach clients on chunked responses that read trailers, and cost
+	// nothing otherwise.
+	h.Set(http.TrailerPrefix+"Server-Timing", fmt.Sprintf(
+		"exec;dur=%.3f, render;dur=%.3f, total;dur=%.3f",
+		float64(exec)/1e6, float64(tw.d)/1e6, float64(total)/1e6))
+	s.observeRequest(tr, total)
+	s.slow.Record("sparql", qs, gen, rows, truncated, errMsg, total, tr)
 }
 
 // serveProtocolCached answers from a cached uncompressed serialization,

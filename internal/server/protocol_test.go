@@ -189,7 +189,7 @@ func TestProtocolRequestForms(t *testing.T) {
 	t.Run("method", func(t *testing.T) {
 		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/sparql", nil)
 		resp, body := do(t, req)
-		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, POST" {
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, HEAD, POST" {
 			t.Fatalf("status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
 		}
 		errorShape(t, resp, body)

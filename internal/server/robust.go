@@ -188,7 +188,6 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if ok, retry := s.limiter.allow(clientKey(r), s.now()); !ok {
-			s.rejected.Add(1)
 			s.rejectedRate.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			httpError(w, http.StatusTooManyRequests, errRateLimited)

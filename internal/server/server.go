@@ -19,6 +19,7 @@
 //	POST /v1/insert?s=&p=&o=       add one triple (mutable stores)
 //	POST /v1/delete?s=&p=&o=       remove one triple (mutable stores)
 //	GET  /stats                    store + server statistics as JSON
+//	GET  /metrics                  Prometheus text-format metrics
 //	GET  /healthz                  liveness probe
 //	GET  /debug/pprof/*            runtime profiles (only with Options.Pprof)
 //
@@ -45,15 +46,21 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"rdfindexes/internal/core"
+	"rdfindexes/internal/obs"
 	"rdfindexes/internal/sparql"
 	"rdfindexes/internal/store"
 )
+
+// slowLogMinGap is the slow-query log's sampling gap: at most one entry
+// per second, so an overload that makes every query slow degrades to a
+// heartbeat instead of amplifying itself with logging I/O.
+const slowLogMinGap = time.Second
 
 // Options tunes the server; zero fields take the documented defaults.
 // It is the one public configuration surface: construction goes through
@@ -100,6 +107,15 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before letting
 	// one probe write through (default 10s).
 	BreakerCooldown time.Duration
+	// SlowQuery is the slow-query log threshold: protocol queries whose
+	// end-to-end time crosses it are written as structured JSON lines to
+	// SlowQueryLog, sampled to at most one entry per second (suppressed
+	// entries are counted in /metrics and /stats). 0 disables the log
+	// (default).
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query entries (default os.Stderr
+	// when SlowQuery is set). Writes are serialized internally.
+	SlowQueryLog io.Writer
 }
 
 // Config is the former name of Options.
@@ -130,6 +146,8 @@ func (c Options) Validate() error {
 		return fmt.Errorf("options: RateBurst %d is negative", c.RateBurst)
 	case c.BreakerCooldown < 0:
 		return fmt.Errorf("options: BreakerCooldown %v is negative", c.BreakerCooldown)
+	case c.SlowQuery < 0:
+		return fmt.Errorf("options: SlowQuery %v is negative", c.SlowQuery)
 	}
 	return nil
 }
@@ -156,6 +174,9 @@ func (c Options) withDefaults() Options {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Second
 	}
+	if c.SlowQuery > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	return c
 }
 
@@ -177,18 +198,31 @@ type Server struct {
 	brk     *breaker     // nil when the breaker is disabled
 	now     func() time.Time
 
-	start        time.Time
-	queries      atomic.Uint64 // pattern queries accepted
-	sparqls      atomic.Uint64 // BGP queries accepted (NDJSON dialect)
-	protocols    atomic.Uint64 // SPARQL protocol queries accepted
-	inserts      atomic.Uint64 // /insert requests accepted
-	deletes      atomic.Uint64 // /delete requests accepted
-	rejected     atomic.Uint64 // all rejections (the three causes below)
-	rejectedBusy atomic.Uint64 // 503s: pool saturated past deadline
-	rejectedRate atomic.Uint64 // 429s: client over its rate limit
-	rejectedBrk  atomic.Uint64 // 503s: write-path circuit breaker open
-	panics       atomic.Uint64 // handler panics converted to 500s
-	failed       atomic.Uint64 // requests ending in an error
+	start time.Time
+
+	// The request counters live in the metric registry (initMetrics) and
+	// are incremented through these handles: one atomic write feeds
+	// /metrics, /stats and the tests alike. The total rejection count is
+	// derived as the sum of its three causes at read time.
+	reg          *obs.Registry
+	queries      *obs.Counter // pattern queries accepted (NDJSON dialect)
+	sparqls      *obs.Counter // BGP queries accepted (NDJSON dialect)
+	protocols    *obs.Counter // SPARQL protocol queries accepted
+	inserts      *obs.Counter // /insert requests accepted
+	deletes      *obs.Counter // /delete requests accepted
+	rejectedBusy *obs.Counter // 503s: pool saturated past deadline
+	rejectedRate *obs.Counter // 429s: client over its rate limit
+	rejectedBrk  *obs.Counter // 503s: write-path circuit breaker open
+	panics       *obs.Counter // handler panics converted to 500s
+	failed       *obs.Counter // requests ending in an error
+
+	// reqHist observes end-to-end protocol request latency; stageHist
+	// breaks the same requests down by pipeline stage. slow is the
+	// sampled slow-query log (disabled unless Options.SlowQuery is set —
+	// a nil *obs.SlowLog swallows Record calls).
+	reqHist   *obs.Histogram
+	stageHist [obs.NumStages]*obs.Histogram
+	slow      *obs.SlowLog
 }
 
 // New builds a read-only server over a loaded store.
@@ -223,6 +257,10 @@ func newServer(cfg Options) *Server {
 	if cfg.BreakerThreshold > 0 {
 		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
+	if cfg.SlowQuery > 0 {
+		s.slow = obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQuery, slowLogMinGap)
+	}
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	// The root /sparql is the standards-compliant SPARQL 1.1 Protocol
 	// endpoint. The private NDJSON dialect lives under /v1/ (and its
@@ -236,9 +274,11 @@ func newServer(cfg Options) *Server {
 	s.mux.HandleFunc("/query", s.deprecated(s.limited(s.handleQuery)))
 	s.mux.HandleFunc("/insert", s.deprecated(s.limited(s.handleInsert)))
 	s.mux.HandleFunc("/delete", s.deprecated(s.limited(s.handleDelete)))
-	// The probes (/stats, /healthz) stay unlimited: rate-limiting them
-	// would blind the monitoring that explains the 429s.
+	// The probes (/stats, /metrics, /healthz) stay unlimited:
+	// rate-limiting them would blind the monitoring that explains the
+	// 429s.
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.Pprof {
 		// Registered on the server's own mux (net/http/pprof's side
@@ -301,7 +341,6 @@ var errBreakerOpen = errors.New("write path unavailable: repeated internal write
 // Retry-After — capacity frees on the order of a query duration, so an
 // immediate retry would just queue again.
 func (s *Server) rejectBusy(w http.ResponseWriter) {
-	s.rejected.Add(1)
 	s.rejectedBusy.Add(1)
 	w.Header().Set("Retry-After", "1")
 	httpError(w, http.StatusServiceUnavailable, errBusy)
@@ -641,7 +680,6 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 	// spending a worker slot on a write that will hit the same fault.
 	if s.brk != nil {
 		if ok, retry := s.brk.allow(s.now()); !ok {
-			s.rejected.Add(1)
 			s.rejectedBrk.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			httpError(w, http.StatusServiceUnavailable, errBreakerOpen)
@@ -756,7 +794,25 @@ type Stats struct {
 	CacheEntries        int    `json:"cache_entries"`
 	CacheHits           uint64 `json:"cache_hits"`
 	CacheMisses         uint64 `json:"cache_misses"`
-	PlanEntries         int    `json:"plan_entries"`
+	// CacheFlushes counts whole-cache invalidations — one per changing
+	// write (generation bump) — for the result cache; PlanFlushes for
+	// the plan cache.
+	CacheFlushes uint64 `json:"cache_flushes"`
+	PlanEntries  int    `json:"plan_entries"`
+	PlanHits     uint64 `json:"plan_cache_hits"`
+	PlanMisses   uint64 `json:"plan_cache_misses"`
+	PlanFlushes  uint64 `json:"plan_cache_flushes"`
+	// SlowQueries and SlowSuppressed count slow-query log entries
+	// written and entries the sampler dropped; both stay 0 with the log
+	// disabled. WALBytes is the write-ahead log's current size.
+	SlowQueries    uint64 `json:"slow_queries"`
+	SlowSuppressed uint64 `json:"slow_queries_suppressed"`
+	WALBytes       int64  `json:"wal_bytes"`
+	// RequestP50Ms/P95/P99 are latency percentiles of the protocol
+	// endpoint, from the same histogram /metrics exposes.
+	RequestP50Ms float64 `json:"request_p50_ms"`
+	RequestP95Ms float64 `json:"request_p95_ms"`
+	RequestP99Ms float64 `json:"request_p99_ms"`
 	// FormatVersion and Verified describe the container the serving view
 	// came from: version 2 carries per-section checksums verified at
 	// open; legacy version-1 files load unverified. QuarantinedShards
@@ -771,6 +827,8 @@ type Stats struct {
 // Snapshot returns the current statistics.
 func (s *Server) Snapshot() Stats {
 	hits, misses := s.results.Counters()
+	planHits, planMisses := s.plans.Counters()
+	lat := s.reqHist.Snapshot()
 	st, gen := s.view()
 	stats := Stats{
 		Layout:              st.Index.Layout().String(),
@@ -787,7 +845,6 @@ func (s *Server) Snapshot() Stats {
 		ProtocolQueries:     s.protocols.Load(),
 		Inserts:             s.inserts.Load(),
 		Deletes:             s.deletes.Load(),
-		Rejected:            s.rejected.Load(),
 		RejectedBusy:        s.rejectedBusy.Load(),
 		RejectedRateLimited: s.rejectedRate.Load(),
 		RejectedBreakerOpen: s.rejectedBrk.Load(),
@@ -796,18 +853,29 @@ func (s *Server) Snapshot() Stats {
 		CacheEntries:        s.results.Len(),
 		CacheHits:           hits,
 		CacheMisses:         misses,
+		CacheFlushes:        s.results.Flushes(),
 		PlanEntries:         s.plans.Len(),
+		PlanHits:            planHits,
+		PlanMisses:          planMisses,
+		PlanFlushes:         s.plans.Flushes(),
+		SlowQueries:         s.slow.Logged(),
+		SlowSuppressed:      s.slow.Suppressed(),
+		RequestP50Ms:        float64(lat.Quantile(0.50)) / 1e6,
+		RequestP95Ms:        float64(lat.Quantile(0.95)) / 1e6,
+		RequestP99Ms:        float64(lat.Quantile(0.99)) / 1e6,
 		FormatVersion:       st.Integrity.Version,
 		Verified:            st.Integrity.Verified,
 		QuarantinedShards:   st.Integrity.Quarantined,
 		Degraded:            len(st.Integrity.Quarantined) > 0,
 	}
+	stats.Rejected = stats.RejectedBusy + stats.RejectedRateLimited + stats.RejectedBreakerOpen
 	if s.brk != nil {
 		stats.BreakerOpen = s.brk.open(s.now())
 	}
 	if s.mut != nil {
 		stats.Mutable = true
 		stats.Merges = s.mut.Merges()
+		stats.WALBytes = s.mut.WALBytes()
 		if dyn, ok := st.Index.(*core.DynamicSnapshot); ok {
 			stats.LogSize = dyn.LogSize()
 		}

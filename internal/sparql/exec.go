@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"rdfindexes/internal/core"
+	"rdfindexes/internal/obs"
 )
 
 // Store is the index capability the executor needs; all index layouts in
@@ -148,7 +149,7 @@ func countUpTo(st Store, p core.Pattern, limit int) int {
 
 // ExecuteWithOrder runs the query with an explicit evaluation order.
 func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(nil, q, st, order, emit, false)
+	return executeOrdered(nil, q, st, order, nil, emit, false)
 }
 
 // ExecuteContext runs the query like Execute but aborts with ctx.Err()
@@ -157,12 +158,12 @@ func ExecuteWithOrder(q Query, st Store, order []int, emit func(Bindings)) (Exec
 // triples), not per triple, so the hot loops stay branch-cheap; a runaway
 // query therefore overshoots its deadline by at most one stride.
 func ExecuteContext(ctx context.Context, q Query, st Store, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(ctx, q, st, Plan(q), emit, false)
+	return executeOrdered(ctx, q, st, Plan(q), nil, emit, false)
 }
 
 // ExecuteWithOrderContext is ExecuteWithOrder with cancellation.
 func ExecuteWithOrderContext(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(ctx, q, st, order, emit, false)
+	return executeOrdered(ctx, q, st, order, nil, emit, false)
 }
 
 // StreamWithOrder is ExecuteWithOrderContext for streaming consumers:
@@ -174,7 +175,21 @@ func ExecuteWithOrderContext(ctx context.Context, q Query, st Store, order []int
 //
 //rdf:nonretaining
 func StreamWithOrder(ctx context.Context, q Query, st Store, order []int, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(ctx, q, st, order, emit, true)
+	return executeOrdered(ctx, q, st, order, nil, emit, true)
+}
+
+// StreamTraced is StreamWithOrder with per-pattern cardinality
+// recording: execution step i (plan position) of the order records into
+// tr's step i — its pattern index, candidates scanned and candidates
+// matched, with Gallop set for steps resolved inside a
+// merge-intersection. The recorders are nil-safe no-ops unless the
+// caller armed tr with EnableSteps, so the untraced cost is one
+// predictable branch per candidate. The emit contract is
+// StreamWithOrder's.
+//
+//rdf:nonretaining
+func StreamTraced(ctx context.Context, q Query, st Store, order []int, tr *obs.Trace, emit func(Bindings)) (ExecStats, error) {
+	return executeOrdered(ctx, q, st, order, tr, emit, true)
 }
 
 // cancelStride is the number of candidate triples examined between two
@@ -249,7 +264,7 @@ func Plan(q Query) []int {
 // the planned order and invokes emit for every solution. It returns the
 // execution statistics.
 func Execute(q Query, st Store, emit func(Bindings)) (ExecStats, error) {
-	return executeOrdered(nil, q, st, Plan(q), emit, false)
+	return executeOrdered(nil, q, st, Plan(q), nil, emit, false)
 }
 
 // singleFreeVar reports the variable of tp that is still unbound under
@@ -300,7 +315,7 @@ func bindTerm(b Bindings, term Term, id core.ID, nv *[3]string, nvn *int) bool {
 // natively (core.VarSelecter), skipping over non-joining candidates with
 // NextGEQ instead of enumerating them. With reuseEmit, one output map is
 // cleared and refilled per solution instead of allocated fresh.
-func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit func(Bindings), reuseEmit bool) (ExecStats, error) {
+func executeOrdered(ctx context.Context, q Query, st Store, order []int, tr *obs.Trace, emit func(Bindings), reuseEmit bool) (ExecStats, error) {
 	var stats ExecStats
 	bindings := Bindings{}
 	out := Bindings{}
@@ -347,7 +362,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 					group = append(group, substitute(tp2, bindings))
 				}
 				if len(group) >= 2 {
-					if done, err := execGallop(vs, group, v, bindings, &stats, cancel, func() error {
+					if done, err := execGallop(vs, group, v, bindings, &stats, cancel, tr, step, order, func() error {
 						return rec(step + len(group))
 					}); done {
 						return err
@@ -356,6 +371,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 			}
 		}
 		stats.PatternsIssued++
+		tr.StepIssued(step, order[step], false)
 		it := st.Select(pat)
 		nv := &newVars[step]
 		for {
@@ -364,6 +380,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 				return nil
 			}
 			stats.TriplesMatched++
+			tr.StepScanned(step)
 			if err := cancel.check(); err != nil {
 				return err
 			}
@@ -372,6 +389,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 				bindTerm(bindings, tp.P, t.P, nv, &nvn) &&
 				bindTerm(bindings, tp.O, t.O, nv, &nvn)
 			if okBind {
+				tr.StepMatched(step)
 				if err := rec(step + 1); err != nil {
 					return err
 				}
@@ -392,7 +410,7 @@ func executeOrdered(ctx context.Context, q Query, st Store, order []int, emit fu
 // every common value with v bound. done is false when the store cannot
 // serve one of the streams (the caller falls back to nested iteration).
 func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
-	bindings Bindings, stats *ExecStats, cancel *canceller, found func() error) (done bool, err error) {
+	bindings Bindings, stats *ExecStats, cancel *canceller, tr *obs.Trace, step int, order []int, found func() error) (done bool, err error) {
 	its := make([]*core.VarIter, len(group))
 	for i, p := range group {
 		it, ok := vs.SelectVarSorted(p)
@@ -402,6 +420,11 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 		its[i] = it
 	}
 	stats.PatternsIssued += len(group)
+	if tr != nil {
+		for i := range group {
+			tr.StepIssued(step+i, order[step+i], true)
+		}
+	}
 	// Leapfrog: keep one candidate per stream; advance every stream below
 	// the maximum with a NextGEQ skip, and report when all candidates
 	// agree. Values are distinct within a stream, so each agreement is
@@ -409,6 +432,7 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 	cand := make([]core.ID, len(its))
 	for i, it := range its {
 		c, ok := it.Next()
+		tr.StepScanned(step + i)
 		if !ok {
 			return true, nil
 		}
@@ -428,6 +452,7 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 		for i, it := range its {
 			if cand[i] < maxv {
 				c, ok := it.NextGEQ(maxv)
+				tr.StepScanned(step + i)
 				if !ok {
 					return true, nil
 				}
@@ -441,6 +466,11 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 			continue
 		}
 		stats.TriplesMatched += len(group)
+		if tr != nil {
+			for i := range its {
+				tr.StepMatched(step + i)
+			}
+		}
 		bindings[v] = maxv
 		err := found()
 		delete(bindings, v)
@@ -448,6 +478,7 @@ func execGallop(vs core.VarSelecter, group []core.Pattern, v string,
 			return true, err
 		}
 		c, ok := its[0].Next()
+		tr.StepScanned(step)
 		if !ok {
 			return true, nil
 		}

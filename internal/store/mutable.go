@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
@@ -65,6 +66,12 @@ type Mutable struct {
 	view   atomic.Pointer[Store]
 	gen    atomic.Uint64
 	merges atomic.Uint64
+
+	// walBytes mirrors the WAL file's size so metric scrapes read it
+	// with one atomic load instead of a Stat (or worse, taking mu while
+	// a merge rewrites the store). Maintained at open (valid prefix
+	// length), append (success or rollback) and merge truncation.
+	walBytes atomic.Int64
 }
 
 // walChurnFactor bounds WAL growth under cancelling writes: a merge is
@@ -186,6 +193,7 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 		m.closeWAL()
 		return nil, err
 	}
+	m.walBytes.Store(validLen)
 	if lock {
 		// Drop a torn tail or corrupt suffix so later appends cannot weld
 		// onto it; read-only opens just ignore it.
@@ -317,13 +325,18 @@ func (m *Mutable) Merges() uint64 { return m.merges.Load() }
 // Threshold returns the merge threshold.
 func (m *Mutable) Threshold() int { return m.threshold }
 
+// WALBytes returns the current size of the write-ahead log in bytes,
+// without touching the filesystem or the writer lock — safe to call
+// from a metrics scrape at any rate.
+func (m *Mutable) WALBytes() int64 { return m.walBytes.Load() }
+
 // publishLocked installs a fresh immutable view carrying the next write
 // generation; callers hold m.mu. Stamping the generation inside the
 // atomically-swapped view is load-bearing: readers obtain (view, gen)
 // with one pointer load, so a cache key built from the generation can
 // never describe IDs resolved against a different view's dictionaries.
 func (m *Mutable) publishLocked() {
-	st := &Store{Index: m.dyn.Snapshot(), Gen: m.gen.Add(1), Integrity: m.integrity}
+	st := &Store{Index: m.dyn.Snapshot(), Gen: m.gen.Add(1), Integrity: m.integrity, Modified: time.Now()}
 	if m.so != nil {
 		st.Dicts = &rdf.Dicts{SO: m.so.View(), P: m.p.View()}
 	}
@@ -592,6 +605,7 @@ func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
 		return fmt.Errorf("store: WAL stat: %w", err)
 	}
 	rollback := func(cause error) error {
+		m.walBytes.Store(fi.Size())
 		if terr := m.wal.Truncate(fi.Size()); terr != nil {
 			return fmt.Errorf("%w (rollback also failed: %v; reopen the store to recover)", cause, terr)
 		}
@@ -603,6 +617,7 @@ func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
 	if err := m.wal.Sync(); err != nil {
 		return rollback(fmt.Errorf("store: WAL sync: %w", err))
 	}
+	m.walBytes.Store(fi.Size() + int64(len(line)))
 	return nil
 }
 
@@ -797,6 +812,7 @@ func (m *Mutable) mergeLocked() error {
 			return fmt.Errorf("store: WAL truncate: %w", err)
 		}
 	}
+	m.walBytes.Store(0)
 	m.dyn = core.NewDynamicFromIndex(x, -1)
 	if soDict != nil {
 		m.so = dict.NewOverlay(soDict)

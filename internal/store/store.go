@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rdfindexes/internal/codec"
 	"rdfindexes/internal/core"
@@ -92,6 +93,11 @@ type Store struct {
 	// Integrity records the container version and checksum verification
 	// outcome of the load that produced this store.
 	Integrity Integrity
+	// Modified is when this view came to be: the container file's mtime
+	// for a store loaded from disk, the publication time for a view
+	// published by Mutable. It backs the HTTP Last-Modified header, so
+	// it is per-view immutable like Gen.
+	Modified time.Time
 }
 
 // fsys is the filesystem the write paths go through; the crash-torture
@@ -283,7 +289,7 @@ func readStore(path string, degraded bool) (st *Store, err error) {
 	default:
 		return nil, fmt.Errorf("not an rdfstore file (magic %q)", magic)
 	}
-	st = &Store{Integrity: Integrity{Version: 1}}
+	st = &Store{Integrity: Integrity{Version: 1}, Modified: fi.ModTime()}
 	if v2 {
 		st.Integrity = Integrity{Version: 2, Verified: true}
 		r.StartChecksum()
