@@ -52,6 +52,7 @@ var experiments = []struct {
 	{"update", "amortized-update throughput and read interference by merge threshold", bench.UpdateThroughput},
 	{"shard", "sharded store: parallel build time and scatter-gather throughput at 1/2/4/8 shards", bench.ShardScaling},
 	{"dict", "dictionary materialization: cursor/batch extraction, hash locate, NDJSON rows/sec", bench.DictMaterialization},
+	{"repl", "WAL-shipping replication: bootstrap, shipping lag and read fan-out at 1/2/4/8 followers", bench.ReplFanOut},
 }
 
 func main() {

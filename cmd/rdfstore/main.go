@@ -15,6 +15,8 @@
 //	rdfstore stats -store store.idx
 //	rdfstore verify -store store.idx
 //	rdfstore serve -store store.idx -addr :8080 -workers 8
+//	rdfstore serve -store leader.idx -addr :8080 -replicate-addr :7878
+//	rdfstore serve -store replica.idx -addr :8081 -follow leaderhost:7878
 //
 // verify checks every container section (header, dictionaries, shard
 // sections) against its stored CRC32C checksum and scans the WAL,
@@ -37,6 +39,14 @@
 // /stats, and -slow-query DURATION samples queries over the threshold
 // to stderr as JSON lines.
 //
+// serve -replicate-addr makes the process a replication leader: it
+// ships every WAL record (and merge epoch transition) to followers over
+// a checksummed frame protocol. serve -follow makes it a read replica:
+// the store file is bootstrapped from the leader when absent, writes
+// answer 403 with the leader's address, /readyz reports catch-up state,
+// and reads honor the min-gen consistency token (see internal/repl and
+// DESIGN.md "Replication").
+//
 // build -shards N partitions the index by subject hash into N shards
 // built in parallel; query, sparql, stats and serve auto-detect the
 // multi-shard format. Sharded stores are read-only: insert, delete and
@@ -49,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,6 +69,7 @@ import (
 
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/rdf"
+	"rdfindexes/internal/repl"
 	"rdfindexes/internal/server"
 	"rdfindexes/internal/shard"
 	"rdfindexes/internal/sparql"
@@ -480,8 +492,16 @@ func serveCmd(args []string, out io.Writer) error {
 	brkN := fs.Int("breaker-threshold", 5, "consecutive internal write failures that open the write circuit breaker (negative disables)")
 	brkCool := fs.Duration("breaker-cooldown", 10*time.Second, "how long the opened breaker rejects writes before probing")
 	slowQ := fs.Duration("slow-query", 0, "log queries slower than this to stderr as JSON lines (0 disables)")
+	replAddr := fs.String("replicate-addr", "", "accept WAL-shipping replication followers on this address (leader role)")
+	follow := fs.String("follow", "", "replicate from the leader at this address and serve as a read replica")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *follow != "" && (*readonly || *replAddr != "") {
+		return fmt.Errorf("-follow serves a read replica; it cannot combine with -readonly or -replicate-addr")
+	}
+	if *replAddr != "" && *readonly {
+		return fmt.Errorf("-replicate-addr needs the write path; it cannot combine with -readonly")
 	}
 	cfg := server.Options{
 		Workers:          *workers,
@@ -500,7 +520,29 @@ func serveCmd(args []string, out io.Writer) error {
 	var srv *server.Server
 	var st *store.Store
 	var mut *store.Mutable
-	if *readonly {
+	var leader *repl.Leader
+	var followerStop context.CancelFunc
+	if *follow != "" {
+		// Read replica: the follower owns the mutable store (bootstrapping
+		// it from the leader when the file does not exist yet) and the
+		// server refuses direct writes, pointing clients at the leader.
+		f, err := repl.OpenFollower(*path, *follow, repl.FollowerOptions{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "repl: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		mut = f.Mutable()
+		st = mut.View()
+		cfg.Replica = f
+		srv = server.NewMutable(mut, cfg)
+		rctx, cancel := context.WithCancel(context.Background())
+		followerStop = cancel
+		go f.Run(rctx)
+		fmt.Fprintf(out, "replicating from %s\n", *follow)
+	} else if *readonly {
 		// ReadView folds in any pending WAL without locking or touching
 		// it, so a read-only replica can serve next to a writing process.
 		// The degraded variant keeps a sharded store with checksum-failed
@@ -515,6 +557,9 @@ func serveCmd(args []string, out io.Writer) error {
 		m, err := store.OpenMutable(*path, *threshold)
 		switch {
 		case errors.Is(err, store.ErrSharded):
+			if *replAddr != "" {
+				return fmt.Errorf("-replicate-addr needs the write path; sharded stores are read-only")
+			}
 			// Sharded stores have no write path; serve them like
 			// -readonly instead of failing the default invocation.
 			fmt.Fprintln(out, "sharded store: serving read-only")
@@ -527,6 +572,25 @@ func serveCmd(args []string, out io.Writer) error {
 		default:
 			mut = m
 			st = m.View()
+			if *replAddr != "" {
+				// Leader role: attach the WAL-shipping hub before the
+				// server so its metrics register, and start accepting
+				// followers alongside the HTTP listener.
+				l, err := repl.NewLeader(m, repl.LeaderOptions{})
+				if err != nil {
+					m.Close()
+					return err
+				}
+				rln, err := net.Listen("tcp", *replAddr)
+				if err != nil {
+					l.Close()
+					return err
+				}
+				leader = l
+				cfg.ReplLeader = l
+				go l.Serve(rln)
+				fmt.Fprintf(out, "replication leader listening on %s\n", rln.Addr())
+			}
 			srv = server.NewMutable(m, cfg)
 			if rec := m.Recovery(); rec.Corrupt {
 				fmt.Fprintf(out, "WAL recovery: %d records replayed, %d dropped after corruption (%s)\n",
@@ -537,19 +601,25 @@ func serveCmd(args []string, out io.Writer) error {
 	if q := st.Integrity.Quarantined; len(q) > 0 {
 		fmt.Fprintf(out, "DEGRADED: shards %v failed verification and are quarantined; results are partial until the store is rebuilt\n", q)
 	}
+	// Bind before announcing, so ":0" invocations (tests, scripted
+	// topologies) can read the real port off the serving line.
+	hln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	if n := st.Shards(); n > 1 {
 		fmt.Fprintf(out, "serving %d triples (%v, %d shards, %.2f bits/triple) on %s\n",
-			st.Index.NumTriples(), st.Index.Layout(), n, core.BitsPerTriple(st.Index), *addr)
+			st.Index.NumTriples(), st.Index.Layout(), n, core.BitsPerTriple(st.Index), hln.Addr())
 	} else {
 		fmt.Fprintf(out, "serving %d triples (%v, %.2f bits/triple) on %s\n",
-			st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), *addr)
+			st.Index.NumTriples(), st.Index.Layout(), core.BitsPerTriple(st.Index), hln.Addr())
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(hln) }()
 	var serveErr error
 	select {
 	case serveErr = <-errc:
@@ -565,6 +635,16 @@ func serveCmd(args []string, out io.Writer) error {
 	}
 	if errors.Is(serveErr, http.ErrServerClosed) {
 		serveErr = nil
+	}
+	// Replication links shut before the WAL handle closes: the leader
+	// detaches its observer and drops followers (who will reconnect to a
+	// successor), the follower stops its session loop so nothing applies
+	// records into a closing store.
+	if leader != nil {
+		leader.Close()
+	}
+	if followerStop != nil {
+		followerStop()
 	}
 	if mut != nil {
 		// Closed after the listener has drained: no request can race the

@@ -1,0 +1,127 @@
+// Package faultnet injects faults into network connections, the
+// replication-link counterpart of internal/faultfs: a net.Conn wrapper
+// consults a fault plan before every read and write, so tests can cut,
+// tear, duplicate, or stall the link at any exact protocol state and
+// assert the endpoints recover.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Op classifies the connection operation a plan is consulted for.
+type Op int
+
+const (
+	// OpRead is a Read call on a wrapped connection.
+	OpRead Op = iota
+	// OpWrite is a Write call on a wrapped connection.
+	OpWrite
+)
+
+// Fault is the injected behavior for one operation.
+type Fault int
+
+const (
+	// None performs the operation normally.
+	None Fault = iota
+	// Cut closes the connection and fails the operation — a dropped
+	// link.
+	Cut
+	// Torn delivers only part of the data, then closes the connection —
+	// a write sheared mid-frame, or a read that dies mid-stream.
+	Torn
+	// Dup performs a write twice, byte-for-byte — duplicate delivery.
+	// (Reads treat Dup as None: duplication is a sender-side artifact.)
+	Dup
+	// Stall sleeps past the peer's (or our own) deadline before
+	// attempting the operation — a hung link that heals too late.
+	Stall
+)
+
+// ErrInjected marks operation failures caused by the plan rather than
+// the real network.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Plan decides the fault for the n-th operation (a single counter
+// across all reads and writes on all connections of one Injector, so a
+// sweep over n visits every protocol state in order).
+type Plan func(op Op, n int) Fault
+
+// Injector wraps connections with a shared plan and operation counter.
+type Injector struct {
+	plan  Plan
+	stall time.Duration
+	n     atomic.Int64
+}
+
+// NewInjector builds an injector. stall is how long a Stall fault
+// sleeps; pick it longer than the protocol's read deadline.
+func NewInjector(plan Plan, stall time.Duration) *Injector {
+	return &Injector{plan: plan, stall: stall}
+}
+
+// Ops returns how many operations have been attempted so far — used by
+// sweeps to size the fault-index space.
+func (inj *Injector) Ops() int { return int(inj.n.Load()) }
+
+// Wrap returns c with the injector's plan applied to every read and
+// write.
+func (inj *Injector) Wrap(c net.Conn) net.Conn {
+	return &conn{Conn: c, inj: inj}
+}
+
+type conn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	switch c.inj.plan(OpRead, int(c.inj.n.Add(1)-1)) {
+	case Cut:
+		c.Conn.Close()
+		return 0, ErrInjected
+	case Torn:
+		// Deliver at most half of what was asked, then kill the link: the
+		// reader sees a short prefix and then an error.
+		half := len(b) / 2
+		if half == 0 {
+			half = 1
+		}
+		n, _ := c.Conn.Read(b[:half])
+		c.Conn.Close()
+		if n > 0 {
+			return n, nil
+		}
+		return 0, ErrInjected
+	case Stall:
+		time.Sleep(c.inj.stall)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	switch c.inj.plan(OpWrite, int(c.inj.n.Add(1)-1)) {
+	case Cut:
+		c.Conn.Close()
+		return 0, ErrInjected
+	case Torn:
+		half := len(b) / 2
+		if half > 0 {
+			c.Conn.Write(b[:half])
+		}
+		c.Conn.Close()
+		return half, ErrInjected
+	case Dup:
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(b)
+	case Stall:
+		time.Sleep(c.inj.stall)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,71 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDupWriteDuplicatesWholeBuffers(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	inj := NewInjector(func(op Op, n int) Fault {
+		if op == OpWrite {
+			return Dup
+		}
+		return None
+	}, 0)
+	w := inj.Wrap(a)
+	go func() {
+		w.Write([]byte("abc"))
+	}()
+	got := make([]byte, 6)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcabc" {
+		t.Fatalf("dup write delivered %q, want abcabc", got)
+	}
+}
+
+func TestCutFailsAndClosesConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(func(op Op, n int) Fault { return Cut }, 0)
+	w := inj.Wrap(a)
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("cut write did not fail")
+	}
+	// The underlying connection must actually be dead.
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatal("underlying conn still alive after cut")
+	}
+}
+
+func TestTornWriteDeliversPrefixThenDies(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := NewInjector(func(op Op, n int) Fault {
+		if op == OpWrite && n == 0 {
+			return Torn
+		}
+		return None
+	}, 0)
+	w := inj.Wrap(a)
+	go w.Write([]byte("abcd"))
+	got := make([]byte, 2)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ab" {
+		t.Fatalf("torn write delivered %q, want ab", got)
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("torn write left the conn open")
+	}
+}

@@ -1,0 +1,201 @@
+// Package repl implements WAL-shipping replication: a leader streams
+// the mutable store's CRC+sequence-numbered WAL records to follower
+// processes over a length-prefixed binary frame protocol; followers
+// replay them into their own store.Mutable and publish RCU snapshots,
+// giving N read replicas behind one writer.
+//
+// Protocol (all integers big-endian):
+//
+//	frame   = u32 payloadLen | u32 crc32c(payload) | payload
+//	payload = type byte, then type-specific fields
+//
+//	'H' hello      (f→l)  u16 version | u64 baseFp | u64 seq | u8 flags
+//	'R' record     (l→f)  u64 fp | u64 gen | u32 lineLen | line bytes
+//	'E' epochEnd   (l→f)  u64 prevFp | u64 prevFinalSeq | u64 newFp | u64 gen
+//	'B' heartbeat  (l→f)  u64 fp | u64 seq | u64 gen | i64 sentUnixNano
+//	'S' snapshot   (l→f)  u64 fp | u64 gen | u64 size — then size raw
+//	                      store-container bytes follow, unframed
+//
+// A WAL epoch is the life of one WAL file between merges; its identity
+// is the base store file's content fingerprint (store.FileFingerprint),
+// which is durable across process restarts. A follower announces
+// (baseFp, seq) in its hello; the leader resumes the stream from there
+// when its retained event log still covers that position, and falls
+// back to a full snapshot otherwise. Every record frame carries the
+// exact WAL line bytes the leader fsynced — CRC framing included — so
+// the follower verifies and appends them verbatim: follower WALs are
+// byte-for-byte mirrors of the leader's.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rdfindexes/internal/codec"
+)
+
+const (
+	protocolVersion = 1
+
+	// maxFrame bounds a frame's payload; WAL records are single
+	// statements, far below this. A length prefix past the bound means a
+	// desynced or damaged stream, not a big record.
+	maxFrame = 1 << 20
+
+	frameHello     = 'H'
+	frameRecord    = 'R'
+	frameEpochEnd  = 'E'
+	frameHeartbeat = 'B'
+	frameSnapshot  = 'S'
+
+	helloWantSnapshot = 1 << 0
+)
+
+// ErrFrame reports a frame that fails its length bound, checksum, or
+// type-specific shape — stream damage or desync; the receiving side
+// drops the connection and reconnects.
+var ErrFrame = errors.New("repl: invalid frame")
+
+// writeFrame sends one framed payload in a single Write call, so a
+// byte-level write duplication (fault injection, pathological proxies)
+// duplicates whole frames — which the protocol tolerates — rather than
+// splicing half-frames.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: oversized payload (%d bytes)", ErrFrame, len(payload))
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, codec.Castagnoli))
+	copy(buf[8:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame and returns its verified payload. The
+// buffer is reused across calls by the caller.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: payload length %d", ErrFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, codec.Castagnoli) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrFrame)
+	}
+	return payload, nil
+}
+
+// hello is the one follower→leader frame: where the follower is and
+// whether it wants a full snapshot regardless.
+type hello struct {
+	version      uint16
+	baseFp       uint64
+	seq          uint64
+	wantSnapshot bool
+}
+
+func (h hello) encode() []byte {
+	b := make([]byte, 0, 20)
+	b = append(b, frameHello)
+	b = binary.BigEndian.AppendUint16(b, h.version)
+	b = binary.BigEndian.AppendUint64(b, h.baseFp)
+	b = binary.BigEndian.AppendUint64(b, h.seq)
+	flags := byte(0)
+	if h.wantSnapshot {
+		flags |= helloWantSnapshot
+	}
+	return append(b, flags)
+}
+
+func decodeHello(p []byte) (hello, error) {
+	if len(p) != 20 || p[0] != frameHello {
+		return hello{}, fmt.Errorf("%w: bad hello", ErrFrame)
+	}
+	return hello{
+		version:      binary.BigEndian.Uint16(p[1:3]),
+		baseFp:       binary.BigEndian.Uint64(p[3:11]),
+		seq:          binary.BigEndian.Uint64(p[11:19]),
+		wantSnapshot: p[19]&helloWantSnapshot != 0,
+	}, nil
+}
+
+func encodeRecord(fp, gen uint64, line []byte) []byte {
+	b := make([]byte, 0, 21+len(line))
+	b = append(b, frameRecord)
+	b = binary.BigEndian.AppendUint64(b, fp)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(line)))
+	return append(b, line...)
+}
+
+func decodeRecord(p []byte) (fp, gen uint64, line []byte, err error) {
+	if len(p) < 21 {
+		return 0, 0, nil, fmt.Errorf("%w: short record frame", ErrFrame)
+	}
+	n := binary.BigEndian.Uint32(p[17:21])
+	if int(n) != len(p)-21 {
+		return 0, 0, nil, fmt.Errorf("%w: record length mismatch", ErrFrame)
+	}
+	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]), p[21:], nil
+}
+
+func encodeEpochEnd(prevFp, prevFinalSeq, newFp, gen uint64) []byte {
+	b := make([]byte, 0, 33)
+	b = append(b, frameEpochEnd)
+	b = binary.BigEndian.AppendUint64(b, prevFp)
+	b = binary.BigEndian.AppendUint64(b, prevFinalSeq)
+	b = binary.BigEndian.AppendUint64(b, newFp)
+	return binary.BigEndian.AppendUint64(b, gen)
+}
+
+func decodeEpochEnd(p []byte) (prevFp, prevFinalSeq, newFp, gen uint64, err error) {
+	if len(p) != 33 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad epoch-end frame", ErrFrame)
+	}
+	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]),
+		binary.BigEndian.Uint64(p[17:25]), binary.BigEndian.Uint64(p[25:33]), nil
+}
+
+func encodeHeartbeat(fp, seq, gen uint64, sentNano int64) []byte {
+	b := make([]byte, 0, 33)
+	b = append(b, frameHeartbeat)
+	b = binary.BigEndian.AppendUint64(b, fp)
+	b = binary.BigEndian.AppendUint64(b, seq)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	return binary.BigEndian.AppendUint64(b, uint64(sentNano))
+}
+
+func decodeHeartbeat(p []byte) (fp, seq, gen uint64, sentNano int64, err error) {
+	if len(p) != 33 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad heartbeat frame", ErrFrame)
+	}
+	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]),
+		binary.BigEndian.Uint64(p[17:25]), int64(binary.BigEndian.Uint64(p[25:33])), nil
+}
+
+func encodeSnapshotHeader(fp, gen, size uint64) []byte {
+	b := make([]byte, 0, 25)
+	b = append(b, frameSnapshot)
+	b = binary.BigEndian.AppendUint64(b, fp)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	return binary.BigEndian.AppendUint64(b, size)
+}
+
+func decodeSnapshotHeader(p []byte) (fp, gen, size uint64, err error) {
+	if len(p) != 25 {
+		return 0, 0, 0, fmt.Errorf("%w: bad snapshot header", ErrFrame)
+	}
+	return binary.BigEndian.Uint64(p[1:9]), binary.BigEndian.Uint64(p[9:17]),
+		binary.BigEndian.Uint64(p[17:25]), nil
+}

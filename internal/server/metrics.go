@@ -33,6 +33,7 @@ func (s *Server) initMetrics() {
 	s.rejectedBusy = r.Counter(rejName, `cause="busy"`, rejHelp)
 	s.rejectedRate = r.Counter(rejName, `cause="rate_limited"`, rejHelp)
 	s.rejectedBrk = r.Counter(rejName, `cause="breaker_open"`, rejHelp)
+	s.rejectedStale = r.Counter(rejName, `cause="stale_min_gen"`, rejHelp)
 
 	s.panics = r.Counter("rdf_panics_total", "", "Handler panics converted to 500s")
 	s.failed = r.Counter("rdf_failed_total", "", "Requests ending in an error")
@@ -93,6 +94,40 @@ func (s *Server) initMetrics() {
 			}
 			return 0
 		})
+
+	// Replication metrics register only on the roles that have them, so
+	// a standalone server's exposition stays role-accurate.
+	if f := s.cfg.Replica; f != nil {
+		r.GaugeFunc("rdf_replication_lag_seconds", "",
+			"Seconds since the replica last confirmed the leader's commit offset",
+			func() float64 { return f.Stats().LagSeconds })
+		r.GaugeFunc("rdf_replica_last_seq", "",
+			"Last WAL sequence number applied in the current epoch",
+			func() float64 { return float64(f.Stats().LastSeq) })
+		r.GaugeFunc("rdf_replica_ready", "",
+			"1 while the replica is connected and caught up",
+			func() float64 {
+				if f.Ready() {
+					return 1
+				}
+				return 0
+			})
+		r.CounterFunc("rdf_replica_reconnects_total", "",
+			"Replication link reconnects", func() uint64 { return f.Stats().Reconnects })
+		r.CounterFunc("rdf_replica_snapshots_total", "",
+			"Full-snapshot catch-ups installed", func() uint64 { return f.Stats().SnapshotsInstalled })
+		r.CounterFunc("rdf_replica_records_applied_total", "",
+			"Replicated WAL records applied", func() uint64 { return f.Stats().RecordsApplied })
+	}
+	if l := s.cfg.ReplLeader; l != nil {
+		r.GaugeFunc("rdf_repl_followers", "",
+			"Connected replication followers",
+			func() float64 { return float64(l.Stats().Followers) })
+		r.CounterFunc("rdf_repl_records_shipped_total", "",
+			"WAL records shipped to followers", func() uint64 { return l.Stats().RecordsShipped })
+		r.CounterFunc("rdf_repl_snapshots_sent_total", "",
+			"Full snapshots streamed to followers", func() uint64 { return l.Stats().SnapshotsSent })
+	}
 }
 
 // observeRequest records one finished protocol request into the

@@ -219,6 +219,13 @@ func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
 	explain := r.URL.Query().Get("explain") == "1"
 
 	st, gen := s.view()
+	// The min-gen consistency token gates the whole request — including
+	// revalidation: a 304 against a stale view would be just as stale as
+	// a 200 from it.
+	if !s.checkMinGen(w, r.URL.Query().Get("min-gen"), gen) {
+		return
+	}
+	w.Header().Set(generationHeader, strconv.FormatUint(s.generationToken(gen), 10))
 	// The representation is fully determined by (write generation,
 	// format): the view is immutable and query evaluation is
 	// deterministic over it. That makes the pair a sound strong

@@ -2,6 +2,7 @@ package server
 
 import (
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -180,6 +181,19 @@ func retrySeconds(d time.Duration) int {
 	return s
 }
 
+// setRetryAfter stamps a jittered Retry-After: base seconds plus up to
+// base more, so a burst of clients rejected together (pool saturation,
+// breaker opening, a replica mid-catch-up) does not come back as one
+// synchronized stampede at exactly base seconds. base is the minimum
+// honest wait; the header may only ever ask clients to be later, never
+// earlier.
+func setRetryAfter(w http.ResponseWriter, base int) {
+	if base < 1 {
+		base = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(base+rand.IntN(base+1)))
+}
+
 // limited wraps a handler with the per-client rate limit. Disabled (nil
 // limiter) passes through.
 func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
@@ -189,7 +203,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if ok, retry := s.limiter.allow(clientKey(r), s.now()); !ok {
 			s.rejectedRate.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			setRetryAfter(w, retry)
 			httpError(w, http.StatusTooManyRequests, errRateLimited)
 			return
 		}

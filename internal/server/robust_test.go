@@ -269,15 +269,24 @@ func TestBusyRetryAfter(t *testing.T) {
 }
 
 // TestDegradedSurfacing serves a store flagged as degraded and checks
-// /stats and /healthz both say so while queries still answer.
+// /stats and /readyz both say so while /healthz stays a pure liveness
+// 200 and queries still answer.
 func TestDegradedSurfacing(t *testing.T) {
 	st := testStore(t, 4, 1)
 	st.Integrity = store.Integrity{Version: 2, Verified: true, Quarantined: []int{1}}
 	srv := New(st, Options{})
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "degraded") {
-		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	if rec.Code != http.StatusOK || strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("healthz must stay pure liveness: %d %q", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("readyz: %d %q", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded readyz without Retry-After")
 	}
 	var stats Stats
 	rec = httptest.NewRecorder()

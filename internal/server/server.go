@@ -20,7 +20,9 @@
 //	POST /v1/delete?s=&p=&o=       remove one triple (mutable stores)
 //	GET  /stats                    store + server statistics as JSON
 //	GET  /metrics                  Prometheus text-format metrics
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  liveness probe (always 200 while serving)
+//	GET  /readyz                   readiness probe (503 while a replica
+//	                               catches up or the store serves degraded)
 //	GET  /debug/pprof/*            runtime profiles (only with Options.Pprof)
 //
 // The /v1/ endpoints are the private NDJSON dialect that predates the
@@ -53,6 +55,7 @@ import (
 
 	"rdfindexes/internal/core"
 	"rdfindexes/internal/obs"
+	"rdfindexes/internal/repl"
 	"rdfindexes/internal/sparql"
 	"rdfindexes/internal/store"
 )
@@ -116,6 +119,16 @@ type Options struct {
 	// SlowQueryLog receives the slow-query entries (default os.Stderr
 	// when SlowQuery is set). Writes are serialized internally.
 	SlowQueryLog io.Writer
+	// Replica marks this server as a WAL-shipping read replica: the
+	// follower that owns the served store. Writes answer 403 with the
+	// leader's address, /readyz reports catch-up state, min-gen reads
+	// check the follower's applied leader generation, and replication
+	// lag/position surface on /stats and /metrics. The server must be
+	// built with NewMutable over Replica.Mutable().
+	Replica *repl.Follower
+	// ReplLeader, when set, exposes the WAL-shipping leader's follower
+	// count and shipping counters through /stats and /metrics.
+	ReplLeader *repl.Leader
 }
 
 // Config is the former name of Options.
@@ -204,17 +217,18 @@ type Server struct {
 	// are incremented through these handles: one atomic write feeds
 	// /metrics, /stats and the tests alike. The total rejection count is
 	// derived as the sum of its three causes at read time.
-	reg          *obs.Registry
-	queries      *obs.Counter // pattern queries accepted (NDJSON dialect)
-	sparqls      *obs.Counter // BGP queries accepted (NDJSON dialect)
-	protocols    *obs.Counter // SPARQL protocol queries accepted
-	inserts      *obs.Counter // /insert requests accepted
-	deletes      *obs.Counter // /delete requests accepted
-	rejectedBusy *obs.Counter // 503s: pool saturated past deadline
-	rejectedRate *obs.Counter // 429s: client over its rate limit
-	rejectedBrk  *obs.Counter // 503s: write-path circuit breaker open
-	panics       *obs.Counter // handler panics converted to 500s
-	failed       *obs.Counter // requests ending in an error
+	reg           *obs.Registry
+	queries       *obs.Counter // pattern queries accepted (NDJSON dialect)
+	sparqls       *obs.Counter // BGP queries accepted (NDJSON dialect)
+	protocols     *obs.Counter // SPARQL protocol queries accepted
+	inserts       *obs.Counter // /insert requests accepted
+	deletes       *obs.Counter // /delete requests accepted
+	rejectedBusy  *obs.Counter // 503s: pool saturated past deadline
+	rejectedRate  *obs.Counter // 429s: client over its rate limit
+	rejectedBrk   *obs.Counter // 503s: write-path circuit breaker open
+	rejectedStale *obs.Counter // 503s: replica behind the min-gen token
+	panics        *obs.Counter // handler panics converted to 500s
+	failed        *obs.Counter // requests ending in an error
 
 	// reqHist observes end-to-end protocol request latency; stageHist
 	// breaks the same requests down by pipeline stage. slow is the
@@ -280,6 +294,7 @@ func newServer(cfg Options) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if cfg.Pprof {
 		// Registered on the server's own mux (net/http/pprof's side
 		// effects only touch http.DefaultServeMux, which is never
@@ -338,11 +353,11 @@ var errRateLimited = errors.New("rate limit exceeded for this client")
 var errBreakerOpen = errors.New("write path unavailable: repeated internal write failures (circuit breaker open)")
 
 // rejectBusy answers a pool-saturation rejection: 503 with a short
-// Retry-After — capacity frees on the order of a query duration, so an
-// immediate retry would just queue again.
+// jittered Retry-After — capacity frees on the order of a query
+// duration, so an immediate retry would just queue again.
 func (s *Server) rejectBusy(w http.ResponseWriter) {
 	s.rejectedBusy.Add(1)
-	w.Header().Set("Retry-After", "1")
+	setRetryAfter(w, 1)
 	httpError(w, http.StatusServiceUnavailable, errBusy)
 }
 
@@ -453,6 +468,10 @@ func serveCached(w http.ResponseWriter, body []byte) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	st, gen := s.view()
+	if !s.checkMinGen(w, r.FormValue("min-gen"), gen) {
+		return
+	}
+	w.Header().Set(generationHeader, strconv.FormatUint(s.generationToken(gen), 10))
 	pat, err := st.ParsePattern(r.FormValue("s"), r.FormValue("p"), r.FormValue("o"))
 	if err != nil {
 		s.failed.Add(1)
@@ -549,6 +568,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	s.sparqls.Add(1)
 	st, gen := s.view()
+	if !s.checkMinGen(w, r.FormValue("min-gen"), gen) {
+		return
+	}
+	w.Header().Set(generationHeader, strconv.FormatUint(s.generationToken(gen), 10))
 	qs := r.FormValue("q")
 	if qs == "" {
 		s.failed.Add(1)
@@ -664,6 +687,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool) {
+	if f := s.cfg.Replica; f != nil {
+		// A replica's store belongs to the replication stream; a local
+		// write would fork it from the leader's WAL. Point the client at
+		// the writer.
+		s.failed.Add(1)
+		w.Header().Set(leaderHeader, f.Leader())
+		httpError(w, http.StatusForbidden,
+			fmt.Errorf("this server is a read replica; write to the leader at %s", f.Leader()))
+		return
+	}
 	if s.mut == nil {
 		s.failed.Add(1)
 		httpError(w, http.StatusForbidden, errors.New("store is read-only (serve a mutable store to enable writes)"))
@@ -681,7 +714,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 	if s.brk != nil {
 		if ok, retry := s.brk.allow(s.now()); !ok {
 			s.rejectedBrk.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			setRetryAfter(w, retry)
 			httpError(w, http.StatusServiceUnavailable, errBreakerOpen)
 			return
 		}
@@ -735,6 +768,10 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, insert bool
 		s.results.Clear()
 		s.plans.Clear()
 	}
+	// The generation doubles as the read-your-writes token: present it
+	// back as min-gen (to this server or a replica) to never read a view
+	// older than this write.
+	w.Header().Set(generationHeader, strconv.FormatUint(res.Generation, 10))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 }
@@ -783,17 +820,20 @@ type Stats struct {
 	ProtocolQueries uint64 `json:"protocol_queries"`
 	Inserts         uint64 `json:"inserts"`
 	Deletes         uint64 `json:"deletes"`
-	// Rejected totals the three rejection causes broken out below.
+	// Rejected totals the rejection causes broken out below.
 	Rejected            uint64 `json:"rejected"`
 	RejectedBusy        uint64 `json:"rejected_busy"`
 	RejectedRateLimited uint64 `json:"rejected_rate_limited"`
 	RejectedBreakerOpen uint64 `json:"rejected_breaker_open"`
-	Panics              uint64 `json:"panics"`
-	Failed              uint64 `json:"failed"`
-	BreakerOpen         bool   `json:"breaker_open"`
-	CacheEntries        int    `json:"cache_entries"`
-	CacheHits           uint64 `json:"cache_hits"`
-	CacheMisses         uint64 `json:"cache_misses"`
+	// RejectedStale counts min-gen reads refused because the view had
+	// not caught up to the requested generation.
+	RejectedStale uint64 `json:"rejected_stale"`
+	Panics        uint64 `json:"panics"`
+	Failed        uint64 `json:"failed"`
+	BreakerOpen   bool   `json:"breaker_open"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
 	// CacheFlushes counts whole-cache invalidations — one per changing
 	// write (generation bump) — for the result cache; PlanFlushes for
 	// the plan cache.
@@ -822,6 +862,11 @@ type Stats struct {
 	Verified          bool  `json:"verified"`
 	QuarantinedShards []int `json:"quarantined_shards,omitempty"`
 	Degraded          bool  `json:"degraded"`
+	// Replication carries the follower-side lag/position counters when
+	// this server is a read replica; ReplicationLeader the leader-side
+	// shipping counters when it streams its WAL to followers.
+	Replication       *repl.FollowerStats `json:"replication,omitempty"`
+	ReplicationLeader *repl.LeaderStats   `json:"replication_leader,omitempty"`
 }
 
 // Snapshot returns the current statistics.
@@ -848,6 +893,7 @@ func (s *Server) Snapshot() Stats {
 		RejectedBusy:        s.rejectedBusy.Load(),
 		RejectedRateLimited: s.rejectedRate.Load(),
 		RejectedBreakerOpen: s.rejectedBrk.Load(),
+		RejectedStale:       s.rejectedStale.Load(),
 		Panics:              s.panics.Load(),
 		Failed:              s.failed.Load(),
 		CacheEntries:        s.results.Len(),
@@ -868,9 +914,18 @@ func (s *Server) Snapshot() Stats {
 		QuarantinedShards:   st.Integrity.Quarantined,
 		Degraded:            len(st.Integrity.Quarantined) > 0,
 	}
-	stats.Rejected = stats.RejectedBusy + stats.RejectedRateLimited + stats.RejectedBreakerOpen
+	stats.Rejected = stats.RejectedBusy + stats.RejectedRateLimited +
+		stats.RejectedBreakerOpen + stats.RejectedStale
 	if s.brk != nil {
 		stats.BreakerOpen = s.brk.open(s.now())
+	}
+	if f := s.cfg.Replica; f != nil {
+		fs := f.Stats()
+		stats.Replication = &fs
+	}
+	if l := s.cfg.ReplLeader; l != nil {
+		ls := l.Stats()
+		stats.ReplicationLeader = &ls
 	}
 	if s.mut != nil {
 		stats.Mutable = true
@@ -890,16 +945,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.Snapshot())
 }
 
-// handleHealthz is the liveness probe. A degraded store (quarantined
-// shard sections) still answers 200 — the process is alive and serving
-// the healthy shards, and restarting it would not help — but says so in
-// the body, so probes that parse it can alert without restarting.
+// handleHealthz is the pure liveness probe: the process is up and
+// answering, nothing more. Conditions a restart would not fix — a
+// degraded store, a replica still catching up — belong to /readyz
+// (replica.go), where a load balancer drains traffic instead of a
+// supervisor killing the process.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
-	st, _ := s.view()
-	if q := st.Integrity.Quarantined; len(q) > 0 {
-		fmt.Fprintf(w, "degraded: %d of %d shards quarantined %v\n", len(q), st.Shards(), q)
-		return
-	}
 	fmt.Fprintln(w, "ok")
 }

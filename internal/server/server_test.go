@@ -94,6 +94,13 @@ func TestServerEndpoints(t *testing.T) {
 		}
 	})
 
+	t.Run("readyz", func(t *testing.T) {
+		resp, body := get(t, ts, "/readyz")
+		if resp.StatusCode != 200 || !strings.Contains(body, "ready") {
+			t.Fatalf("readyz: %d %q", resp.StatusCode, body)
+		}
+	})
+
 	t.Run("query", func(t *testing.T) {
 		resp, body := get(t, ts, "/query?s="+url.QueryEscape("<http://ex/p0>"))
 		if resp.StatusCode != 200 {

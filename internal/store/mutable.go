@@ -63,6 +63,13 @@ type Mutable struct {
 	// without bound.
 	walRecords int
 
+	// walObs, when set, receives every durable WAL append and every
+	// merge for WAL-shipping replication (see repl.go); legacyWAL
+	// records whether the opening replay saw CRC-less records, which
+	// cannot be shipped verifiably.
+	walObs    WALObserver
+	legacyWAL bool
+
 	view   atomic.Pointer[Store]
 	gen    atomic.Uint64
 	merges atomic.Uint64
@@ -121,6 +128,10 @@ type WriteResult struct {
 	Triples int `json:"triples"`
 	// LogSize is the pending update-log size after the write.
 	LogSize int `json:"log_size"`
+	// Generation is the write generation of the view current after this
+	// write — the read-your-writes token a client presents to a replica
+	// via min-gen.
+	Generation uint64 `json:"generation"`
 }
 
 // OpenMutable loads the store at path for serving with updates,
@@ -159,22 +170,12 @@ func openMutable(path string, threshold int, lock bool) (*Mutable, error) {
 		threshold: threshold,
 		integrity: st.Integrity,
 		layout:    st.Index.Layout(),
-		// The DynamicIndex never merges on its own (threshold -1): the
-		// store drives merges so dictionaries fold and files rewrite in
-		// the same step.
-		dyn: core.NewDynamicFromIndex(st.Index, -1),
+		dyn:       newDynamicFor(st),
 	}
 	if st.Dicts != nil {
-		so, ok := st.Dicts.SO.(*dict.Dict)
-		if !ok {
-			return nil, fmt.Errorf("store: loaded SO dictionary has unexpected type %T", st.Dicts.SO)
+		if m.so, m.p, err = overlaysFor(st); err != nil {
+			return nil, err
 		}
-		p, ok := st.Dicts.P.(*dict.Dict)
-		if !ok {
-			return nil, fmt.Errorf("store: loaded P dictionary has unexpected type %T", st.Dicts.P)
-		}
-		m.so = dict.NewOverlay(so)
-		m.p = dict.NewOverlay(p)
 	}
 	if lock {
 		// Only a writing open touches the WAL file: read views must work
@@ -370,10 +371,14 @@ func (m *Mutable) Merge() error {
 	if m.dyn.LogSize() == 0 && m.walRecords == 0 {
 		return nil
 	}
+	finalSeq := uint64(m.walRecords)
 	if err := m.mergeLocked(); err != nil {
 		return err
 	}
 	m.publishLocked()
+	if m.walObs != nil {
+		m.walObs.WALMerged(finalSeq, m.view.Load().Gen)
+	}
 	return nil
 }
 
@@ -509,6 +514,11 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 		}
 	}
 	res := WriteResult{Triples: m.dyn.NumTriples(), LogSize: m.dyn.LogSize()}
+	// The view is nil only during the opening WAL replay, before the
+	// first publication; replay callers ignore the result anyway.
+	if v := m.view.Load(); v != nil {
+		res.Generation = v.Gen
+	}
 	if op == opInsert {
 		// All three terms validated; unknown ones may now safely enter
 		// the overlay.
@@ -531,8 +541,10 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 	if m.dyn.Lookup(t) == (op == opInsert) {
 		return res, nil // no-op: insert of a present / delete of an absent triple
 	}
+	var line string
 	if logWAL {
-		if err := m.appendWAL(op, skey, pkey, okey); err != nil {
+		var err error
+		if line, err = m.appendWAL(op, skey, pkey, okey); err != nil {
 			return WriteResult{}, err
 		}
 		m.walRecords++
@@ -562,6 +574,7 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 	if !logWAL {
 		return res, nil
 	}
+	seq := uint64(m.walRecords)
 	if m.mergeDueLocked() {
 		if err := m.mergeLocked(); err != nil {
 			return WriteResult{}, err
@@ -571,6 +584,16 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 		res.LogSize = 0
 	}
 	m.publishLocked()
+	res.Generation = m.view.Load().Gen
+	if m.walObs != nil {
+		// The record is shipped first even when it triggered a merge:
+		// followers replay it, then the epoch-end makes them merge the
+		// same state locally.
+		m.walObs.WALAppended(WALRecord{Seq: seq, Gen: res.Generation, Line: []byte(line)})
+		if res.Merged {
+			m.walObs.WALMerged(seq, res.Generation)
+		}
+	}
 	return res, nil
 }
 
@@ -592,7 +615,7 @@ func (m *Mutable) applyLocked(op byte, s, p, o string, logWAL bool) (WriteResult
 // (which would make the WAL permanently unparseable), and a record
 // whose fsync failed must not resurface on replay after the caller was
 // told the write failed.
-func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
+func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) (string, error) {
 	var body string
 	if m.so != nil {
 		body = fmt.Sprintf("%d %c %s %s %s .", m.walRecords+1, op, skey, pkey, okey)
@@ -600,6 +623,18 @@ func (m *Mutable) appendWAL(op byte, skey, pkey, okey string) error {
 		body = fmt.Sprintf("%d %c %s %s %s", m.walRecords+1, op, skey, pkey, okey)
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.Checksum([]byte(body), codec.Castagnoli), body)
+	if err := m.appendWALLine(line); err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+// appendWALLine durably appends one pre-framed record line (newline
+// included) to the WAL: write, fsync, and on any failure truncate back
+// to the previous length so a half-written record never welds onto the
+// valid prefix. Shared by local writes (appendWAL) and replicated
+// applies (ApplyReplicated), which mirror the leader's framing verbatim.
+func (m *Mutable) appendWALLine(line string) error {
 	fi, err := m.wal.Stat()
 	if err != nil {
 		return fmt.Errorf("store: WAL stat: %w", err)
@@ -703,24 +738,14 @@ func (m *Mutable) replayWAL() (validLen int64, err error) {
 				return corrupt("sequence jump: record claims %d, expected %d", seq, m.walRecords+1)
 			}
 			line = body
-		}
-		op := line[0]
-		if (op != opInsert && op != opDelete) || len(line) < 2 || line[1] != ' ' {
-			return corrupt("bad record %q", line)
-		}
-		var s, p, o string
-		if m.so != nil {
-			st, ok, perr := rdf.ParseLine(line[2:])
-			if perr != nil || !ok {
-				return corrupt("unparsable statement: %v", perr)
-			}
-			s, p, o = st.S.Key(), st.P.Key(), st.O.Key()
 		} else {
-			fields := strings.Fields(line[2:])
-			if len(fields) != 3 {
-				return corrupt("want 3 IDs, got %q", line)
-			}
-			s, p, o = fields[0], fields[1], fields[2]
+			// A pre-v2 record without CRC framing: replayable locally, but
+			// unverifiable on a follower — replication merges such WALs away.
+			m.legacyWAL = true
+		}
+		op, s, p, o, perr := parseWALStatement(line, m.so != nil)
+		if perr != nil {
+			return corrupt("%v", perr)
 		}
 		if _, err := m.applyLocked(op, s, p, o, false); err != nil {
 			return validLen, fmt.Errorf("store: WAL %s line %d: %w", m.walPath, lineNo, err)
@@ -729,6 +754,30 @@ func (m *Mutable) replayWAL() (validLen int64, err error) {
 		m.recovery.Replayed++
 		validLen += recLen
 	}
+}
+
+// parseWALStatement parses the operation byte and three terms of one
+// WAL record statement (the body after the CRC and sequence fields).
+// Dictionary-backed stores carry N-Triples term keys; integer-only
+// stores carry three raw IDs. Shared by the opening replay and the
+// replicated-apply path so both resolve terms identically.
+func parseWALStatement(stmt string, hasDicts bool) (op byte, s, p, o string, err error) {
+	if len(stmt) < 2 || stmt[1] != ' ' || (stmt[0] != opInsert && stmt[0] != opDelete) {
+		return 0, "", "", "", fmt.Errorf("bad record %q", stmt)
+	}
+	op = stmt[0]
+	if hasDicts {
+		st, ok, perr := rdf.ParseLine(stmt[2:])
+		if perr != nil || !ok {
+			return 0, "", "", "", fmt.Errorf("unparsable statement: %v", perr)
+		}
+		return op, st.S.Key(), st.P.Key(), st.O.Key(), nil
+	}
+	fields := strings.Fields(stmt[2:])
+	if len(fields) != 3 {
+		return 0, "", "", "", fmt.Errorf("want 3 IDs, got %q", stmt)
+	}
+	return op, fields[0], fields[1], fields[2], nil
 }
 
 // splitWALCRC detects the v2 record framing: an 8-hex-digit CRC field
@@ -743,6 +792,38 @@ func splitWALCRC(line string) (crc uint32, rest string, ok bool) {
 		return 0, "", false
 	}
 	return uint32(v), line[9:], true
+}
+
+// syncDir best-effort-syncs the directory containing path so a rename
+// inside it is durable before dependent state changes (not all
+// filesystems support syncing a directory handle).
+func syncDir(path string) {
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+}
+
+// newDynamicFor wraps a loaded store's static index in the write-side
+// dynamic log. The DynamicIndex never merges on its own (threshold -1):
+// the Mutable drives merges so dictionaries fold and files rewrite in
+// the same step.
+func newDynamicFor(st *Store) *core.DynamicIndex {
+	return core.NewDynamicFromIndex(st.Index, -1)
+}
+
+// overlaysFor builds fresh write overlays over a loaded store's
+// front-coded dictionaries. Callers have checked st.Dicts != nil.
+func overlaysFor(st *Store) (so, p *dict.Overlay, err error) {
+	soDict, ok := st.Dicts.SO.(*dict.Dict)
+	if !ok {
+		return nil, nil, fmt.Errorf("store: loaded SO dictionary has unexpected type %T", st.Dicts.SO)
+	}
+	pDict, ok := st.Dicts.P.(*dict.Dict)
+	if !ok {
+		return nil, nil, fmt.Errorf("store: loaded P dictionary has unexpected type %T", st.Dicts.P)
+	}
+	return dict.NewOverlay(soDict), dict.NewOverlay(pDict), nil
 }
 
 // mergeLocked folds the pending log and overlay dictionaries into a
@@ -798,13 +879,7 @@ func (m *Mutable) mergeLocked() error {
 	if err := fsys.Rename(tmp, m.path); err != nil {
 		return err
 	}
-	// Best-effort directory sync so the rename itself is durable before
-	// the WAL is truncated (not all filesystems support syncing a
-	// directory handle; Write already synced the file's data).
-	if dir, err := os.Open(filepath.Dir(m.path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
+	syncDir(m.path)
 	// The merged state is durable; drop the WAL. Truncate keeps the
 	// append handle valid (O_APPEND repositions every write).
 	if m.wal != nil {

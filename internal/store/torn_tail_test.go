@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rdfindexes/internal/core"
+	"rdfindexes/internal/faultfs"
+)
+
+// walInserts is the torn-tail workload: distinct new triples so every
+// replayed record adds exactly one triple to the view.
+func walInserts() [][3]string {
+	return [][3]string{
+		{"<http://ex/w1>", "<http://ex/knows>", "<http://ex/alice>"},
+		{"<http://ex/w2>", "<http://ex/knows>", "<http://ex/w1>"},
+		{"<http://ex/w3>", "<http://ex/likes>", `"torn"`},
+		{"<http://ex/w4>", "<http://ex/admires>", "<http://ex/w3>"},
+	}
+}
+
+// buildWALFixture builds a store, applies the workload, and returns the
+// store path, the raw WAL bytes, and the record boundaries:
+// boundaries[i] is the byte offset after i complete records.
+func buildWALFixture(t *testing.T) (path string, wal []byte, boundaries []int64) {
+	t.Helper()
+	path = buildTestStore(t, t.TempDir(), core.Layout2Tp)
+	m, err := OpenMutable(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range walInserts() {
+		if _, err := m.Insert(in[0], in[1], in[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err = os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries = []int64{0}
+	for i, b := range wal {
+		if b == '\n' {
+			boundaries = append(boundaries, int64(i)+1)
+		}
+	}
+	if len(boundaries) != len(walInserts())+1 {
+		t.Fatalf("WAL has %d records, want %d", len(boundaries)-1, len(walInserts()))
+	}
+	return path, wal, boundaries
+}
+
+// TestWALTornTailByteSweep truncates the WAL at every byte offset —
+// the byte-exact analogue of the power-loss model, where any prefix of
+// the final unsynced append may survive — and asserts the replay
+// invariants at each cut: the valid record prefix replays, a cut
+// exactly on a record boundary is a clean tail (no torn-tail flag, no
+// dropped bytes), a mid-record cut reports exactly the partial bytes as
+// a torn tail, and nothing is ever flagged as corruption. The existing
+// crash torture sweeps operations; this sweeps bytes, so the
+// boundary-exact cases the op sweep can skip over are all hit.
+func TestWALTornTailByteSweep(t *testing.T) {
+	path, wal, boundaries := buildWALFixture(t)
+	base, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTriples := base.Index.NumTriples()
+	storeBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(wal); cut++ {
+		t.Run(fmt.Sprintf("cut%03d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			dst := dir + "/store.idx"
+			if err := os.WriteFile(dst, storeBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(dst+".wal", wal[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			want := 0
+			for want+1 < len(boundaries) && boundaries[want+1] <= int64(cut) {
+				want++
+			}
+			atBoundary := boundaries[want] == int64(cut)
+
+			m, err := OpenMutable(dst, -1)
+			if err != nil {
+				t.Fatalf("reopen at cut %d: %v", cut, err)
+			}
+			defer m.Close()
+			rec := m.Recovery()
+			if rec.Corrupt || rec.DroppedRecords != 0 {
+				t.Fatalf("truncation misread as corruption: %+v", rec)
+			}
+			if rec.Replayed != want {
+				t.Fatalf("replayed %d records, want %d", rec.Replayed, want)
+			}
+			if rec.TornTail == atBoundary {
+				t.Fatalf("cut %d (boundary=%v) reported torn=%v: %+v", cut, atBoundary, rec.TornTail, rec)
+			}
+			if got := rec.DroppedBytes; got != int64(cut)-boundaries[want] {
+				t.Fatalf("dropped %d bytes, want %d", got, int64(cut)-boundaries[want])
+			}
+			if n := m.View().Index.NumTriples(); n != baseTriples+want {
+				t.Fatalf("view has %d triples after %d replayed records (base %d)", n, want, baseTriples)
+			}
+			// The writing open truncated the tail; the WAL accepts new
+			// appends from the verified prefix.
+			if _, err := m.Insert("<http://ex/after>", "<http://ex/knows>", "<http://ex/w1>"); err != nil {
+				t.Fatalf("append after torn-tail recovery: %v", err)
+			}
+			if got := m.WALSeq(); got != uint64(want)+1 {
+				t.Fatalf("WAL seq %d after recovery + 1 insert, want %d", got, want+1)
+			}
+		})
+	}
+}
+
+// TestDropUnsyncedCrashLandsOnRecordBoundary drives the faultfs
+// DropUnsynced power-loss model through a crash in the middle of a WAL
+// append: the page-cache rewind lands the file exactly on the previous
+// record boundary (every acknowledged append was fsynced), and the
+// replay must read it as a clean tail — full prefix replayed, no torn
+// tail, nothing dropped.
+func TestDropUnsyncedCrashLandsOnRecordBoundary(t *testing.T) {
+	path := buildTestStore(t, t.TempDir(), core.Layout2Tp)
+	inj := faultfs.NewInjector(faultfs.OS{})
+	inj.DropUnsynced = true
+	fsys = inj
+	defer func() { fsys = faultfs.OS{} }()
+
+	m, err := OpenMutable(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := walInserts()
+	for _, in := range ins[:2] {
+		if _, err := m.Insert(in[0], in[1], in[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.SetPlan(func(op faultfs.Op) faultfs.Fault {
+		if op.Kind == faultfs.OpWrite {
+			return faultfs.Crash
+		}
+		return faultfs.None
+	})
+	if _, err := m.Insert(ins[2][0], ins[2][1], ins[2][2]); err == nil {
+		t.Fatal("insert survived the injected crash")
+	}
+	m.Close()
+	fsys = faultfs.OS{}
+
+	m2, err := OpenMutable(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	rec := m2.Recovery()
+	if rec.Corrupt || rec.TornTail || rec.DroppedBytes != 0 || rec.Replayed != 2 {
+		t.Fatalf("boundary-exact rewind misread: %+v", rec)
+	}
+}
